@@ -1,0 +1,46 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one table or figure of the paper's §8: it
+prints the rows/series and also writes them under
+``benchmarks/results/`` so EXPERIMENTS.md can cite them.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Heavy analyses execute once via ``benchmark.pedantic`` — the timing
+numbers contextualize the simulation cost, the printed tables are the
+reproduction artifact.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.net.trace import generate_trace
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Print a rendered table/series and persist it to results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(name: str, text: str) -> None:
+        print("\n" + text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _report
+
+
+@pytest.fixture(scope="session")
+def traces():
+    """One moderate trace per Table 2 profile (deterministic)."""
+    return {
+        name: generate_trace(name, n_flows=600, seed=1)
+        for name in ("MAWI-IXP", "ENTERPRISE", "CAMPUS")
+    }
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,40 @@
+"""Ablation: per-IP NBI packet distribution (§6.2).
+
+FE-NIC distributes MGPVs to cores per source IP so cores touch disjoint
+group-table regions.  Without it, cores contend on shared buckets and
+locks; Fig 16's near-linear scaling collapses.
+"""
+
+from conftest import run_once
+
+from repro.apps import build_policy
+from repro.bench.tables import Table
+from repro.core.compiler import PolicyCompiler
+from repro.nicsim.cores import scaling_throughput
+from repro.nicsim.cycles import CycleModel
+
+CORES = (1, 8, 30, 60, 120)
+
+
+def test_ablation_per_ip_distribution(benchmark, report):
+    compiled = PolicyCompiler().compile(build_policy("Kitsune"))
+    pps = CycleModel(compiled).throughput_per_core_pps()
+    table = Table(
+        "Ablation — per-IP NBI distribution (Kitsune, Mpps)",
+        ["Cores", "With distribution", "Without", "Efficiency with",
+         "Efficiency without"])
+    for n in CORES:
+        with_d = scaling_throughput(pps, n, per_ip_distribution=True)
+        without = scaling_throughput(pps, n, per_ip_distribution=False)
+        table.add_row(n, with_d / 1e6, without / 1e6,
+                      with_d / (n * pps), without / (n * pps))
+    report("ablation_contention", table.render())
+
+    full_with = scaling_throughput(pps, 120, per_ip_distribution=True)
+    full_without = scaling_throughput(pps, 120,
+                                      per_ip_distribution=False)
+    assert full_with / (120 * pps) > 0.9       # near-linear
+    assert full_without / (120 * pps) < 0.3    # collapses
+
+    run_once(benchmark,
+             lambda: [scaling_throughput(pps, n) for n in CORES])

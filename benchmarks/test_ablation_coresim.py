@@ -1,0 +1,39 @@
+"""Validation: analytic cycle model vs discrete-event core simulation.
+
+The Fig 16/17 numbers come from the closed-form CycleModel; this bench
+executes the same per-cell programs on the event-driven core simulator
+(run-to-stall threading, real latency overlap) and compares.
+"""
+
+from conftest import run_once
+
+from repro.apps import build_policy
+from repro.bench.tables import Table
+from repro.core.compiler import PolicyCompiler
+from repro.nicsim.coresim import simulate_policy
+from repro.nicsim.cycles import CycleModel, CycleModelConfig
+
+APPS = ("TF", "NPOD", "N-BaIoT", "Kitsune")
+
+
+def test_ablation_analytic_vs_simulated(benchmark, report):
+    compiler = PolicyCompiler()
+    table = Table(
+        "Validation — cycles/cell: analytic model vs event simulation",
+        ["App", "Config", "Analytic", "Simulated", "Sim/Analytic"])
+    for app in APPS:
+        compiled = compiler.compile(build_policy(app))
+        for label, config in [("optimized", CycleModelConfig()),
+                              ("baseline",
+                               CycleModelConfig.baseline())]:
+            analytic = CycleModel(compiled, config) \
+                .cycles_per_cell().total
+            simulated = simulate_policy(compiled, n_cells=1500,
+                                        config=config).cycles_per_cell
+            ratio = simulated / analytic
+            table.add_row(app, label, analytic, simulated, ratio)
+            assert 0.5 < ratio < 2.0, (app, label)
+    report("ablation_coresim", table.render())
+
+    compiled = compiler.compile(build_policy("Kitsune"))
+    run_once(benchmark, lambda: simulate_policy(compiled, n_cells=500))

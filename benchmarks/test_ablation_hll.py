@@ -1,0 +1,42 @@
+"""Ablation: HyperLogLog estimator choice for f_card.
+
+The paper's prose describes combining per-bucket leading-zero estimates
+with an arithmetic mean; the shipped implementation uses the standard
+harmonic-mean estimator with bias correction.  This ablation quantifies
+why: the standard estimator's relative error is uniformly lower.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench.tables import Table
+from repro.streaming.hyperloglog import HyperLogLog
+
+CARDINALITIES = (100, 1_000, 10_000, 100_000)
+
+
+def errors(true_n: int, k: int = 8, trials: int = 5):
+    harm, arith = [], []
+    for trial in range(trials):
+        hll = HyperLogLog(k)
+        offset = trial * 1_000_003
+        for i in range(true_n):
+            hll.update((i + offset) * 2654435761 % (2 ** 32))
+        harm.append(abs(hll.estimate() - true_n) / true_n)
+        arith.append(abs(hll.estimate_arith_mean() - true_n) / true_n)
+    return float(np.mean(harm)), float(np.mean(arith))
+
+
+def test_ablation_hll_estimators(benchmark, report):
+    table = Table(
+        "Ablation — f_card estimator (mean relative error, k=8)",
+        ["True cardinality", "Harmonic (shipped)", "Arithmetic (paper "
+         "prose)"])
+    for n in CARDINALITIES:
+        h, a = errors(n)
+        table.add_row(n, h, a)
+        assert h <= a + 0.02, n
+        assert h < 0.1
+    report("ablation_hll", table.render())
+
+    run_once(benchmark, lambda: errors(10_000, trials=1))

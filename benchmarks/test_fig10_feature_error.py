@@ -1,0 +1,40 @@
+"""Fig 10: relative error of Kitsune feature vectors — SuperFE vs the
+original Kitsune implementation, both against the standard (exact)
+feature definitions.
+
+Paper's result: SuperFE extraction error stays below 4%, better than the
+original implementation's approximate algorithms.
+"""
+
+from conftest import run_once
+
+from repro.apps.kitsune_features import (
+    extract_three_ways,
+    relative_errors,
+)
+from repro.bench.tables import Table
+from repro.net.scenarios import mirai_scenario
+
+
+def test_fig10_feature_extraction_error(benchmark, report):
+    scenario = mirai_scenario(seed=5, n_benign_flows=250, n_bots=12,
+                              flood_pps=30_000.0)
+    packets = scenario.packets[:4000]
+    standard, superfe, original = run_once(
+        benchmark, lambda: extract_three_ways(packets))
+
+    err_superfe = relative_errors(standard, superfe)
+    err_original = relative_errors(standard, original)
+
+    table = Table(
+        "Fig 10 — relative feature extraction error vs standard "
+        "definitions",
+        ["Feature family", "SuperFE", "Original Kitsune"])
+    for family in err_superfe:
+        table.add_row(family, err_superfe[family], err_original[family])
+    report("fig10_feature_error", table.render())
+
+    # Paper bound: SuperFE below 4% everywhere.
+    assert max(err_superfe.values()) < 0.04
+    # The original implementation's approximations show measurable error.
+    assert max(err_original.values()) > 0.0

@@ -1,0 +1,70 @@
+"""Fig 11: Kitsune detection accuracy with SuperFE-extracted features
+across attack scenarios (Mirai, OS_Scan, SSDP_Flood).
+
+The claim under test is *no accuracy degradation*: KitNET trained and
+evaluated on SuperFE vectors performs the same as on the exact software
+feature vectors.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.apps import build_policy
+from repro.apps.study import kitsune_detection_experiment
+from repro.bench.tables import Table
+from repro.net.scenarios import (
+    mirai_scenario,
+    os_scan_scenario,
+    ssdp_flood_scenario,
+)
+
+SCENARIOS = [
+    ("Mirai", lambda: mirai_scenario(seed=11, n_benign_flows=200,
+                                     n_bots=16)),
+    ("OS_Scan", lambda: os_scan_scenario(seed=11, n_benign_flows=200,
+                                         n_targets=150,
+                                         ports_per_target=40)),
+    ("SSDP_Flood", lambda: ssdp_flood_scenario(seed=11,
+                                               n_benign_flows=200,
+                                               n_reflectors=40)),
+]
+
+
+@pytest.fixture(scope="module")
+def results():
+    policy = build_policy("Kitsune")
+    rows = {}
+    for name, build in SCENARIOS:
+        scenario = build()
+        rows[name] = {
+            ex: kitsune_detection_experiment(scenario, policy,
+                                             extractor=ex)
+            for ex in ("superfe", "software")
+        }
+    return rows
+
+
+def test_fig11_detection_accuracy(benchmark, results, report):
+    table = Table(
+        "Fig 11 — Kitsune detection with SuperFE vs software features",
+        ["Scenario", "Extractor", "Accuracy", "Precision", "Recall",
+         "F1", "AUC"])
+    for name, by_ex in results.items():
+        for ex, r in by_ex.items():
+            table.add_row(name, ex, r.accuracy, r.precision, r.recall,
+                          r.f1, r.auc)
+    report("fig11_detection", table.render())
+
+    for name, by_ex in results.items():
+        sfe, sw = by_ex["superfe"], by_ex["software"]
+        # No accuracy degradation from the hardware extraction path.
+        assert abs(sfe.auc - sw.auc) < 0.03, name
+        assert abs(sfe.f1 - sw.f1) < 0.05, name
+        # Detection works in absolute terms too.
+        assert sfe.auc > 0.85, (name, sfe.auc)
+
+    # Timed kernel: one full detection experiment on a small scenario.
+    policy = build_policy("Kitsune")
+    small = mirai_scenario(seed=3, n_benign_flows=80, n_bots=8)
+    run_once(benchmark, lambda: kitsune_detection_experiment(
+        small, policy, epochs=5))

@@ -1,0 +1,53 @@
+"""Fig 12: MGPV aggregation ratio — the share of traffic (rate and
+bytes) that still reaches the SmartNICs after switch batching.
+
+Paper's result: over 80% reduction in both receiving rate and receiving
+throughput across the four applications and three traces.
+"""
+
+from dataclasses import replace
+
+from conftest import run_once
+
+from repro.apps import build_policy
+from repro.bench.tables import Table
+from repro.core.compiler import PolicyCompiler
+from repro.switchsim.filter import FilterStage
+from repro.switchsim.mgpv import MGPVCache, MGPVConfig
+
+APPS = ("TF", "N-BaIoT", "NPOD", "Kitsune")
+
+
+def run_cache(app, packets):
+    compiled = PolicyCompiler().compile(build_policy(app))
+    config = replace(MGPVConfig(),
+                     cell_bytes=compiled.metadata_bytes_per_pkt,
+                     cg_key_bytes=compiled.cg.key_bytes,
+                     fg_key_bytes=compiled.fg.key_bytes)
+    cache = MGPVCache(compiled.cg, compiled.fg, config,
+                      compiled.metadata_fields)
+    stage = FilterStage(compiled.switch_filters)
+    for _ in cache.process(stage.apply(packets)):
+        pass
+    return cache.stats
+
+
+def test_fig12_aggregation_ratio(benchmark, traces, report):
+    table = Table(
+        "Fig 12 — MGPV aggregation ratio (switch -> NIC / original)",
+        ["App", "Trace", "Bytes ratio", "Rate ratio",
+         "Byte reduction %"])
+    for app in APPS:
+        for trace_name, packets in traces.items():
+            stats = run_cache(app, packets)
+            table.add_row(app, trace_name,
+                          stats.aggregation_ratio_bytes,
+                          stats.aggregation_ratio_rate,
+                          100 * (1 - stats.aggregation_ratio_bytes))
+            # The paper's >80% reduction in rate and throughput.
+            assert stats.aggregation_ratio_bytes < 0.2, (app, trace_name)
+            assert stats.aggregation_ratio_rate < 0.6, (app, trace_name)
+    report("fig12_aggregation", table.render())
+
+    packets = traces["ENTERPRISE"]
+    run_once(benchmark, lambda: run_cache("Kitsune", packets))

@@ -1,0 +1,51 @@
+"""Fig 14: the aging mechanism — aggregation ratio and buffer efficiency
+as a function of the timeout T, per trace.
+
+Paper's observations: aging lowers the aggregation ratio and raises
+buffer efficiency; the right T depends on the trace's flow-length
+distribution (short-flow ENTERPRISE tolerates a small T).
+"""
+
+from conftest import run_once
+
+from repro.bench.tables import Table
+from repro.core.granularity import FLOW
+from repro.switchsim.aging import sweep_aging_timeouts
+from repro.switchsim.mgpv import MGPVConfig
+
+# The TF deployment of the paper's Fig 14: flow granularity.
+TIMEOUTS_MS = [None, 1, 5, 20, 100]
+
+
+def sweep(packets):
+    cfg = MGPVConfig(n_short=2048, short_size=4, n_long=256,
+                     long_size=20, fg_table_size=2048,
+                     aging_scan_per_pkt=4)
+    timeouts = [None if t is None else t * 1_000_000
+                for t in TIMEOUTS_MS]
+    return sweep_aging_timeouts(packets, FLOW, FLOW, timeouts,
+                                config=cfg,
+                                metadata_fields=("direction",))
+
+
+def test_fig14_aging_sweep(benchmark, traces, report):
+    table = Table(
+        "Fig 14 — aging timeout sweep (TF on flow granularity)",
+        ["Trace", "T (ms)", "Agg ratio", "Buffer efficiency",
+         "Aging evictions"])
+    for trace_name, packets in traces.items():
+        points = sweep(packets)
+        for t_ms, point in zip(TIMEOUTS_MS, points):
+            table.add_row(trace_name,
+                          "off" if t_ms is None else t_ms,
+                          point.aggregation_ratio,
+                          point.buffer_efficiency,
+                          point.aging_evictions)
+        no_aging = points[0]
+        aged = points[2]   # T = 5 ms
+        assert aged.aging_evictions > 0
+        assert aged.buffer_efficiency >= no_aging.buffer_efficiency
+    report("fig14_aging", table.render())
+
+    packets = traces["ENTERPRISE"]
+    run_once(benchmark, lambda: sweep(packets[:5000]))

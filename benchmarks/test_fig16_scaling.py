@@ -1,0 +1,51 @@
+"""Fig 16: multi-core scalability of FE-NIC from 1 to 120 SoC cores for
+the four applications.
+
+Paper's observations: near-linear scaling (per-IP NBI distribution
+removes contention); WFP (TF) has the simplest extractor and the highest
+absolute throughput.
+"""
+
+from conftest import run_once
+
+from repro.apps import build_policy
+from repro.bench.tables import Table
+from repro.core.compiler import PolicyCompiler
+from repro.nicsim.cores import scaling_throughput
+from repro.nicsim.cycles import CycleModel
+from repro.nicsim.placement import PlacementProblem, solve_ilp
+
+APPS = ("TF", "N-BaIoT", "NPOD", "Kitsune")
+CORES = (1, 2, 4, 8, 16, 30, 60, 90, 120)
+
+
+def per_core_pps(app):
+    compiled = PolicyCompiler().compile(build_policy(app))
+    states = compiled.state_requirements()
+    placement = solve_ilp(PlacementProblem(tuple(states),
+                                           n_groups=16384)) \
+        if states else None
+    return CycleModel(compiled, placement=placement) \
+        .throughput_per_core_pps()
+
+
+def test_fig16_multicore_scaling(benchmark, report):
+    table = Table("Fig 16 — FE-NIC throughput vs cores (Mpps)",
+                  ["Cores"] + list(APPS))
+    series = {app: [scaling_throughput(per_core_pps(app), n) / 1e6
+                    for n in CORES]
+              for app in APPS}
+    for i, n in enumerate(CORES):
+        table.add_row(n, *(series[app][i] for app in APPS))
+    report("fig16_scaling", table.render())
+
+    for app in APPS:
+        t = series[app]
+        # Monotone and near-linear: 120 cores give >90% of 120x.
+        assert all(b > a for a, b in zip(t, t[1:]))
+        assert t[-1] > 0.9 * 120 * t[0]
+    # TF (simplest extractor) has the highest throughput everywhere.
+    for i in range(len(CORES)):
+        assert series["TF"][i] == max(series[app][i] for app in APPS)
+
+    run_once(benchmark, lambda: per_core_pps("Kitsune"))

@@ -1,0 +1,69 @@
+"""Fig 17: incremental effect of the FE-NIC optimizations — switch-hash
+reuse, thread latency hiding, division elimination.
+
+Paper's result: enabling all three raises throughput ~4x over the
+unoptimized baseline, with division elimination the largest single
+contributor.  Our fully naive baseline pays every per-feature soft
+division, so the measured combined speedup is larger for the
+division-heavy Kitsune policy (see EXPERIMENTS.md).
+"""
+
+from conftest import run_once
+
+from repro.apps import build_policy
+from repro.bench.tables import Table
+from repro.core.compiler import PolicyCompiler
+from repro.nicsim.cycles import CycleModel, CycleModelConfig
+
+STEPS = [
+    ("baseline", dict(reuse_switch_hash=False,
+                      thread_latency_hiding=False,
+                      division_elimination=False)),
+    ("+hash reuse", dict(reuse_switch_hash=True,
+                         thread_latency_hiding=False,
+                         division_elimination=False)),
+    ("+threading", dict(reuse_switch_hash=True,
+                        thread_latency_hiding=True,
+                        division_elimination=False)),
+    ("+div elimination", dict(reuse_switch_hash=True,
+                              thread_latency_hiding=True,
+                              division_elimination=True)),
+]
+
+
+def test_fig17_incremental_optimizations(benchmark, report):
+    compiler = PolicyCompiler()
+    table = Table(
+        "Fig 17 — FE-NIC optimizations (per-core throughput, Kpps)",
+        ["Config", "NPOD", "Kitsune", "NPOD speedup",
+         "Kitsune speedup"])
+    results = {}
+    for app in ("NPOD", "Kitsune"):
+        compiled = compiler.compile(build_policy(app))
+        results[app] = [
+            CycleModel(compiled, CycleModelConfig(**flags))
+            .throughput_per_core_pps()
+            for _, flags in STEPS
+        ]
+    for i, (name, _) in enumerate(STEPS):
+        table.add_row(name,
+                      results["NPOD"][i] / 1e3,
+                      results["Kitsune"][i] / 1e3,
+                      results["NPOD"][i] / results["NPOD"][0],
+                      results["Kitsune"][i] / results["Kitsune"][0])
+    report("fig17_optimizations", table.render())
+
+    for app in ("NPOD", "Kitsune"):
+        t = results[app]
+        # Each optimization helps, cumulatively.
+        assert all(b >= a for a, b in zip(t, t[1:]))
+        # Total speedup at least the paper's 4x.
+        assert t[-1] / t[0] >= 4.0
+        # Division elimination is the largest single step.
+        gains = [t[i + 1] - t[i] for i in range(len(t) - 1)]
+        assert gains[2] == max(gains)
+
+    compiled = compiler.compile(build_policy("Kitsune"))
+    run_once(benchmark, lambda: [
+        CycleModel(compiled, CycleModelConfig(**flags))
+        .cycles_per_cell().total for _, flags in STEPS])

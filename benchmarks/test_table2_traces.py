@@ -1,0 +1,32 @@
+"""Table 2: workload traffic traces — measured flow-length and
+packet-size statistics of the synthetic traces vs the paper's values."""
+
+from conftest import run_once
+
+from repro.bench.tables import Table
+from repro.net.trace import TRACE_PROFILES, generate_trace, trace_stats
+
+PAPER = {
+    "MAWI-IXP": (104.0, 1246.0),
+    "ENTERPRISE": (9.2, 739.0),
+    "CAMPUS": (58.0, 135.0),
+}
+
+
+def test_table2_trace_statistics(benchmark, traces, report):
+    table = Table(
+        "Table 2 — workload traces (paper vs generated)",
+        ["Trace", "FlowLen(paper)", "FlowLen(ours)",
+         "PktSize(paper)", "PktSize(ours)", "Packets"])
+    for name, packets in traces.items():
+        stats = trace_stats(packets)
+        paper_len, paper_size = PAPER[name]
+        table.add_row(name, paper_len, stats.mean_flow_len,
+                      paper_size, stats.mean_pkt_size, stats.n_packets)
+        assert abs(stats.mean_pkt_size - paper_size) / paper_size < 0.1
+        assert abs(stats.mean_flow_len - paper_len) / paper_len < 0.4
+    report("table2_traces", table.render())
+
+    # Timed kernel: generating one ENTERPRISE trace.
+    run_once(benchmark, lambda: generate_trace("ENTERPRISE",
+                                               n_flows=300, seed=2))

@@ -1,0 +1,81 @@
+"""Table 4: hardware resource utilization on switch and SmartNIC for the
+four study applications."""
+
+from conftest import run_once
+
+from repro.apps import build_policy
+from repro.bench.tables import Table
+from repro.core.compiler import PolicyCompiler
+from repro.nicsim.placement import PlacementProblem, solve_ilp
+from repro.switchsim.resources import estimate_switch_resources
+
+APPS = ("TF", "N-BaIoT", "NPOD", "Kitsune")
+
+PAPER = {   # (tables %, sALUs %, SRAM %, NIC memory %)
+    "TF": (26.04, 68.75, 16.56, 49.17),
+    "N-BaIoT": (30.73, 72.92, 18.23, 57.30),
+    "NPOD": (26.04, 68.75, 16.56, 74.46),
+    "Kitsune": (31.77, 77.08, 18.75, 60.81),
+}
+
+
+#: Concurrent group-table entries provisioned per granularity (coarser
+#: granularities see fewer concurrent groups).
+GROUPS_PER_GRANULARITY = {"host": 512, "channel": 2048, "socket": 2048,
+                          "flow": 2048}
+
+
+def nic_memory_pct(compiled) -> float:
+    """On-chip utilization of the hierarchical memories: group tables are
+    packed fastest-level-first under each level's capacity; what does not
+    fit spills to DRAM (excluded — DRAM is effectively unbounded).
+
+    Absolute percentages depend on group-table provisioning, which the
+    paper does not publish per app; the bench asserts plausibility bands,
+    not exact matches.
+    """
+    from repro.nicsim.memory import NFP_MEMORY_HIERARCHY
+    states = compiled.state_requirements()
+    demands = sorted(
+        (s.size_bytes * GROUPS_PER_GRANULARITY.get(s.section, 2048)
+         for s in states), reverse=True)
+    capacity = {lvl.name: lvl.size_bytes for lvl in NFP_MEMORY_HIERARCHY}
+    placed = 0
+    for demand in demands:
+        # Large tables span levels (the EMEM cache fronts DRAM, so a
+        # table can be partially resident); fill fastest-first.
+        for lvl in NFP_MEMORY_HIERARCHY:
+            take = min(capacity[lvl.name], demand)
+            capacity[lvl.name] -= take
+            placed += take
+            demand -= take
+            if demand == 0:
+                break
+    total = sum(lvl.size_bytes for lvl in NFP_MEMORY_HIERARCHY)
+    return 100.0 * placed / total
+
+
+def test_table4_resource_utilization(benchmark, report):
+    compiler = PolicyCompiler()
+    table = Table(
+        "Table 4 — hardware resource utilization (ours vs paper)",
+        ["App", "Tables%", "sALUs%", "SRAM%", "NIC-Mem%",
+         "paper(T/s/S/N)"])
+    for app in APPS:
+        compiled = compiler.compile(build_policy(app))
+        switch = estimate_switch_resources(compiled)
+        nic = nic_memory_pct(compiled)
+        table.add_row(app, switch.tables_pct, switch.salus_pct,
+                      switch.sram_pct, nic,
+                      "/".join(f"{v:.0f}" for v in PAPER[app]))
+        # Shape assertions matching the paper's observations.
+        assert switch.fits()
+        assert switch.salus_pct > switch.tables_pct   # sALUs dominate
+        assert switch.salus_pct > 40.0
+        assert switch.tables_pct < 50.0
+        assert switch.sram_pct < 40.0
+        assert 0.0 < nic <= 100.0
+    report("table4_resources", table.render())
+
+    compiled = compiler.compile(build_policy("Kitsune"))
+    run_once(benchmark, lambda: estimate_switch_resources(compiled))

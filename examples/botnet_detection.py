@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""P2P botnet detection with PeerShark + N-BaIoT on SuperFE (§8.3).
+
+Bots exchange periodic low-volume pairwise chatter.  Two detectors:
+
+- PeerShark: per-IP-pair conversation statistics + decision tree;
+- N-BaIoT: damped per-packet features + autoencoder anomaly scores
+  (trained on benign traffic only).
+
+Run:  python examples/botnet_detection.py
+"""
+
+import numpy as np
+
+from repro.apps import build_policy
+from repro.apps.detectors import Autoencoder, DecisionTree, roc_auc
+from repro.core.pipeline import SuperFE
+from repro.net.scenarios import p2p_botnet_scenario
+
+
+def main() -> None:
+    scenario = p2p_botnet_scenario(seed=9, n_benign_flows=250, n_bots=12)
+    bots = set(scenario.meta["bots"])
+    print(f"Scenario: {len(scenario.packets)} packets, "
+          f"{scenario.n_malicious} from {len(bots)} bots")
+
+    # --- PeerShark: per-channel conversation features + decision tree.
+    peershark = build_policy("PeerShark")
+    result = SuperFE(peershark).run(scenario.packets)
+    x, y = [], []
+    for vec in result.vectors:
+        src, dst = vec.key
+        x.append(vec.values)
+        y.append(1 if src in bots and dst in bots else 0)
+    x, y = np.vstack(x), np.asarray(y)
+    rng = np.random.default_rng(1)
+    order = rng.permutation(len(y))
+    cut = int(len(y) * 0.6)
+    tree = DecisionTree(max_depth=5).fit(x[order[:cut]], y[order[:cut]])
+    acc = float((tree.predict(x[order[cut:]]) == y[order[cut:]]).mean())
+    print(f"PeerShark: {len(y)} conversations "
+          f"({int(y.sum())} bot-to-bot), decision-tree accuracy {acc:.3f}")
+
+    # --- N-BaIoT: per-packet damped features + autoencoder RMSE.
+    nbaiot = build_policy("N-BaIoT")
+    res2 = SuperFE(nbaiot).run(scenario.packets)
+    vec_by_key: dict = {}
+    for vec in res2.vectors:
+        vec_by_key.setdefault(tuple(vec.key), []).append(vec.values)
+    feats, labels, cursor = [], [], {}
+    for pkt, lab in zip(scenario.packets, scenario.labels):
+        # The N-BaIoT policy's finest granularity is the channel, so its
+        # vectors are keyed by (src_ip, dst_ip).
+        key = (pkt.src_ip, pkt.dst_ip)
+        seq = vec_by_key.get(key)
+        k = cursor.get(key, 0)
+        if seq is not None and k < len(seq):
+            feats.append(seq[k])
+            labels.append(int(lab))
+            cursor[key] = k + 1
+    from repro.apps.study import signed_log1p
+    feats = signed_log1p(np.vstack(feats))   # compress damped weights
+    labels = np.asarray(labels)
+    cut = int(len(feats) * 0.4)
+    benign_train = feats[:cut][labels[:cut] == 0]
+    ae = Autoencoder(feats.shape[1], seed=4).fit(benign_train, epochs=40)
+    scores = ae.score(feats[cut:])
+    auc = roc_auc(labels[cut:], scores)
+    print(f"N-BaIoT: autoencoder AUC {auc:.3f} over "
+          f"{len(scores)} packets ({int(labels[cut:].sum())} malicious)")
+
+
+if __name__ == "__main__":
+    main()

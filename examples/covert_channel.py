@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Covert timing-channel detection with NPOD on SuperFE (§8.3).
+
+Covert flows encode bits in bimodal inter-packet delays.  SuperFE
+extracts NPOD's per-flow packet-size and inter-packet-time histograms
+(Fig 4's policy shape); a CART decision tree separates covert from
+normal flows.
+
+Run:  python examples/covert_channel.py
+"""
+
+import numpy as np
+
+from repro.apps import build_policy
+from repro.apps.detectors import DecisionTree, precision_recall_f1
+from repro.core.pipeline import SuperFE
+from repro.net.scenarios import covert_channel_scenario
+
+
+def main() -> None:
+    scenario = covert_channel_scenario(seed=5, n_normal_flows=90,
+                                       n_covert_flows=30)
+    print(f"Scenario: {len(scenario.packets)} packets, "
+          f"{scenario.n_malicious} in covert flows")
+
+    # Per-flow labels from the per-packet ones.
+    flow_label: dict = {}
+    for pkt, lab in zip(scenario.packets, scenario.labels):
+        ft = pkt.flow_key
+        key = (ft.src_ip, ft.dst_ip, ft.src_port, ft.dst_port, ft.proto)
+        flow_label[key] = max(flow_label.get(key, 0), int(lab))
+
+    policy = build_policy("NPOD")
+    result = SuperFE(policy).run(scenario.packets)
+    x, y = [], []
+    for vec in result.vectors:
+        key = tuple(vec.key)
+        if key in flow_label:
+            x.append(vec.values)
+            y.append(flow_label[key])
+    x = np.vstack(x)
+    y = np.asarray(y)
+    print(f"SuperFE produced {len(y)} per-flow vectors "
+          f"(dim {x.shape[1]}), {int(y.sum())} covert")
+
+    rng = np.random.default_rng(3)
+    order = rng.permutation(len(y))
+    cut = int(len(y) * 0.6)
+    tree = DecisionTree(max_depth=6).fit(x[order[:cut]], y[order[:cut]])
+    preds = tree.predict(x[order[cut:]])
+    truth = y[order[cut:]]
+    precision, recall, f1 = precision_recall_f1(truth, preds)
+    acc = float((preds == truth).mean())
+    print(f"Decision tree (depth {tree.depth()}): accuracy={acc:.3f} "
+          f"precision={precision:.3f} recall={recall:.3f} f1={f1:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Intrusion detection with Kitsune on SuperFE (§8.3's application study).
+
+Rebuilds the Kitsune pipeline: SuperFE extracts the 115-dimension damped
+feature vectors per packet; KitNET (ensemble of autoencoders) is trained
+on the benign prefix and detects the Mirai-style attack in the suffix.
+
+Run:  python examples/intrusion_detection.py
+"""
+
+import numpy as np
+
+from repro.apps import build_policy
+from repro.apps.detectors import KitNET, precision_recall_f1, roc_auc
+from repro.core.pipeline import SuperFE
+from repro.net.scenarios import mirai_scenario
+
+
+def packet_vectors_in_order(policy, packets) -> np.ndarray:
+    """Per-packet Kitsune vectors, aligned to the packet sequence.
+
+    MGPV preserves per-group order, so vectors are re-associated with
+    packets by matching each packet's socket key to its group's k-th
+    emitted vector.
+    """
+    result = SuperFE(policy).run(packets)
+    by_key: dict = {}
+    for vec in result.vectors:
+        by_key.setdefault(tuple(vec.key), []).append(vec.values)
+    cursor: dict = {}
+    dim = len(result.vectors[0].values) if result.vectors else 0
+    out = np.zeros((len(packets), dim))
+    for i, pkt in enumerate(packets):
+        key = (pkt.src_ip, pkt.dst_ip, pkt.src_port, pkt.dst_port,
+               pkt.proto)
+        seq = by_key.get(key)
+        k = cursor.get(key, 0)
+        if seq is not None and k < len(seq):
+            out[i] = seq[k]
+            cursor[key] = k + 1
+    return out
+
+
+def main() -> None:
+    scenario = mirai_scenario(seed=11, n_benign_flows=250, n_bots=12)
+    print(f"Scenario {scenario.name}: {len(scenario.packets)} packets, "
+          f"{scenario.n_malicious} malicious")
+
+    policy = build_policy("Kitsune")
+    features = packet_vectors_in_order(policy, scenario.packets)
+    print(f"SuperFE produced per-packet vectors of dim {features.shape[1]}")
+
+    # Train on the benign prefix only (Kitsune is unsupervised).
+    cut = int(len(features) * 0.35)
+    train = features[:cut][scenario.labels[:cut] == 0]
+    detector = KitNET(max_group=10, seed=3).fit(train, epochs=6)
+
+    test_x = features[cut:]
+    test_y = scenario.labels[cut:]
+    scores = detector.score(test_x)
+    preds = (scores > detector.threshold).astype(int)
+
+    precision, recall, f1 = precision_recall_f1(test_y, preds)
+    auc = roc_auc(test_y, scores)
+    print(f"Detection on {len(test_y)} packets "
+          f"({int(test_y.sum())} malicious):")
+    print(f"  precision={precision:.3f} recall={recall:.3f} "
+          f"f1={f1:.3f} auc={auc:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Multi-chain policies — the paper's §9 extension, running.
+
+A policy mixing granularities from different dependency chains (per-flow
+direction sequences + per-host volume statistics) is split into a
+minimum number of chains (Dilworth via maximum bipartite matching), and
+each chain gets its own MGPV pipeline.
+
+Run:  python examples/multichain_policy.py
+"""
+
+from repro.core.granularity import split_into_chains
+from repro.core.multichain import MultiChainSuperFE
+from repro.core.policy import pktstream
+from repro.net.trace import generate_trace
+
+
+def main() -> None:
+    policy = (
+        pktstream()
+        .filter("tcp.exist")
+        .groupby("flow")                       # bidirectional chain
+        .map("one", None, "f_one")
+        .map("direction", "one", "f_direction")
+        .reduce("direction", ["f_array"])
+        .synthesize("ft_sample{64}")
+        .collect("flow")
+        .groupby("host")                       # directed chain
+        .reduce("size", ["f_sum", "f_mean", "f_max"])
+        .collect("host")
+    )
+    print("Granularities:", policy.granularities)
+    print("Chain split:", split_into_chains(policy.granularities))
+
+    fe = MultiChainSuperFE(policy)
+    for i, sub in enumerate(fe.sub_policies):
+        print(f"\n--- chain {i} sub-policy ---")
+        print(sub.pretty())
+
+    packets = generate_trace("ENTERPRISE", n_flows=300, seed=9)
+    result = fe.run(packets)
+    for chain, sub in zip(result.chains, result.results):
+        mat = sub.to_matrix()
+        print(f"\nchain {chain}: {mat.shape[0]} vectors of dim "
+              f"{mat.shape[1]}, switch kept "
+              f"{sub.switch_stats.aggregation_ratio_bytes:.1%} of bytes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim for environments whose pip/setuptools cannot build PEP 660
+editable wheels (e.g. offline boxes without the `wheel` package).
+Metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""SuperFE reproduction: a scalable and flexible feature extractor for
+ML-based traffic analysis applications (EuroSys 2025).
+
+The public API mirrors the paper's architecture:
+
+- :mod:`repro.core` — the SuperFE policy language, policy engine, and the
+  end-to-end feature extraction pipeline.
+- :mod:`repro.switchsim` — the FE-Switch simulator (MGPV key-vector cache).
+- :mod:`repro.nicsim` — the FE-NIC simulator (streaming feature computation
+  on a modelled SoC SmartNIC).
+- :mod:`repro.streaming` — the streaming algorithms of §6.1.
+- :mod:`repro.net` — packet abstraction, synthetic traces, and scenarios.
+- :mod:`repro.apps` — the ten traffic analysis applications of Table 3.
+
+Quickstart::
+
+    from repro import pktstream, SuperFE
+    from repro.net.trace import generate_trace
+
+    policy = (
+        pktstream()
+        .filter("tcp.exist")
+        .groupby("flow")
+        .map("one", None, "f_one")
+        .reduce("one", ["f_sum"])
+        .reduce("size", ["f_mean", "f_var", "f_min", "f_max"])
+        .collect("flow")
+    )
+    fe = SuperFE(policy)
+    vectors = fe.run(generate_trace("ENTERPRISE", n_flows=200, seed=1))
+"""
+
+from repro.core.policy import Policy, pktstream
+from repro.core.pipeline import SuperFE, ExtractionResult
+from repro.core.compiler import PolicyCompiler, CompiledPolicy, PolicyError
+
+__all__ = [
+    "Policy",
+    "pktstream",
+    "SuperFE",
+    "ExtractionResult",
+    "PolicyCompiler",
+    "CompiledPolicy",
+    "PolicyError",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,11 @@
+"""The ten traffic analysis applications of Table 3, their SuperFE
+policies, and from-scratch behavior detectors for the §8.3 application
+study (TF, N-BaIoT, NPOD, Kitsune)."""
+
+from repro.apps import extensions as _extensions
+
+_extensions.install()
+
+from repro.apps.policies import APP_POLICIES, build_policy  # noqa: E402
+
+__all__ = ["APP_POLICIES", "build_policy"]

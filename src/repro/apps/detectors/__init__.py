@@ -1,0 +1,28 @@
+"""Behavior detectors for the §8.3 application study, implemented from
+scratch on numpy: KitNET (Kitsune), deep autoencoders (N-BaIoT), CART
+decision trees (NPOD), k-NN (CUMUL), and an embedding + nearest-neighbor
+classifier (TF)."""
+
+from repro.apps.detectors.autoencoder import Autoencoder
+from repro.apps.detectors.kitnet import KitNET
+from repro.apps.detectors.tree import DecisionTree
+from repro.apps.detectors.knn import KNNClassifier
+from repro.apps.detectors.embedding import EmbeddingClassifier
+from repro.apps.detectors.metrics import (
+    accuracy,
+    precision_recall_f1,
+    roc_auc,
+    equal_error_rate,
+)
+
+__all__ = [
+    "Autoencoder",
+    "KitNET",
+    "DecisionTree",
+    "KNNClassifier",
+    "EmbeddingClassifier",
+    "accuracy",
+    "precision_recall_f1",
+    "roc_auc",
+    "equal_error_rate",
+]

@@ -1,0 +1,96 @@
+"""A small dense autoencoder trained with SGD (numpy only).
+
+Used directly as the N-BaIoT detector (deep autoencoder over per-host
+features) and as the building block of KitNET's ensemble.  Inputs are
+0-1 normalized with running min/max, as Kitsune's implementation does, so
+the sigmoid units stay in range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30, 30)))
+
+
+class _MinMaxNorm:
+    """Running 0-1 normalizer (Kitsune-style)."""
+
+    def __init__(self, dim: int) -> None:
+        self.lo = np.full(dim, np.inf)
+        self.hi = np.full(dim, -np.inf)
+
+    def partial_fit(self, x: np.ndarray) -> None:
+        self.lo = np.minimum(self.lo, x.min(axis=0))
+        self.hi = np.maximum(self.hi, x.max(axis=0))
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        span = self.hi - self.lo
+        span = np.where(span > 0, span, 1.0)
+        return np.clip((x - self.lo) / span, 0.0, 1.0)
+
+
+class Autoencoder:
+    """One-hidden-layer sigmoid autoencoder with tied normalization.
+
+    ``hidden_ratio`` sets the bottleneck width relative to the input
+    (KitNET's beta = 0.75 by default).  ``score`` returns per-sample RMSE
+    reconstruction error — the anomaly signal.
+    """
+
+    def __init__(self, dim: int, hidden_ratio: float = 0.75,
+                 lr: float = 0.5, seed: int = 0) -> None:
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        self.dim = dim
+        self.hidden = max(1, int(np.ceil(dim * hidden_ratio)))
+        rng = np.random.default_rng(seed)
+        scale = 1.0 / np.sqrt(dim)
+        self.w1 = rng.uniform(-scale, scale, (dim, self.hidden))
+        self.b1 = np.zeros(self.hidden)
+        self.w2 = rng.uniform(-scale, scale, (self.hidden, dim))
+        self.b2 = np.zeros(dim)
+        self.lr = lr
+        self.norm = _MinMaxNorm(dim)
+        self._trained = 0
+
+    def _forward(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        h = _sigmoid(x @ self.w1 + self.b1)
+        y = _sigmoid(h @ self.w2 + self.b2)
+        return h, y
+
+    def partial_fit(self, batch: np.ndarray) -> None:
+        """One SGD pass over a (n, dim) batch of raw (unnormalized)
+        samples."""
+        batch = np.atleast_2d(np.asarray(batch, dtype=np.float64))
+        self.norm.partial_fit(batch)
+        x = self.norm.transform(batch)
+        h, y = self._forward(x)
+        n = len(x)
+        err = y - x
+        grad_y = err * y * (1 - y)
+        grad_h = (grad_y @ self.w2.T) * h * (1 - h)
+        self.w2 -= self.lr * (h.T @ grad_y) / n
+        self.b2 -= self.lr * grad_y.mean(axis=0)
+        self.w1 -= self.lr * (x.T @ grad_h) / n
+        self.b1 -= self.lr * grad_h.mean(axis=0)
+        self._trained += n
+
+    def fit(self, data: np.ndarray, epochs: int = 10,
+            batch_size: int = 32, seed: int = 0) -> "Autoencoder":
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        rng = np.random.default_rng(seed)
+        for _ in range(epochs):
+            order = rng.permutation(len(data))
+            for start in range(0, len(data), batch_size):
+                self.partial_fit(data[order[start:start + batch_size]])
+        return self
+
+    def score(self, data: np.ndarray) -> np.ndarray:
+        """Per-sample RMSE reconstruction error."""
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        x = self.norm.transform(data)
+        _, y = self._forward(x)
+        return np.sqrt(((y - x) ** 2).mean(axis=1))

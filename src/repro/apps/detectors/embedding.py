@@ -1,0 +1,144 @@
+"""Embedding + nearest-neighbor classifier — the TF detector.
+
+Triplet Fingerprinting (CCS'19) trains a feature-embedding network with
+triplet loss, then classifies new visits by nearest neighbor in embedding
+space (n-shot transfer).  This reproduction keeps the structure with a
+numpy MLP: a one-hidden-layer ReLU encoder trained with SGD on the
+triplet margin loss over (anchor, positive, negative) mined per batch,
+followed by 1-NN classification on embedded class prototypes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class EmbeddingClassifier:
+    """Triplet-trained MLP encoder + prototype nearest neighbor."""
+
+    def __init__(self, embed_dim: int = 32, hidden: int = 128,
+                 margin: float = 0.5, lr: float = 0.002,
+                 seed: int = 0) -> None:
+        self.embed_dim = embed_dim
+        self.hidden = hidden
+        self.margin = margin
+        self.lr = lr
+        self.seed = seed
+        self._params: dict | None = None
+        self._prototypes: dict | None = None
+        self._mu = None
+        self._sigma = None
+
+    # -- encoder -------------------------------------------------------------
+
+    def _init_params(self, dim: int) -> None:
+        rng = np.random.default_rng(self.seed)
+        self._params = {
+            "w1": rng.normal(0, np.sqrt(2.0 / dim), (dim, self.hidden)),
+            "b1": np.zeros(self.hidden),
+            "w2": rng.normal(0, np.sqrt(2.0 / self.hidden),
+                             (self.hidden, self.embed_dim)),
+            "b2": np.zeros(self.embed_dim),
+        }
+
+    def _encode(self, x: np.ndarray, want_grad: bool = False):
+        p = self._params
+        h_pre = x @ p["w1"] + p["b1"]
+        h = np.maximum(h_pre, 0.0)
+        z = h @ p["w2"] + p["b2"]
+        if want_grad:
+            return z, (x, h_pre, h)
+        return z
+
+    def embed(self, x: np.ndarray) -> np.ndarray:
+        """L2-normalized embeddings (classification happens on the unit
+        sphere, which keeps prototype distances bounded)."""
+        if self._params is None:
+            raise RuntimeError("encoder is not fitted")
+        z = self._encode(self._scale(x))
+        norm = np.linalg.norm(z, axis=1, keepdims=True)
+        return z / np.where(norm > 0, norm, 1.0)
+
+    def _scale(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        return (x - self._mu) / self._sigma
+
+    # -- training ------------------------------------------------------------
+
+    def fit(self, x: np.ndarray, y: np.ndarray, epochs: int = 30,
+            batch_triplets: int = 64) -> "EmbeddingClassifier":
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        y = np.asarray(y)
+        classes = np.unique(y)
+        if len(classes) < 2:
+            raise ValueError("need at least two classes for triplet loss")
+        self._mu = x.mean(axis=0)
+        sigma = x.std(axis=0)
+        self._sigma = np.where(sigma > 0, sigma, 1.0)
+        xs = self._scale(x)
+        self._init_params(x.shape[1])
+        rng = np.random.default_rng(self.seed + 1)
+        by_class = {c: np.flatnonzero(y == c) for c in classes}
+
+        for _ in range(epochs):
+            anchors, positives, negatives = [], [], []
+            for _ in range(batch_triplets):
+                c_pos = classes[rng.integers(len(classes))]
+                c_neg = classes[rng.integers(len(classes))]
+                while c_neg == c_pos:
+                    c_neg = classes[rng.integers(len(classes))]
+                a, pidx = rng.choice(by_class[c_pos], 2, replace=True)
+                n = rng.choice(by_class[c_neg])
+                anchors.append(a)
+                positives.append(pidx)
+                negatives.append(n)
+            self._triplet_step(xs[anchors], xs[positives], xs[negatives])
+
+        # Class prototypes: mean normalized embedding per class.
+        z = self.embed(x)
+        self._prototypes = {c: z[by_class[c]].mean(axis=0) for c in classes}
+        return self
+
+    def _triplet_step(self, xa, xp, xn) -> None:
+        p = self._params
+        za, ca = self._encode(xa, want_grad=True)
+        zp, cp = self._encode(xp, want_grad=True)
+        zn, cn = self._encode(xn, want_grad=True)
+        d_pos = ((za - zp) ** 2).sum(axis=1)
+        d_neg = ((za - zn) ** 2).sum(axis=1)
+        active = (d_pos - d_neg + self.margin) > 0
+        if not active.any():
+            return
+        grads = {k: np.zeros_like(v) for k, v in p.items()}
+        # dL/dza = 2(zn - zp), dL/dzp = 2(zp - za), dL/dzn = 2(za - zn)
+        for z_grad, cache in [
+                (2.0 * (zn - zp) * active[:, None], ca),
+                (2.0 * (zp - za) * active[:, None], cp),
+                (2.0 * (za - zn) * active[:, None], cn)]:
+            x_in, h_pre, h = cache
+            grads["w2"] += h.T @ z_grad
+            grads["b2"] += z_grad.sum(axis=0)
+            gh = (z_grad @ p["w2"].T) * (h_pre > 0)
+            grads["w1"] += x_in.T @ gh
+            grads["b1"] += gh.sum(axis=0)
+        n = max(int(active.sum()), 1)
+        # Clip the global gradient norm: the hinge loss has unbounded
+        # gradients while embeddings separate, which otherwise diverges.
+        total_norm = np.sqrt(sum((g ** 2).sum() for g in grads.values()))
+        clip = min(1.0, 5.0 / (total_norm / n + 1e-12))
+        for k in p:
+            p[k] -= self.lr * clip * grads[k] / n
+
+    # -- classification -------------------------------------------------------
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._prototypes is None:
+            raise RuntimeError("classifier is not fitted")
+        z = self.embed(x)
+        labels = list(self._prototypes)
+        protos = np.stack([self._prototypes[c] for c in labels])
+        d2 = ((z[:, None, :] - protos[None, :, :]) ** 2).sum(axis=2)
+        return np.asarray([labels[i] for i in np.argmin(d2, axis=1)])
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float((self.predict(x) == np.asarray(y)).mean())

@@ -1,0 +1,61 @@
+"""k-nearest-neighbor classifier — the CUMUL detector.
+
+CUMUL (NDSS'16) classifies website fingerprints with an SVM; earlier WF
+attacks (k-fingerprinting, Wang et al.) use k-NN.  For a dependency-free
+reproduction we use k-NN over z-scored features with majority vote, the
+standard instance-based WF baseline; accuracy behaviour on the synthetic
+corpus matches the SVM's (documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class KNNClassifier:
+    """Majority-vote k-NN with z-score feature scaling."""
+
+    def __init__(self, k: int = 3) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._mu: np.ndarray | None = None
+        self._sigma: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNNClassifier":
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        y = np.asarray(y)
+        if len(x) != len(y):
+            raise ValueError("x and y length mismatch")
+        if len(x) < self.k:
+            raise ValueError("fewer training samples than k")
+        self._mu = x.mean(axis=0)
+        sigma = x.std(axis=0)
+        self._sigma = np.where(sigma > 0, sigma, 1.0)
+        self._x = (x - self._mu) / self._sigma
+        self._y = y
+        return self
+
+    def _scaled(self, x: np.ndarray) -> np.ndarray:
+        return (np.atleast_2d(np.asarray(x, dtype=np.float64))
+                - self._mu) / self._sigma
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("classifier is not fitted")
+        q = self._scaled(x)
+        # Pairwise squared distances without materializing differences.
+        d2 = ((q ** 2).sum(axis=1)[:, None]
+              - 2.0 * q @ self._x.T
+              + (self._x ** 2).sum(axis=1)[None, :])
+        idx = np.argpartition(d2, self.k - 1, axis=1)[:, :self.k]
+        out = []
+        for row in idx:
+            labels, counts = np.unique(self._y[row], return_counts=True)
+            out.append(labels[np.argmax(counts)])
+        return np.asarray(out)
+
+    def score(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float((self.predict(x) == np.asarray(y)).mean())

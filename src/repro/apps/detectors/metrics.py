@@ -1,0 +1,77 @@
+"""Detection metrics used by the §8.3 application study."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(y_true, y_pred) -> float:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if len(y_true) != len(y_pred):
+        raise ValueError("length mismatch")
+    if len(y_true) == 0:
+        return 0.0
+    return float((y_true == y_pred).mean())
+
+
+def precision_recall_f1(y_true, y_pred) -> tuple[float, float, float]:
+    """Binary precision/recall/F1 with positive class 1."""
+    y_true = np.asarray(y_true).astype(bool)
+    y_pred = np.asarray(y_pred).astype(bool)
+    tp = int((y_true & y_pred).sum())
+    fp = int((~y_true & y_pred).sum())
+    fn = int((y_true & ~y_pred).sum())
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = (2 * precision * recall / (precision + recall)
+          if precision + recall else 0.0)
+    return precision, recall, f1
+
+
+def roc_auc(y_true, scores) -> float:
+    """Area under the ROC curve via the rank statistic (ties averaged)."""
+    y_true = np.asarray(y_true).astype(bool)
+    scores = np.asarray(scores, dtype=np.float64)
+    n_pos = int(y_true.sum())
+    n_neg = len(y_true) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        return 0.5
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(len(scores))
+    sorted_scores = scores[order]
+    i = 0
+    while i < len(scores):
+        j = i
+        while j + 1 < len(scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i:j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    pos_rank_sum = ranks[y_true].sum()
+    return float((pos_rank_sum - n_pos * (n_pos + 1) / 2.0)
+                 / (n_pos * n_neg))
+
+
+def equal_error_rate(y_true, scores) -> float:
+    """EER: the error rate where false-positive and false-negative rates
+    cross (used in website-fingerprinting evaluations)."""
+    y_true = np.asarray(y_true).astype(bool)
+    scores = np.asarray(scores, dtype=np.float64)
+    thresholds = np.unique(scores)
+    best = 1.0
+    for thr in thresholds:
+        pred = scores >= thr
+        fpr = float((~y_true & pred).sum()) / max(int((~y_true).sum()), 1)
+        fnr = float((y_true & ~pred).sum()) / max(int(y_true.sum()), 1)
+        gap = abs(fpr - fnr)
+        candidate = (fpr + fnr) / 2.0
+        if gap < 0.05 and candidate < best:
+            best = candidate
+    if best == 1.0:
+        # Fall back to the minimum average error over thresholds.
+        for thr in thresholds:
+            pred = scores >= thr
+            fpr = float((~y_true & pred).sum()) / max(int((~y_true).sum()), 1)
+            fnr = float((y_true & ~pred).sum()) / max(int(y_true.sum()), 1)
+            best = min(best, (fpr + fnr) / 2.0)
+    return best

@@ -1,0 +1,116 @@
+"""CART decision tree (gini impurity), from scratch — the NPOD detector.
+
+Binary classification over dense feature vectors with axis-aligned
+threshold splits; midpoints between sorted unique values are candidate
+thresholds, greedily chosen to minimize weighted gini.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: "._Node | None" = None
+    right: "._Node | None" = None
+    prediction: int = 0
+    probability: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(labels: np.ndarray) -> float:
+    if len(labels) == 0:
+        return 0.0
+    p = labels.mean()
+    return 2.0 * p * (1.0 - p)
+
+
+class DecisionTree:
+    """Binary CART classifier."""
+
+    def __init__(self, max_depth: int = 8, min_samples_split: int = 4,
+                 max_thresholds: int = 32) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.max_thresholds = max_thresholds
+        self._root: _Node | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTree":
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        y = np.asarray(y, dtype=np.int8)
+        if len(x) != len(y):
+            raise ValueError("x and y length mismatch")
+        self._root = self._build(x, y, depth=0)
+        return self
+
+    def _build(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(prediction=int(round(y.mean())) if len(y) else 0,
+                     probability=float(y.mean()) if len(y) else 0.0)
+        if (depth >= self.max_depth or len(y) < self.min_samples_split
+                or _gini(y) == 0.0):
+            return node
+        # Accept zero-gain splits on impure nodes (XOR-style targets have
+        # no first-level gain); the depth bound prevents runaway growth.
+        best_gain, best_feat, best_thr = -1.0, -1, 0.0
+        parent = _gini(y)
+        for feat in range(x.shape[1]):
+            col = x[:, feat]
+            values = np.unique(col)
+            if len(values) < 2:
+                continue
+            if len(values) > self.max_thresholds:
+                values = np.quantile(
+                    col, np.linspace(0, 1, self.max_thresholds))
+                values = np.unique(values)
+            thresholds = (values[:-1] + values[1:]) / 2.0
+            for thr in thresholds:
+                mask = col <= thr
+                n_left = mask.sum()
+                if n_left == 0 or n_left == len(y):
+                    continue
+                gain = parent - (
+                    n_left / len(y) * _gini(y[mask])
+                    + (len(y) - n_left) / len(y) * _gini(y[~mask]))
+                if gain > best_gain:
+                    best_gain, best_feat, best_thr = gain, feat, thr
+        if best_feat < 0:
+            return node
+        mask = x[:, best_feat] <= best_thr
+        node.feature = best_feat
+        node.threshold = float(best_thr)
+        node.left = self._build(x[mask], y[mask], depth + 1)
+        node.right = self._build(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def _walk(self, row: np.ndarray) -> _Node:
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold \
+                else node.right
+        return node
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        return np.array([self._walk(row).prediction for row in x],
+                        dtype=np.int8)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        return np.array([self._walk(row).probability for row in x])
+
+    def depth(self) -> int:
+        def walk(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+        return walk(self._root)

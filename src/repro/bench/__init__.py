@@ -1,0 +1,8 @@
+"""Benchmark harness utilities: table/series formatting matching the
+paper's presentation, and sweep drivers shared by the benchmarks/."""
+
+from repro.bench.tables import Table, format_series
+from repro.bench.runner import app_pipeline_metrics, PipelineMetrics
+
+__all__ = ["Table", "format_series", "app_pipeline_metrics",
+           "PipelineMetrics"]

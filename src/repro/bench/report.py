@@ -1,0 +1,77 @@
+"""Assemble the benchmark results into one reproduction report.
+
+``pytest benchmarks/ --benchmark-only`` writes each regenerated table or
+figure under ``benchmarks/results/``; :func:`build_report` stitches them
+into a single document ordered like the paper's evaluation section, so
+``python -m repro report`` produces the complete paper-vs-measured
+artifact in one file.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+#: Presentation order: the paper's evaluation sequence, then ablations.
+_SECTION_ORDER = [
+    "table2_traces",
+    "table3_policy_loc",
+    "fig9_throughput",
+    "fig10_feature_error",
+    "fig11_detection",
+    "table4_resources",
+    "fig12_aggregation",
+    "fig13_mgpv_vs_gpv",
+    "fig14_aging",
+    "fig15_streaming",
+    "fig16_scaling",
+    "fig17_optimizations",
+    "ablation_placement",
+    "ablation_hll",
+    "ablation_buffers",
+    "ablation_contention",
+    "ablation_coresim",
+    "ablation_division_free",
+]
+
+_HEADER = """\
+SuperFE reproduction — evaluation report
+=========================================
+
+Regenerated tables and figures of the paper's Section 8 plus the
+repository's ablations.  See EXPERIMENTS.md for the paper-vs-measured
+commentary and DESIGN.md for the simulator substitutions behind these
+numbers.
+"""
+
+
+def default_results_dir() -> pathlib.Path:
+    return (pathlib.Path(__file__).resolve().parents[3]
+            / "benchmarks" / "results")
+
+
+def build_report(results_dir: pathlib.Path | str | None = None) -> str:
+    """Concatenate all available result tables in evaluation order.
+
+    Raises ``FileNotFoundError`` when no results exist yet (run the
+    benchmarks first).
+    """
+    directory = pathlib.Path(results_dir) if results_dir \
+        else default_results_dir()
+    if not directory.is_dir():
+        raise FileNotFoundError(
+            f"no benchmark results at {directory}; run "
+            f"`pytest benchmarks/ --benchmark-only` first")
+    available = {p.stem: p for p in directory.glob("*.txt")}
+    if not available:
+        raise FileNotFoundError(
+            f"{directory} holds no result tables; run "
+            f"`pytest benchmarks/ --benchmark-only` first")
+    parts = [_HEADER]
+    for name in _SECTION_ORDER:
+        path = available.pop(name, None)
+        if path is not None:
+            parts.append(path.read_text().rstrip())
+    # Any extra (user-added) results go last, alphabetically.
+    for name in sorted(available):
+        parts.append(available[name].read_text().rstrip())
+    return "\n\n".join(parts) + "\n"

@@ -1,0 +1,107 @@
+"""Shared pipeline-metric driver for the Fig 9/12 benchmarks.
+
+For one (application policy, trace) pair, replays the trace through the
+FE-Switch simulator and combines the measured aggregation ratio with the
+NIC cycle model and core-scaling model to produce the end-to-end system
+throughput estimate of Fig 9:
+
+    system Gbps = min( switch line rate,
+                       NIC link rate / aggregation ratio,
+                       NIC compute pps x mean packet size )
+
+and the software-baseline throughput from the x86 model over the same
+policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.compiler import PolicyCompiler
+from repro.core.policy import Policy
+from repro.nicsim.cores import NFP4000_PAIR, scaling_throughput
+from repro.nicsim.cycles import (
+    CycleModel,
+    CycleModelConfig,
+    software_throughput_pps,
+)
+from repro.nicsim.placement import PlacementProblem, solve_ilp
+from repro.switchsim.filter import FilterStage
+from repro.switchsim.mgpv import MGPVCache, MGPVConfig
+
+#: Testbed constants (§8.1): a 3.3 Tb/s Tofino and two 40 GbE SmartNICs.
+SWITCH_LINE_RATE_GBPS = 3300.0
+NIC_LINK_GBPS = 80.0
+
+
+@dataclass(frozen=True)
+class PipelineMetrics:
+    """Everything Figs 9 and 12 need for one (app, trace) pair."""
+
+    app: str
+    trace: str
+    aggregation_ratio_bytes: float
+    aggregation_ratio_rate: float
+    mean_pkt_bits: float
+    nic_core_pps: float
+    nic_total_pps: float
+    superfe_gbps: float
+    software_gbps: float
+    feature_rate_gbps: float
+
+    @property
+    def speedup(self) -> float:
+        return (self.superfe_gbps / self.software_gbps
+                if self.software_gbps else float("inf"))
+
+
+def app_pipeline_metrics(app: str, policy: Policy, trace_name: str,
+                         packets, n_cores: int = NFP4000_PAIR.n_cores,
+                         ) -> PipelineMetrics:
+    compiled = PolicyCompiler().compile(policy)
+    from dataclasses import replace as dc_replace
+    config = dc_replace(MGPVConfig(),
+                        cell_bytes=compiled.metadata_bytes_per_pkt,
+                        cg_key_bytes=compiled.cg.key_bytes,
+                        fg_key_bytes=compiled.fg.key_bytes)
+    cache = MGPVCache(compiled.cg, compiled.fg, config,
+                      compiled.metadata_fields)
+    stage = FilterStage(compiled.switch_filters)
+    total_bits = 0
+    n_pkts = 0
+    for pkt in packets:
+        total_bits += pkt.size * 8
+        n_pkts += 1
+        if stage.admit(pkt):
+            cache.insert(pkt)
+    cache.flush()
+    mean_pkt_bits = total_bits / n_pkts if n_pkts else 0.0
+
+    states = compiled.state_requirements()
+    placement = None
+    if states:
+        placement = solve_ilp(PlacementProblem(tuple(states),
+                                               n_groups=16384))
+    model = CycleModel(compiled, CycleModelConfig(), placement)
+    core_pps = model.throughput_per_core_pps()
+    total_pps = scaling_throughput(core_pps, n_cores)
+
+    agg_bytes = cache.stats.aggregation_ratio_bytes or 1e-9
+    compute_bound = total_pps * mean_pkt_bits / 1e9
+    link_bound = NIC_LINK_GBPS / agg_bytes
+    superfe = min(SWITCH_LINE_RATE_GBPS, link_bound, compute_bound)
+
+    software = (software_throughput_pps(compiled) * mean_pkt_bits / 1e9)
+    feature_rate = superfe * agg_bytes  # Gbps of vectors leaving the NIC
+
+    return PipelineMetrics(
+        app=app, trace=trace_name,
+        aggregation_ratio_bytes=cache.stats.aggregation_ratio_bytes,
+        aggregation_ratio_rate=cache.stats.aggregation_ratio_rate,
+        mean_pkt_bits=mean_pkt_bits,
+        nic_core_pps=core_pps,
+        nic_total_pps=total_pps,
+        superfe_gbps=superfe,
+        software_gbps=software,
+        feature_rate_gbps=feature_rate,
+    )

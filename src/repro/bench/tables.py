@@ -1,0 +1,59 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+Every benchmark prints the rows/series the corresponding paper table or
+figure reports, so `pytest benchmarks/ --benchmark-only -s` regenerates
+the evaluation in text form (captured into EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Table:
+    """A fixed-column text table."""
+
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}")
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        def fmt(value) -> str:
+            if isinstance(value, float):
+                if value != 0 and (abs(value) < 0.01 or abs(value) >= 1e5):
+                    return f"{value:.3g}"
+                return f"{value:.2f}"
+            return str(value)
+
+        cells = [[fmt(v) for v in row] for row in self.rows]
+        widths = [max(len(col), *(len(r[i]) for r in cells))
+                  if cells else len(col)
+                  for i, col in enumerate(self.columns)]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(col.ljust(w)
+                               for col, w in zip(self.columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(cell.ljust(w)
+                                   for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print("\n" + self.render())
+
+
+def format_series(name: str, xs, ys, x_label: str = "x",
+                  y_label: str = "y") -> str:
+    """Render one figure series as aligned x/y pairs."""
+    lines = [f"-- {name} ({x_label} -> {y_label}) --"]
+    for x, y in zip(xs, ys):
+        y_str = f"{y:.4g}" if isinstance(y, float) else str(y)
+        lines.append(f"  {x}: {y_str}")
+    return "\n".join(lines)

@@ -1,0 +1,197 @@
+"""Command-line interface: run SuperFE without writing code.
+
+Subcommands::
+
+    python -m repro apps                       # list Table 3 applications
+    python -m repro manifest --app Kitsune     # generated device programs
+    python -m repro gen-trace --profile CAMPUS --flows 500 --out t.pcap
+    python -m repro extract --app NPOD --pcap t.pcap --out features.csv
+    python -m repro extract --app NPOD --trace ENTERPRISE --flows 300 \
+        --out features.csv --software
+
+``extract`` writes one CSV row per feature vector: the group key columns
+followed by the feature values (header included).
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+
+from repro.apps import APP_POLICIES, build_policy
+from repro.core.pipeline import SuperFE
+from repro.core.software import SoftwareExtractor
+from repro.net.packet import int_to_ip
+from repro.net.pcaplite import read_pcap, write_pcap
+from repro.net.trace import TRACE_PROFILES, generate_trace
+
+
+def _cmd_apps(args) -> int:
+    print(f"{'Application':12s} {'Objective':26s} {'Dim':>5s} {'LOC':>4s}")
+    for name, spec in APP_POLICIES.items():
+        policy = spec.build()
+        print(f"{name:12s} {spec.objective:26s} "
+              f"{spec.expected_dim:5d} {policy.loc:4d}")
+    return 0
+
+
+def _cmd_manifest(args) -> int:
+    fe = SuperFE(build_policy(args.app))
+    switch, nic = fe.manifests()
+    print(switch)
+    print()
+    print(nic)
+    return 0
+
+
+def _cmd_codegen(args) -> int:
+    from repro.codegen import generate_microc, generate_p4
+    fe = SuperFE(build_policy(args.app))
+    if args.target == "p4":
+        source = generate_p4(fe.compiled, fe.mgpv_config)
+    else:
+        source = generate_microc(fe.compiled)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(source)
+        print(f"wrote {source.count(chr(10))} lines to {args.out}")
+    else:
+        print(source)
+    return 0
+
+
+def _cmd_gen_trace(args) -> int:
+    if args.profile not in TRACE_PROFILES:
+        print(f"unknown profile {args.profile!r}; have "
+              f"{sorted(TRACE_PROFILES)}", file=sys.stderr)
+        return 2
+    packets = generate_trace(args.profile, n_flows=args.flows,
+                             seed=args.seed)
+    write_pcap(args.out, packets)
+    print(f"wrote {len(packets)} packets to {args.out}")
+    return 0
+
+
+def _key_columns(key: tuple) -> list[str]:
+    """Render a group key: IPs dotted-quad, everything else as-is."""
+    rendered = []
+    for part in key:
+        if isinstance(part, int) and part > 65535:
+            rendered.append(int_to_ip(part))
+        else:
+            rendered.append(str(part))
+    return rendered
+
+
+def _cmd_extract(args) -> int:
+    if args.app not in APP_POLICIES:
+        print(f"unknown application {args.app!r}; have "
+              f"{sorted(APP_POLICIES)}", file=sys.stderr)
+        return 2
+    if bool(args.pcap) == bool(args.trace):
+        print("provide exactly one of --pcap or --trace",
+              file=sys.stderr)
+        return 2
+    if args.pcap:
+        packets = read_pcap(args.pcap)
+    else:
+        packets = generate_trace(args.trace, n_flows=args.flows,
+                                 seed=args.seed)
+    policy = build_policy(args.app)
+    extractor = (SoftwareExtractor(policy) if args.software
+                 else SuperFE(policy))
+    result = extractor.run(packets)
+
+    with open(args.out, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        if result.vectors:
+            key_width = len(result.vectors[0].key)
+            dim = len(result.vectors[0].values)
+            writer.writerow(
+                [f"key{i}" for i in range(key_width)]
+                + [f"f{i}" for i in range(dim)])
+            for vec in result.vectors:
+                writer.writerow(_key_columns(tuple(vec.key))
+                                + [f"{v:.6g}" for v in vec.values])
+    mode = "software" if args.software else "SuperFE"
+    print(f"{mode}: {len(result.vectors)} vectors from "
+          f"{len(packets)} packets -> {args.out}")
+    if not args.software:
+        ratio = result.switch_stats.aggregation_ratio_bytes
+        print(f"switch batching kept {ratio:.1%} of traffic bytes")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.bench.report import build_report
+    try:
+        text = build_report(args.results)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote report to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SuperFE feature extraction (EuroSys'25 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list the Table 3 applications") \
+       .set_defaults(func=_cmd_apps)
+
+    p = sub.add_parser("manifest",
+                       help="show generated FE-Switch/FE-NIC programs")
+    p.add_argument("--app", required=True)
+    p.set_defaults(func=_cmd_manifest)
+
+    p = sub.add_parser("codegen",
+                       help="emit the generated P4 / Micro-C program")
+    p.add_argument("--app", required=True)
+    p.add_argument("--target", choices=("p4", "microc"), default="p4")
+    p.add_argument("--out", help="write to a file instead of stdout")
+    p.set_defaults(func=_cmd_codegen)
+
+    p = sub.add_parser("gen-trace", help="generate a synthetic pcap")
+    p.add_argument("--profile", required=True,
+                   help="MAWI-IXP | ENTERPRISE | CAMPUS")
+    p.add_argument("--flows", type=int, default=500)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_gen_trace)
+
+    p = sub.add_parser("report",
+                       help="assemble benchmark results into one report")
+    p.add_argument("--results", help="results directory "
+                   "(default: benchmarks/results)")
+    p.add_argument("--out", help="write to a file instead of stdout")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("extract", help="extract feature vectors to CSV")
+    p.add_argument("--app", required=True)
+    p.add_argument("--pcap", help="input pcap file")
+    p.add_argument("--trace", help="synthetic trace profile instead")
+    p.add_argument("--flows", type=int, default=500)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.add_argument("--software", action="store_true",
+                   help="use the unbatched software path")
+    p.set_defaults(func=_cmd_extract)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":      # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,16 @@
+"""Device code generation — the concrete output of the policy engine.
+
+The paper's policy enforcement engine (§7) is a translator: it turns a
+SuperFE policy into a P4-16 program for the Tofino (the MGPV batching
+engine, ~2K lines in the prototype) and a Micro-C program for the NFP
+SmartNIC (the feature computing engine, ~3K lines).  This package
+performs that translation: the emitted sources are faithful, compilable-
+looking programs whose structure the tests verify (they are not run —
+the simulators in :mod:`repro.switchsim` / :mod:`repro.nicsim` execute
+the same semantics natively).
+"""
+
+from repro.codegen.p4 import generate_p4
+from repro.codegen.microc import generate_microc
+
+__all__ = ["generate_p4", "generate_microc"]

@@ -1,0 +1,16 @@
+"""SuperFE core: the policy language (§4), the policy engine that splits a
+policy across FE-Switch and FE-NIC (§3-§4), and the end-to-end pipeline."""
+
+from repro.core.policy import Policy, pktstream
+from repro.core.compiler import PolicyCompiler, CompiledPolicy, PolicyError
+from repro.core.pipeline import SuperFE, ExtractionResult
+
+__all__ = [
+    "Policy",
+    "pktstream",
+    "PolicyCompiler",
+    "CompiledPolicy",
+    "PolicyError",
+    "SuperFE",
+    "ExtractionResult",
+]

@@ -1,0 +1,387 @@
+"""The SuperFE policy enforcement engine (§3.2, §7).
+
+``PolicyCompiler`` analyzes a :class:`~repro.core.policy.Policy`,
+validates it, and partitions it across the two devices exactly as §4.1
+prescribes:
+
+- ``filter`` and ``groupby`` have simple, fixed logic → **FE-Switch**:
+  the filters become one match-action table, the groupby set becomes the
+  MGPV granularity chain (CG grouping key + FG key table);
+- ``map`` / ``reduce`` / ``synthesize`` / ``collect`` need general
+  computation → **FE-NIC**: they become per-section programs the feature
+  computing engine runs over evicted MGPVs.
+
+The compiled form also carries everything the resource models need: the
+per-packet metadata fields the switch must batch (and their byte width),
+and the per-group state inventory (sizes + access counts) that feeds the
+NIC's ILP memory placement (§6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.functions import (
+    FN_IMPLICIT_FIELDS,
+    MAP_FNS,
+    REDUCE_FNS,
+    SYNTH_FNS,
+    ExecContext,
+    FnSpec,
+    make_reduce_fn,
+)
+from repro.core.granularity import Granularity, dependency_chain
+from repro.core.policy import (
+    CollectOp,
+    FilterOp,
+    GroupByOp,
+    MapOp,
+    Policy,
+    Predicate,
+    ReduceOp,
+    SynthesizeOp,
+)
+
+#: Packet fields a policy may reference, with their on-wire metadata width
+#: in bytes when batched into an MGPV cell.
+PACKET_FIELD_BYTES = {
+    "size": 2,
+    "tstamp": 4,        # 32-bit truncated ns timestamp, as Tofino stores it
+    "direction": 1,
+    "proto": 1,
+    "src_ip": 4,
+    "dst_ip": 4,
+    "src_port": 2,
+    "dst_port": 2,
+    "tcp_flags": 1,
+}
+
+#: Pseudo-fields resolvable by the switch parser in filter predicates.
+FILTERABLE_FIELDS = set(PACKET_FIELD_BYTES) | {"tcp.exist", "udp.exist"}
+
+
+
+class PolicyError(ValueError):
+    """A policy failed validation or cannot be partitioned."""
+
+
+@dataclass(frozen=True)
+class FeatureDef:
+    """One feature in the output vector: a reduce output, optionally
+    post-processed by synthesize functions."""
+
+    name: str
+    section: str                # granularity name
+    src: str                    # the reduced key
+    reduce_fn: FnSpec
+    synth_fns: tuple[FnSpec, ...] = ()
+
+    @property
+    def dim(self) -> int | None:
+        """Static output dimension, or None when it is data-dependent
+        (an unsampled f_array)."""
+        dim: int | None = 1
+        name = self.reduce_fn.name
+        if name == "ft_hist":
+            dim = int(self.reduce_fn.args[1])
+        elif name in ("f_pdf", "f_cdf"):
+            dim = (int(self.reduce_fn.args[1])
+                   if len(self.reduce_fn.args) >= 2 else 32)
+        elif name == "f_array":
+            dim = None
+        for sf in self.synth_fns:
+            if sf.name == "ft_sample":
+                dim = int(sf.args[0])
+            elif sf.name == "f_marker":
+                dim = None
+        return dim
+
+
+@dataclass
+class Section:
+    """All NIC-side work at one granularity."""
+
+    granularity: Granularity
+    maps: list[MapOp] = field(default_factory=list)
+    features: list[FeatureDef] = field(default_factory=list)
+    collected: list[FeatureDef] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class StateRequirement:
+    """One per-group state the NIC must hold — input to the ILP placement
+    of §6.2: its size and how often each packet touches it."""
+
+    name: str
+    section: str
+    size_bytes: int
+    accesses_per_pkt: float
+
+
+@dataclass
+class CompiledPolicy:
+    """A policy split into its FE-Switch and FE-NIC halves."""
+
+    policy: Policy
+    switch_filters: list[Predicate]
+    chain: list[Granularity]            # coarse -> fine
+    sections: list[Section]
+    collect_unit: str
+    metadata_fields: tuple[str, ...]
+
+    @property
+    def cg(self) -> Granularity:
+        return self.chain[0]
+
+    @property
+    def fg(self) -> Granularity:
+        return self.chain[-1]
+
+    @property
+    def metadata_bytes_per_pkt(self) -> int:
+        """Bytes of feature metadata per packet in an MGPV cell, including
+        the 2-byte FG-key-table index of §5.1."""
+        return 2 + sum(PACKET_FIELD_BYTES[f] for f in self.metadata_fields)
+
+    @property
+    def feature_names(self) -> list[str]:
+        return [f.name for sec in self.sections for f in sec.collected]
+
+    def output_dim(self) -> int | None:
+        """Total output vector width, or None if any feature is
+        data-dependent."""
+        total = 0
+        for sec in self.sections:
+            for feat in sec.collected:
+                if feat.dim is None:
+                    return None
+                total += feat.dim
+        return total
+
+    def state_requirements(self) -> list[StateRequirement]:
+        """Per-group NIC states (one per reduce function instance), sized
+        by instantiating each function once."""
+        ctx = ExecContext()
+        reqs = []
+        for sec in self.sections:
+            for feat in sec.features:
+                fn = make_reduce_fn(feat.reduce_fn, ctx)
+                size = int(getattr(fn, "state_bytes", 8))
+                if feat.reduce_fn.name == "f_array":
+                    # Sequence reducers grow with the group; size them at
+                    # the synthesized target length (1 B/element packed),
+                    # or a nominal window when unbounded.
+                    size = max(feat.dim or 256, 8)
+                reqs.append(StateRequirement(
+                    name=feat.name,
+                    section=sec.granularity.name,
+                    size_bytes=size,
+                    accesses_per_pkt=1.0,
+                ))
+        return reqs
+
+    # -- manifests -----------------------------------------------------------
+
+    def switch_manifest(self) -> str:
+        """Human-readable summary of the generated FE-Switch program
+        (stands in for the emitted P4)."""
+        lines = ["# FE-Switch program (generated)"]
+        lines.append("parser: " + ", ".join(
+            sorted(set(self.fg.key_fields) | set(self.metadata_fields))))
+        if self.switch_filters:
+            lines.append("filter table (1 match-action table):")
+            for pred in self.switch_filters:
+                lines.append(f"  match {pred} -> continue; miss -> bypass")
+        lines.append(f"groupby chain: "
+                     f"{' > '.join(g.name for g in self.chain)} "
+                     f"(CG={self.cg.name}, FG={self.fg.name})")
+        lines.append(f"MGPV cell: {self.metadata_bytes_per_pkt} B/pkt "
+                     f"({', '.join(self.metadata_fields)} + fg_index)")
+        lines.append(f"FG key table entry: {self.fg.key_bytes} B")
+        return "\n".join(lines)
+
+    def nic_manifest(self) -> str:
+        """Human-readable summary of the generated FE-NIC program (stands
+        in for the emitted Micro-C)."""
+        lines = ["# FE-NIC program (generated)"]
+        for sec in self.sections:
+            lines.append(f"section {sec.granularity.name}:")
+            for m in sec.maps:
+                lines.append(f"  map {m.dst} <- {m.fn}({m.src or '_'})")
+            for feat in sec.features:
+                synths = "".join(f" |> {sf}" for sf in feat.synth_fns)
+                mark = "*" if feat in sec.collected else " "
+                lines.append(f"  {mark} {feat.name}{synths}")
+        lines.append(f"collect per {self.collect_unit}")
+        return "\n".join(lines)
+
+
+class PolicyCompiler:
+    """Validates and partitions SuperFE policies."""
+
+    def compile(self, policy: Policy) -> CompiledPolicy:
+        if not policy.ops:
+            raise PolicyError("empty policy")
+
+        switch_filters: list[Predicate] = []
+        sections: list[Section] = []
+        section_by_gran: dict[str, Section] = {}
+        current: Section | None = None
+        defined_keys: set[str] = set()
+        last_reduce_features: list[FeatureDef] = []
+        collect_unit: str | None = None
+        metadata: set[str] = set()
+
+        chain = dependency_chain(policy.granularities) \
+            if policy.granularities else None
+        if chain is None:
+            raise PolicyError("policy has no groupby operator")
+
+        for op in policy.ops:
+            if isinstance(op, FilterOp):
+                if current is not None:
+                    raise PolicyError(
+                        "filter after groupby is not supported: filters "
+                        "compile to the switch match-action table, which "
+                        "sees packets before grouping")
+                if isinstance(op.predicate, Predicate):
+                    self._check_filter_fields(op.predicate)
+                switch_filters.append(op.predicate)
+
+            elif isinstance(op, GroupByOp):
+                if op.granularity in section_by_gran:
+                    current = section_by_gran[op.granularity]
+                else:
+                    gran = next(g for g in chain
+                                if g.name == op.granularity)
+                    current = Section(gran)
+                    sections.append(current)
+                    section_by_gran[op.granularity] = current
+                defined_keys = set(PACKET_FIELD_BYTES) | {
+                    "tcp.exist", "udp.exist"}
+                last_reduce_features = []
+
+            elif isinstance(op, MapOp):
+                self._require_section(current, "map")
+                if op.fn.name not in MAP_FNS:
+                    raise PolicyError(
+                        f"unknown mapping function {op.fn.name!r}")
+                if op.src is not None and op.src not in defined_keys:
+                    raise PolicyError(
+                        f"map source {op.src!r} is not a packet field or "
+                        f"previously mapped key")
+                current.maps.append(op)
+                defined_keys.add(op.dst)
+                self._note_metadata(metadata, op.src)
+                metadata.update(FN_IMPLICIT_FIELDS.get(op.fn.name, ()))
+
+            elif isinstance(op, ReduceOp):
+                self._require_section(current, "reduce")
+                if op.src not in defined_keys:
+                    raise PolicyError(
+                        f"reduce source {op.src!r} is not a packet field "
+                        f"or previously mapped key")
+                last_reduce_features = []
+                for fn in op.fns:
+                    if fn.name not in REDUCE_FNS:
+                        raise PolicyError(
+                            f"unknown reducing function {fn.name!r}")
+                    feat = FeatureDef(
+                        name=f"{fn}({op.src})",
+                        section=current.granularity.name,
+                        src=op.src, reduce_fn=fn)
+                    current.features.append(feat)
+                    last_reduce_features.append(feat)
+                    metadata.update(FN_IMPLICIT_FIELDS.get(fn.name, ()))
+                self._note_metadata(metadata, op.src)
+
+            elif isinstance(op, SynthesizeOp):
+                self._require_section(current, "synthesize")
+                if op.fn.name not in SYNTH_FNS:
+                    raise PolicyError(
+                        f"unknown synthesizing function {op.fn.name!r}")
+                targets = self._synth_targets(op, current,
+                                              last_reduce_features)
+                replacements = []
+                for feat in targets:
+                    new = FeatureDef(
+                        name=f"{op.fn}({feat.name})",
+                        section=feat.section, src=feat.src,
+                        reduce_fn=feat.reduce_fn,
+                        synth_fns=feat.synth_fns + (op.fn,))
+                    idx = current.features.index(feat)
+                    current.features[idx] = new
+                    replacements.append(new)
+                last_reduce_features = replacements
+
+            elif isinstance(op, CollectOp):
+                self._require_section(current, "collect")
+                if collect_unit is None:
+                    collect_unit = op.unit
+                elif collect_unit != op.unit:
+                    raise PolicyError(
+                        f"inconsistent collect units: {collect_unit!r} "
+                        f"vs {op.unit!r}")
+                # Collect flags every not-yet-collected feature of the
+                # current section (Fig 3 calls collect after each reduce).
+                for feat in current.features:
+                    if feat not in current.collected:
+                        current.collected.append(feat)
+
+            else:   # pragma: no cover - exhaustive over PolicyOp
+                raise PolicyError(f"unknown operator {op!r}")
+
+        if collect_unit is None:
+            raise PolicyError("policy never calls collect")
+        if collect_unit != "pkt" and collect_unit not in section_by_gran:
+            raise PolicyError(
+                f"collect unit {collect_unit!r} has no groupby section")
+        if not any(sec.collected for sec in sections):
+            raise PolicyError("no features are collected")
+
+        ordered_metadata = tuple(
+            f for f in PACKET_FIELD_BYTES if f in metadata)
+        sections.sort(key=lambda s: s.granularity.level)
+        return CompiledPolicy(
+            policy=policy,
+            switch_filters=switch_filters,
+            chain=chain,
+            sections=sections,
+            collect_unit=collect_unit,
+            metadata_fields=ordered_metadata,
+        )
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _require_section(current: Section | None, opname: str) -> None:
+        if current is None:
+            raise PolicyError(f"{opname} must follow a groupby")
+
+    @staticmethod
+    def _check_filter_fields(pred: Predicate) -> None:
+        for cond in pred.conditions:
+            if cond.field not in FILTERABLE_FIELDS:
+                raise PolicyError(
+                    f"filter field {cond.field!r} is not parseable by the "
+                    f"switch (have {sorted(FILTERABLE_FIELDS)})")
+
+    @staticmethod
+    def _synth_targets(op: SynthesizeOp, section: Section,
+                       last_reduce: list[FeatureDef]) -> list[FeatureDef]:
+        if op.src is None:
+            if not last_reduce:
+                raise PolicyError(
+                    "synthesize must follow a reduce (or name a feature)")
+            return list(last_reduce)
+        matches = [f for f in section.features
+                   if f.name == op.src or f.src == op.src]
+        if not matches:
+            raise PolicyError(
+                f"synthesize source {op.src!r} matches no feature")
+        return matches
+
+    @staticmethod
+    def _note_metadata(metadata: set[str], key: str | None) -> None:
+        if key in PACKET_FIELD_BYTES:
+            metadata.add(key)

@@ -1,0 +1,559 @@
+"""Mapping / reducing / synthesizing functions (Table 5) and the
+user-extension registry (§4.1).
+
+Functions are referenced by name in policies, optionally with brace
+parameters matching the paper's syntax — ``ft_hist{10000, 100}`` — parsed
+by :func:`parse_fn_spec`.  Each registry entry is a factory: the FE-NIC
+engine instantiates one function object *per group* (mapping and reducing
+functions are stateful within a group).
+
+Users extend SuperFE by registering new factories with
+:func:`register_map_fn` / :func:`register_reduce_fn` /
+:func:`register_synth_fn`; the CUMUL and Kitsune applications in
+:mod:`repro.apps` use exactly this path.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.streaming.bidirectional import BidirectionalStats
+from repro.streaming.histogram import FixedWidthHistogram
+from repro.streaming.hyperloglog import HyperLogLog
+from repro.streaming.moments import StreamingMoments
+from repro.streaming.welford import Welford, WelfordDivisionFree
+
+
+@dataclass(frozen=True)
+class FnSpec:
+    """A parsed function reference: name plus brace parameters."""
+
+    name: str
+    args: tuple = ()
+    kwargs: tuple = ()          # sorted (key, value) pairs, hashable
+
+    @property
+    def kwargs_dict(self) -> dict:
+        return dict(self.kwargs)
+
+    def __str__(self) -> str:
+        if not self.args and not self.kwargs:
+            return self.name
+        parts = [repr(a) if isinstance(a, str) else str(a)
+                 for a in self.args]
+        parts += [f"{k}={v}" for k, v in self.kwargs]
+        return f"{self.name}{{{', '.join(parts)}}}"
+
+
+_SPEC_RE = re.compile(r"^\s*([A-Za-z_][\w.]*)\s*(?:\{(.*)\})?\s*$")
+
+
+def _parse_literal(token: str):
+    token = token.strip()
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return token
+
+
+def parse_fn_spec(spec) -> FnSpec:
+    """Parse ``"name"`` / ``"name{a, b}"`` / ``"name{k=v}"`` into a
+    :class:`FnSpec`.  Already-parsed specs pass through."""
+    if isinstance(spec, FnSpec):
+        return spec
+    match = _SPEC_RE.match(spec)
+    if not match:
+        raise ValueError(f"malformed function spec: {spec!r}")
+    name, params = match.group(1), match.group(2)
+    args: list = []
+    kwargs: dict = {}
+    if params:
+        for token in params.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            if "=" in token:
+                key, value = token.split("=", 1)
+                kwargs[key.strip()] = _parse_literal(value)
+            else:
+                args.append(_parse_literal(token))
+    return FnSpec(name, tuple(args), tuple(sorted(kwargs.items())))
+
+
+@dataclass
+class ExecContext:
+    """Execution context the FE-NIC engine instantiates functions with.
+
+    ``division_free`` selects the NFP integer arithmetic path (§6.2);
+    the software baseline runs with full floating point.
+    """
+
+    division_free: bool = False
+    extra: dict = field(default_factory=dict)
+
+
+# --------------------------------------------------------------------------
+# Mapping functions — stateful per group; apply(member, src_value) returns
+# the mapped value or None (no emission, e.g. the first packet has no
+# inter-packet time).
+# --------------------------------------------------------------------------
+
+class _FOne:
+    def apply(self, member, src_value):
+        return 1
+
+
+class _FIpt:
+    """Inter-packet time within the group (ns); None for the first packet."""
+
+    def __init__(self) -> None:
+        self._prev = None
+
+    def apply(self, member, src_value):
+        tstamp = member.get("tstamp")
+        prev, self._prev = self._prev, tstamp
+        if prev is None:
+            return None
+        return tstamp - prev
+
+
+class _FSpeed:
+    """Instantaneous throughput: src value (bytes) over the inter-packet
+    gap, in bytes/second; None for the first packet."""
+
+    def __init__(self) -> None:
+        self._prev = None
+
+    def apply(self, member, src_value):
+        tstamp = member.get("tstamp")
+        prev, self._prev = self._prev, tstamp
+        if prev is None or tstamp <= prev:
+            return None
+        return src_value / ((tstamp - prev) / 1e9)
+
+
+class _FDirection:
+    """Multiply the source value by the packet direction (+1/-1)."""
+
+    def apply(self, member, src_value):
+        return src_value * member.get("direction")
+
+
+class _FBurst:
+    """Burst identification: emits the ordinal of the burst (a maximal run
+    of same-direction packets) the member belongs to."""
+
+    def __init__(self) -> None:
+        self._prev_dir = None
+        self._burst = 0
+
+    def apply(self, member, src_value):
+        direction = member.get("direction")
+        if self._prev_dir is not None and direction != self._prev_dir:
+            self._burst += 1
+        self._prev_dir = direction
+        return self._burst
+
+
+class _FIdentity:
+    def apply(self, member, src_value):
+        return src_value
+
+
+MAP_FNS: dict[str, type] = {}
+
+#: Packet metadata fields a function reads beyond its declared source key
+#: (e.g. f_ipt needs the timestamp).  The compiler consults this to decide
+#: which fields the switch must batch into MGPV cells.
+FN_IMPLICIT_FIELDS: dict[str, tuple[str, ...]] = {}
+
+
+def register_map_fn(name: str, factory, override: bool = False,
+                    implicit_fields: tuple[str, ...] = ()) -> None:
+    """Register a mapping-function factory: ``factory(spec, ctx)`` must
+    return a fresh per-group object with ``apply(member, src_value)``.
+    ``implicit_fields`` names packet fields the function reads from the
+    member beyond its source key."""
+    if name in MAP_FNS and not override:
+        raise ValueError(f"mapping function {name!r} already registered")
+    MAP_FNS[name] = factory
+    if implicit_fields:
+        FN_IMPLICIT_FIELDS[name] = tuple(implicit_fields)
+
+
+for _name, _cls, _fields in [
+        ("f_one", _FOne, ()),
+        ("f_ipt", _FIpt, ("tstamp",)),
+        ("f_speed", _FSpeed, ("tstamp",)),
+        ("f_direction", _FDirection, ("direction",)),
+        ("f_burst", _FBurst, ("direction",)),
+        ("f_identity", _FIdentity, ())]:
+    register_map_fn(_name, (lambda cls: lambda spec, ctx: cls())(_cls),
+                    implicit_fields=_fields)
+
+
+def make_map_fn(spec, ctx: ExecContext | None = None):
+    spec = parse_fn_spec(spec)
+    ctx = ctx or ExecContext()
+    try:
+        factory = MAP_FNS[spec.name]
+    except KeyError:
+        raise KeyError(f"unknown mapping function {spec.name!r} "
+                       f"(have {sorted(MAP_FNS)})") from None
+    return factory(spec, ctx)
+
+
+# --------------------------------------------------------------------------
+# Reducing functions — stateful per group; update(value, member), then
+# finalize() returns a float or ndarray.  state_bytes reports retained
+# state for the memory accounting.
+# --------------------------------------------------------------------------
+
+class _ScalarReduce:
+    """Base for sum/max/min: one state word, one op per update."""
+
+    state_bytes = 8
+
+    def __init__(self) -> None:
+        self.value = None
+
+    def finalize(self):
+        return float(self.value) if self.value is not None else 0.0
+
+
+class _FSum(_ScalarReduce):
+    def update(self, value, member) -> None:
+        self.value = value if self.value is None else self.value + value
+
+
+class _FMax(_ScalarReduce):
+    def update(self, value, member) -> None:
+        self.value = value if self.value is None else max(self.value, value)
+
+
+class _FMin(_ScalarReduce):
+    def update(self, value, member) -> None:
+        self.value = value if self.value is None else min(self.value, value)
+
+
+class _WelfordReduce:
+    """Shared base for mean/var/std over a Welford state; the context
+    selects the division-free NFP variant."""
+
+    def __init__(self, ctx: ExecContext) -> None:
+        self._w = WelfordDivisionFree() if ctx.division_free else Welford()
+
+    @property
+    def state_bytes(self) -> int:
+        return self._w.state_bytes
+
+    def update(self, value, member) -> None:
+        self._w.update(value)
+
+
+class _FMean(_WelfordReduce):
+    def finalize(self) -> float:
+        return float(self._w.mean)
+
+
+class _FVar(_WelfordReduce):
+    def finalize(self) -> float:
+        return float(self._w.variance)
+
+
+class _FStd(_WelfordReduce):
+    def finalize(self) -> float:
+        return float(self._w.std)
+
+
+class _MomentsReduce:
+    state_bytes = StreamingMoments.state_bytes
+
+    def __init__(self) -> None:
+        self._m = StreamingMoments()
+
+    def update(self, value, member) -> None:
+        self._m.update(value)
+
+
+class _FSkew(_MomentsReduce):
+    def finalize(self) -> float:
+        return self._m.skewness
+
+
+class _FKur(_MomentsReduce):
+    def finalize(self) -> float:
+        return self._m.kurtosis
+
+
+class _BidirReduce:
+    """Base for the 2D statistics: routes values into the two directional
+    streams using the member's direction metadata."""
+
+    def __init__(self) -> None:
+        self._b = BidirectionalStats()
+
+    @property
+    def state_bytes(self) -> int:
+        return self._b.state_bytes
+
+    def update(self, value, member) -> None:
+        self._b.update(value, member.get("direction"))
+
+
+class _FMag(_BidirReduce):
+    def finalize(self) -> float:
+        return self._b.magnitude
+
+
+class _FRadius(_BidirReduce):
+    def finalize(self) -> float:
+        return self._b.radius
+
+
+class _FCov(_BidirReduce):
+    def finalize(self) -> float:
+        return self._b.covariance
+
+
+class _FPcc(_BidirReduce):
+    def finalize(self) -> float:
+        return self._b.pcc
+
+
+class _FCard:
+    def __init__(self, k: int = 6) -> None:
+        self._hll = HyperLogLog(k)
+
+    @property
+    def state_bytes(self) -> int:
+        return self._hll.state_bytes
+
+    def update(self, value, member) -> None:
+        self._hll.update(value)
+
+    def finalize(self) -> float:
+        return self._hll.estimate()
+
+
+class _FArray:
+    """Pack values into an array (the WF direction-sequence reducer).
+
+    State grows with the group — policies using it should bound the
+    output with ``synthesize(ft_sample{n})``.
+    """
+
+    def __init__(self) -> None:
+        self.values: list = []
+
+    @property
+    def state_bytes(self) -> int:
+        return 8 * len(self.values)
+
+    def update(self, value, member) -> None:
+        self.values.append(value)
+
+    def finalize(self) -> np.ndarray:
+        return np.asarray(self.values, dtype=np.float64)
+
+
+class _HistReduce:
+    def __init__(self, width: float, n_bins: int, origin: float = 0.0
+                 ) -> None:
+        self._h = FixedWidthHistogram(width, n_bins, origin)
+
+    @property
+    def state_bytes(self) -> int:
+        return self._h.state_bytes
+
+    def update(self, value, member) -> None:
+        self._h.update(value)
+
+
+class _FtHist(_HistReduce):
+    def finalize(self) -> np.ndarray:
+        return self._h.result().astype(np.float64)
+
+
+class _FPdf(_HistReduce):
+    def finalize(self) -> np.ndarray:
+        return self._h.pdf()
+
+
+class _FCdf(_HistReduce):
+    def finalize(self) -> np.ndarray:
+        return self._h.cdf()
+
+
+class _FtPercent(_HistReduce):
+    def __init__(self, q: float, width: float, n_bins: int) -> None:
+        super().__init__(width, n_bins)
+        self.q = q
+
+    def finalize(self) -> float:
+        return self._h.percentile(self.q)
+
+
+REDUCE_FNS: dict[str, object] = {}
+
+
+def register_reduce_fn(name: str, factory, override: bool = False,
+                       implicit_fields: tuple[str, ...] = ()) -> None:
+    """Register a reducing-function factory: ``factory(spec, ctx)`` must
+    return a fresh per-group object with ``update(value, member)``,
+    ``finalize()`` and ``state_bytes``.  ``implicit_fields`` names packet
+    fields the function reads from the member beyond the reduced value."""
+    if name in REDUCE_FNS and not override:
+        raise ValueError(f"reducing function {name!r} already registered")
+    REDUCE_FNS[name] = factory
+    if implicit_fields:
+        FN_IMPLICIT_FIELDS[name] = tuple(implicit_fields)
+
+
+_DEFAULT_HIST = (1000.0, 32)    # width, bins when f_pdf/f_cdf omit params
+
+
+def _hist_params(spec: FnSpec) -> tuple[float, int]:
+    if len(spec.args) >= 2:
+        return float(spec.args[0]), int(spec.args[1])
+    return _DEFAULT_HIST
+
+
+register_reduce_fn("f_sum", lambda spec, ctx: _FSum())
+register_reduce_fn("f_max", lambda spec, ctx: _FMax())
+register_reduce_fn("f_min", lambda spec, ctx: _FMin())
+register_reduce_fn("f_mean", lambda spec, ctx: _FMean(ctx))
+register_reduce_fn("f_var", lambda spec, ctx: _FVar(ctx))
+register_reduce_fn("f_std", lambda spec, ctx: _FStd(ctx))
+register_reduce_fn("f_skew", lambda spec, ctx: _FSkew())
+register_reduce_fn("f_kur", lambda spec, ctx: _FKur())
+register_reduce_fn("f_mag", lambda spec, ctx: _FMag(),
+                   implicit_fields=("direction",))
+register_reduce_fn("f_radius", lambda spec, ctx: _FRadius(),
+                   implicit_fields=("direction",))
+register_reduce_fn("f_cov", lambda spec, ctx: _FCov(),
+                   implicit_fields=("direction",))
+register_reduce_fn("f_pcc", lambda spec, ctx: _FPcc(),
+                   implicit_fields=("direction",))
+register_reduce_fn(
+    "f_card",
+    lambda spec, ctx: _FCard(int(spec.kwargs_dict.get("k", 6))))
+register_reduce_fn("f_array", lambda spec, ctx: _FArray())
+register_reduce_fn(
+    "ft_hist", lambda spec, ctx: _FtHist(float(spec.args[0]),
+                                         int(spec.args[1])))
+register_reduce_fn("f_pdf", lambda spec, ctx: _FPdf(*_hist_params(spec)))
+register_reduce_fn("f_cdf", lambda spec, ctx: _FCdf(*_hist_params(spec)))
+register_reduce_fn(
+    "ft_percent",
+    lambda spec, ctx: _FtPercent(
+        float(spec.args[0]),
+        *( (float(spec.args[1]), int(spec.args[2]))
+           if len(spec.args) >= 3 else _DEFAULT_HIST )))
+
+
+def make_reduce_fn(spec, ctx: ExecContext | None = None):
+    spec = parse_fn_spec(spec)
+    ctx = ctx or ExecContext()
+    try:
+        factory = REDUCE_FNS[spec.name]
+    except KeyError:
+        raise KeyError(f"unknown reducing function {spec.name!r} "
+                       f"(have {sorted(REDUCE_FNS)})") from None
+    return factory(spec, ctx)
+
+
+# --------------------------------------------------------------------------
+# Synthesizing functions — stateless transforms over a finalized feature
+# (scalar or array): apply(value) -> transformed value.
+# --------------------------------------------------------------------------
+
+def _f_norm(spec: FnSpec, ctx: ExecContext):
+    mode = spec.kwargs_dict.get("mode", "l2")
+
+    def apply(value):
+        arr = np.atleast_1d(np.asarray(value, dtype=np.float64))
+        if mode == "l2":
+            norm = np.linalg.norm(arr)
+            return arr / norm if norm > 0 else arr
+        if mode == "minmax":
+            lo, hi = arr.min(), arr.max()
+            return (arr - lo) / (hi - lo) if hi > lo else np.zeros_like(arr)
+        raise ValueError(f"unknown f_norm mode {mode!r}")
+
+    return apply
+
+
+def _ft_sample(spec: FnSpec, ctx: ExecContext):
+    if not spec.args:
+        raise ValueError("ft_sample requires a target length: ft_sample{n}")
+    n = int(spec.args[0])
+
+    def apply(value):
+        arr = np.atleast_1d(np.asarray(value, dtype=np.float64))
+        if len(arr) >= n:
+            return arr[:n].copy()
+        out = np.zeros(n)
+        out[:len(arr)] = arr
+        return out
+
+    return apply
+
+
+def _f_marker(spec: FnSpec, ctx: ExecContext):
+    """At each direction change in a signed sequence, emit the cumulative
+    sum (bytes/packets) sent up to the change — the CUMUL-style marker
+    trace."""
+
+    def apply(value):
+        arr = np.atleast_1d(np.asarray(value, dtype=np.float64))
+        if len(arr) == 0:
+            return arr
+        markers = []
+        cumulative = 0.0
+        prev_sign = np.sign(arr[0]) or 1.0
+        for x in arr:
+            sign = np.sign(x) or prev_sign
+            if sign != prev_sign:
+                markers.append(cumulative)
+                prev_sign = sign
+            cumulative += x
+        markers.append(cumulative)
+        return np.asarray(markers)
+
+    return apply
+
+
+SYNTH_FNS: dict[str, object] = {}
+
+
+def register_synth_fn(name: str, factory, override: bool = False) -> None:
+    """Register a synthesizing-function factory: ``factory(spec, ctx)``
+    must return a callable ``apply(value)``."""
+    if name in SYNTH_FNS and not override:
+        raise ValueError(f"synthesizing function {name!r} already registered")
+    SYNTH_FNS[name] = factory
+
+
+register_synth_fn("f_norm", _f_norm)
+register_synth_fn("ft_sample", _ft_sample)
+register_synth_fn("f_marker", _f_marker)
+
+
+def make_synth_fn(spec, ctx: ExecContext | None = None):
+    spec = parse_fn_spec(spec)
+    ctx = ctx or ExecContext()
+    try:
+        factory = SYNTH_FNS[spec.name]
+    except KeyError:
+        raise KeyError(f"unknown synthesizing function {spec.name!r} "
+                       f"(have {sorted(SYNTH_FNS)})") from None
+    return factory(spec, ctx)

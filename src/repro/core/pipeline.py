@@ -1,0 +1,124 @@
+"""The end-to-end SuperFE pipeline (Fig 1).
+
+``SuperFE`` wires the compiled policy through the full system: the
+FE-Switch filter stage and MGPV cache batch feature metadata, the ordered
+event stream crosses the switch->NIC link, and the FE-NIC feature engine
+computes the final feature vectors::
+
+    fe = SuperFE(policy)
+    result = fe.run(packets)
+    X = result.to_matrix()
+
+The constructor solves the §6.2 ILP placement for the policy's states so
+the NIC group tables land in the right memory levels; ``division_free``
+selects the NFP integer arithmetic (on by default — it is how the real
+FE-NIC computes; turn it off to get bit-exact float results for
+debugging).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.compiler import CompiledPolicy, PolicyCompiler
+from repro.core.functions import ExecContext
+from repro.core.policy import Policy
+from repro.nicsim.engine import FeatureEngine, FeatureVector
+from repro.nicsim.placement import (
+    PlacementProblem,
+    PlacementResult,
+    solve_ilp,
+)
+from repro.switchsim.filter import FilterStage
+from repro.switchsim.mgpv import CacheStats, MGPVCache, MGPVConfig
+
+
+@dataclass
+class ExtractionResult:
+    """Output of one extraction run."""
+
+    vectors: list[FeatureVector]
+    feature_names: list[str]
+    switch_stats: CacheStats
+    engine: FeatureEngine
+    compiled: CompiledPolicy
+
+    def __len__(self) -> int:
+        return len(self.vectors)
+
+    def to_matrix(self) -> np.ndarray:
+        """Stack the vectors into an (n, d) matrix; raises when vectors
+        have data-dependent (unequal) widths."""
+        if not self.vectors:
+            return np.empty((0, 0))
+        widths = {len(v.values) for v in self.vectors}
+        if len(widths) > 1:
+            raise ValueError(
+                f"vectors have varying widths {sorted(widths)}; bound "
+                f"array features with synthesize(ft_sample{{n}})")
+        return np.vstack([v.values for v in self.vectors])
+
+    def by_key(self) -> dict:
+        return {v.key: v.values for v in self.vectors}
+
+
+class SuperFE:
+    """Feature extraction as a service: policy in, feature vectors out."""
+
+    def __init__(self, policy: Policy,
+                 mgpv_config: MGPVConfig | None = None,
+                 division_free: bool = True,
+                 use_placement: bool = True,
+                 table_indices: int = 4096,
+                 table_width: int = 4) -> None:
+        self.policy = policy
+        self.compiled = PolicyCompiler().compile(policy)
+        base = mgpv_config or MGPVConfig()
+        # Size the MGPV cell/key widths from the compiled policy.
+        from dataclasses import replace as dc_replace
+        self.mgpv_config = dc_replace(
+            base,
+            cell_bytes=self.compiled.metadata_bytes_per_pkt,
+            cg_key_bytes=self.compiled.cg.key_bytes,
+            fg_key_bytes=self.compiled.fg.key_bytes,
+        )
+        self.ctx = ExecContext(division_free=division_free)
+        self.placement: PlacementResult | None = None
+        if use_placement:
+            states = self.compiled.state_requirements()
+            if states:
+                problem = PlacementProblem(
+                    states=tuple(states),
+                    n_groups=table_indices * table_width)
+                self.placement = solve_ilp(problem)
+        self._table_indices = table_indices
+        self._table_width = table_width
+
+    def run(self, packets) -> ExtractionResult:
+        """Extract feature vectors from a packet stream."""
+        filter_stage = FilterStage(self.compiled.switch_filters)
+        cache = MGPVCache(
+            cg=self.compiled.cg, fg=self.compiled.fg,
+            config=self.mgpv_config,
+            metadata_fields=self.compiled.metadata_fields)
+        engine = FeatureEngine(
+            self.compiled, ctx=self.ctx, placement=self.placement,
+            table_indices=self._table_indices,
+            table_width=self._table_width)
+        for event in cache.process(filter_stage.apply(packets)):
+            engine.consume(event)
+        vectors = engine.finalize()
+        return ExtractionResult(
+            vectors=vectors,
+            feature_names=self.compiled.feature_names,
+            switch_stats=cache.stats,
+            engine=engine,
+            compiled=self.compiled,
+        )
+
+    def manifests(self) -> tuple[str, str]:
+        """The generated FE-Switch / FE-NIC program summaries."""
+        return (self.compiled.switch_manifest(),
+                self.compiled.nic_manifest())

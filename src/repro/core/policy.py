@@ -1,0 +1,260 @@
+"""The SuperFE policy language (§4): Spark-style dataflow operators over
+packet streams.
+
+A policy is an immutable chain of operators built fluently from
+:func:`pktstream`::
+
+    policy = (
+        pktstream()
+        .filter("tcp.exist")
+        .groupby("flow")
+        .map("one", None, "f_one")
+        .reduce("one", ["f_sum"])
+        .reduce("size", ["f_mean", "f_var", "f_min", "f_max"])
+        .collect("flow")
+    )
+
+Operators (Table 1):
+
+- ``filter(p)``     — keep tuples satisfying predicate ``p``;
+- ``groupby(g)``    — partition by granularity ``g`` (starts a *section*:
+  subsequent map/reduce/synthesize run per group of ``g``);
+- ``map(d, s, mf)`` — apply mapping function ``mf`` to source key ``s``
+  and emit key ``d`` for every member tuple;
+- ``reduce(s, [rf])`` — aggregate key ``s`` over the group with each
+  reducing function in ``[rf]``;
+- ``synthesize(sf)`` — post-process the features of the preceding reduce;
+- ``collect(u)``    — include the features computed so far in the output
+  vector, emitted per packet (``"pkt"``) or per group of granularity ``u``.
+
+Predicates are a small comparison language compiled to switch match-action
+rules: a bare boolean field (``"tcp.exist"``), a comparison
+(``"dst_port == 443"``), or a conjunction (``"tcp.exist and size > 100"``).
+"""
+
+from __future__ import annotations
+
+import operator
+import re
+from dataclasses import dataclass
+from typing import Callable, Sequence, Union
+
+from repro.core.functions import FnSpec, parse_fn_spec
+from repro.core.granularity import get_granularity
+from repro.net.packet import Packet
+
+_OPS = {
+    "==": operator.eq, "!=": operator.ne,
+    "<=": operator.le, ">=": operator.ge,
+    "<": operator.lt, ">": operator.gt,
+}
+
+_COND_RE = re.compile(
+    r"^\s*([\w.]+)\s*(==|!=|<=|>=|<|>)\s*([\w.]+)\s*$")
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One ``field op value`` comparison (or a bare boolean field when
+    ``op`` is None)."""
+
+    field: str
+    op: str | None = None
+    value: object = None
+
+    def matches(self, pkt: Packet) -> bool:
+        actual = pkt.field(self.field)
+        if self.op is None:
+            return bool(actual)
+        return _OPS[self.op](actual, self.value)
+
+    def __str__(self) -> str:
+        if self.op is None:
+            return self.field
+        return f"{self.field} {self.op} {self.value}"
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """Conjunction of conditions; compiles to one match-action rule."""
+
+    conditions: tuple[Condition, ...]
+
+    @classmethod
+    def parse(cls, text: str) -> "Predicate":
+        conditions = []
+        for clause in text.split(" and "):
+            clause = clause.strip()
+            match = _COND_RE.match(clause)
+            if match:
+                field, op, literal = match.groups()
+                try:
+                    value: object = int(literal)
+                except ValueError:
+                    try:
+                        value = float(literal)
+                    except ValueError:
+                        value = literal
+                conditions.append(Condition(field, op, value))
+            elif re.fullmatch(r"[\w.]+", clause):
+                conditions.append(Condition(clause))
+            else:
+                raise ValueError(f"cannot parse predicate clause {clause!r}")
+        return cls(tuple(conditions))
+
+    def matches(self, pkt: Packet) -> bool:
+        return all(c.matches(pkt) for c in self.conditions)
+
+    def __str__(self) -> str:
+        return " and ".join(str(c) for c in self.conditions)
+
+
+PredicateLike = Union[str, Predicate, Callable[[Packet], bool]]
+
+
+@dataclass(frozen=True)
+class FilterOp:
+    predicate: Predicate | Callable[[Packet], bool]
+
+    def pretty(self) -> str:
+        if isinstance(self.predicate, Predicate):
+            return f".filter({self.predicate})"
+        return f".filter(<callable {getattr(self.predicate, '__name__', '?')}>)"
+
+
+@dataclass(frozen=True)
+class GroupByOp:
+    granularity: str
+
+    def pretty(self) -> str:
+        return f".groupby({self.granularity})"
+
+
+@dataclass(frozen=True)
+class MapOp:
+    dst: str
+    src: str | None
+    fn: FnSpec
+
+    def pretty(self) -> str:
+        src = self.src if self.src is not None else "_"
+        return f".map({self.dst}, {src}, {self.fn})"
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    src: str
+    fns: tuple[FnSpec, ...]
+
+    def feature_names(self) -> list[str]:
+        return [f"{fn}({self.src})" for fn in self.fns]
+
+    def pretty(self) -> str:
+        fns = ", ".join(str(fn) for fn in self.fns)
+        return f".reduce({self.src}, [{fns}])"
+
+
+@dataclass(frozen=True)
+class SynthesizeOp:
+    fn: FnSpec
+    src: str | None = None      # None: the preceding reduce's features
+
+    def pretty(self) -> str:
+        if self.src is None:
+            return f".synthesize({self.fn})"
+        return f".synthesize({self.fn}, {self.src})"
+
+
+@dataclass(frozen=True)
+class CollectOp:
+    unit: str                   # "pkt" or a granularity name
+
+    def pretty(self) -> str:
+        return f".collect({self.unit})"
+
+
+PolicyOp = Union[FilterOp, GroupByOp, MapOp, ReduceOp, SynthesizeOp,
+                 CollectOp]
+
+
+@dataclass(frozen=True)
+class Policy:
+    """An immutable operator chain.  Every builder method returns a new
+    policy; instances are safe to share and reuse."""
+
+    ops: tuple[PolicyOp, ...] = ()
+
+    # -- builders ----------------------------------------------------------
+
+    def _extend(self, op: PolicyOp) -> "Policy":
+        return Policy(self.ops + (op,))
+
+    def filter(self, predicate: PredicateLike) -> "Policy":
+        if isinstance(predicate, str):
+            predicate = Predicate.parse(predicate)
+        elif not isinstance(predicate, Predicate) and not callable(predicate):
+            raise TypeError("predicate must be a string, Predicate, or "
+                            "callable")
+        return self._extend(FilterOp(predicate))
+
+    def groupby(self, granularity: str) -> "Policy":
+        get_granularity(granularity)    # validate eagerly
+        return self._extend(GroupByOp(granularity))
+
+    def map(self, dst: str, src: str | None, mf) -> "Policy":
+        return self._extend(MapOp(dst, src, parse_fn_spec(mf)))
+
+    def reduce(self, src: str, rfs: Sequence) -> "Policy":
+        if isinstance(rfs, (str, FnSpec)):
+            rfs = [rfs]
+        if not rfs:
+            raise ValueError("reduce needs at least one reducing function")
+        return self._extend(
+            ReduceOp(src, tuple(parse_fn_spec(rf) for rf in rfs)))
+
+    def synthesize(self, sf, src: str | None = None) -> "Policy":
+        return self._extend(SynthesizeOp(parse_fn_spec(sf), src))
+
+    def collect(self, unit: str) -> "Policy":
+        if unit != "pkt":
+            get_granularity(unit)       # validate eagerly
+        return self._extend(CollectOp(unit))
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def granularities(self) -> list[str]:
+        """Granularities in order of first use."""
+        seen: dict[str, None] = {}
+        for op in self.ops:
+            if isinstance(op, GroupByOp):
+                seen.setdefault(op.granularity, None)
+        return list(seen)
+
+    @property
+    def collect_unit(self) -> str | None:
+        units = {op.unit for op in self.ops if isinstance(op, CollectOp)}
+        if not units:
+            return None
+        if len(units) > 1:
+            raise ValueError(f"policy collects at multiple units: {units}")
+        return units.pop()
+
+    def pretty(self) -> str:
+        """Canonical source form (the representation Table 3 counts)."""
+        lines = ["pktstream"]
+        lines += [f"  {op.pretty()}" for op in self.ops]
+        return "\n".join(lines)
+
+    @property
+    def loc(self) -> int:
+        """Lines of code of the canonical form (1 + one per operator)."""
+        return 1 + len(self.ops)
+
+    def __str__(self) -> str:
+        return self.pretty()
+
+
+def pktstream() -> Policy:
+    """The input packet stream — root of every policy chain (§4.1)."""
+    return Policy()

@@ -1,0 +1,201 @@
+"""Operational runtime — the control plane of the deployment (§7).
+
+The prototype pairs its data-plane programs with a control plane (~4K
+lines of C) that installs rules, synchronizes the FG table, polls
+counters, and manages aging.  :class:`SuperFERuntime` is that layer for
+the simulated deployment: unlike the one-shot :class:`~repro.core.
+pipeline.SuperFE`, it runs *continuously* —
+
+- :meth:`process` feeds packet batches as they arrive and returns
+  feature vectors for groups completed so far (per-packet policies) or
+  on demand via :meth:`snapshot`;
+- :meth:`poll_counters` returns the since-last-poll deltas of every
+  switch/NIC counter, the way a control plane samples data-plane state;
+- :meth:`set_aging_timeout` retunes the aging mechanism live (the T
+  knob of Fig 14);
+- :meth:`install_filter` adds a match-action rule at runtime;
+- :meth:`hot_swap` replaces the whole policy: the cache is drained into
+  the NIC (no metadata loss), final vectors are emitted, and the new
+  program is installed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+
+from repro.core.compiler import PolicyCompiler, PolicyError
+from repro.core.functions import ExecContext
+from repro.core.pipeline import ExtractionResult
+from repro.core.policy import Policy, Predicate
+from repro.nicsim.engine import FeatureEngine, FeatureVector
+from repro.switchsim.filter import FilterStage
+from repro.switchsim.mgpv import MGPVCache, MGPVConfig
+
+
+@dataclass(frozen=True)
+class CounterSnapshot:
+    """Since-last-poll deltas of the deployment's counters."""
+
+    pkts_in: int
+    bytes_in: int
+    records_to_nic: int
+    bytes_to_nic: int
+    fg_syncs: int
+    evictions: dict
+    cells_processed: int
+    vectors_emitted: int
+    filter_misses: int
+
+
+class SuperFERuntime:
+    """A continuously running SuperFE deployment."""
+
+    def __init__(self, policy: Policy,
+                 mgpv_config: MGPVConfig | None = None,
+                 division_free: bool = True,
+                 table_indices: int = 4096,
+                 table_width: int = 4) -> None:
+        self._division_free = division_free
+        self._table_indices = table_indices
+        self._table_width = table_width
+        self._install(policy, mgpv_config)
+        self._last_poll = self._zero_counters()
+
+    # -- installation --------------------------------------------------------
+
+    def _install(self, policy: Policy,
+                 mgpv_config: MGPVConfig | None) -> None:
+        self.policy = policy
+        self.compiled = PolicyCompiler().compile(policy)
+        base = mgpv_config or MGPVConfig()
+        self.mgpv_config = dc_replace(
+            base,
+            cell_bytes=self.compiled.metadata_bytes_per_pkt,
+            cg_key_bytes=self.compiled.cg.key_bytes,
+            fg_key_bytes=self.compiled.fg.key_bytes)
+        self.filter_stage = FilterStage(
+            list(self.compiled.switch_filters))
+        self.cache = MGPVCache(self.compiled.cg, self.compiled.fg,
+                               self.mgpv_config,
+                               self.compiled.metadata_fields)
+        self.engine = FeatureEngine(
+            self.compiled,
+            ctx=ExecContext(division_free=self._division_free),
+            table_indices=self._table_indices,
+            table_width=self._table_width)
+
+    # -- data path ------------------------------------------------------------
+
+    def process(self, packets) -> list[FeatureVector]:
+        """Feed a batch of packets; returns the per-packet vectors the
+        batch produced (empty for per-group policies, which emit at
+        :meth:`snapshot` / :meth:`hot_swap` / :meth:`drain`)."""
+        before = self.engine.stats.vectors_emitted
+        for pkt in packets:
+            if not self.filter_stage.admit(pkt):
+                continue
+            for event in self.cache.insert(pkt):
+                self.engine.consume(event)
+        # Keep the NIC clock moving even for policies whose cells carry
+        # no timestamp (collect_idle relies on it).
+        self.engine.advance_clock(self.cache.now_ns)
+        if self.compiled.collect_unit == "pkt":
+            produced = self.engine.stats.vectors_emitted - before
+            return (self.engine.packet_vectors[-produced:]
+                    if produced else [])
+        return []
+
+    def snapshot(self) -> list[FeatureVector]:
+        """Current feature vectors of all resident groups (per-group
+        policies); does not disturb the data path."""
+        return self.engine.finalize()
+
+    def drain(self) -> list[FeatureVector]:
+        """Flush the switch cache into the NIC and emit final vectors."""
+        for event in self.cache.flush():
+            self.engine.consume(event)
+        return self.engine.finalize()
+
+    def collect_idle(self, timeout_ns: int) -> list[FeatureVector]:
+        """Emit and free NIC-side groups idle longer than ``timeout_ns``
+        (the continuous-deployment vector eviction path); per-group
+        policies return the emitted vectors."""
+        return self.engine.evict_idle(self.cache.now_ns, timeout_ns)
+
+    # -- control plane ---------------------------------------------------------
+
+    def _zero_counters(self) -> CounterSnapshot:
+        return CounterSnapshot(0, 0, 0, 0, 0, {}, 0, 0, 0)
+
+    def _absolute_counters(self) -> CounterSnapshot:
+        s = self.cache.stats
+        return CounterSnapshot(
+            pkts_in=s.pkts_in,
+            bytes_in=s.bytes_in,
+            records_to_nic=s.records_out,
+            bytes_to_nic=s.bytes_out,
+            fg_syncs=s.syncs_out,
+            evictions=dict(s.evictions),
+            cells_processed=self.engine.stats.cells,
+            vectors_emitted=self.engine.stats.vectors_emitted,
+            filter_misses=self.filter_stage.misses,
+        )
+
+    def poll_counters(self) -> CounterSnapshot:
+        """Since-last-poll deltas (control planes sample, not reset)."""
+        now = self._absolute_counters()
+        last = self._last_poll
+        self._last_poll = now
+        return CounterSnapshot(
+            pkts_in=now.pkts_in - last.pkts_in,
+            bytes_in=now.bytes_in - last.bytes_in,
+            records_to_nic=now.records_to_nic - last.records_to_nic,
+            bytes_to_nic=now.bytes_to_nic - last.bytes_to_nic,
+            fg_syncs=now.fg_syncs - last.fg_syncs,
+            evictions={k: v - last.evictions.get(k, 0)
+                       for k, v in now.evictions.items()},
+            cells_processed=now.cells_processed - last.cells_processed,
+            vectors_emitted=now.vectors_emitted - last.vectors_emitted,
+            filter_misses=now.filter_misses - last.filter_misses,
+        )
+
+    def set_aging_timeout(self, timeout_ns: int | None) -> None:
+        """Retune the aging T live (Fig 14's knob)."""
+        if timeout_ns is not None and timeout_ns <= 0:
+            raise ValueError("timeout must be positive or None")
+        self.mgpv_config = dc_replace(self.mgpv_config,
+                                      aging_timeout_ns=timeout_ns)
+        self.cache.config = self.mgpv_config
+
+    def install_filter(self, predicate: str) -> None:
+        """Add a match-action rule at runtime; applies to subsequent
+        packets only (as a table write would)."""
+        pred = Predicate.parse(predicate)
+        from repro.core.compiler import FILTERABLE_FIELDS
+        for cond in pred.conditions:
+            if cond.field not in FILTERABLE_FIELDS:
+                raise PolicyError(
+                    f"filter field {cond.field!r} is not parseable by "
+                    f"the switch")
+        self.filter_stage.predicates.append(pred)
+
+    def hot_swap(self, new_policy: Policy) -> list[FeatureVector]:
+        """Replace the running policy: drain the old deployment (no
+        metadata is lost), emit its final vectors, install the new
+        programs, and reset counters."""
+        final = self.drain()
+        self._install(new_policy, self.mgpv_config)
+        self._last_poll = self._zero_counters()
+        return final
+
+    # -- reporting --------------------------------------------------------------
+
+    def result(self) -> ExtractionResult:
+        """A one-shot style result view of the current deployment."""
+        return ExtractionResult(
+            vectors=self.snapshot(),
+            feature_names=self.compiled.feature_names,
+            switch_stats=self.cache.stats,
+            engine=self.engine,
+            compiled=self.compiled,
+        )

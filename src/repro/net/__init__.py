@@ -1,0 +1,22 @@
+"""Packet substrate: packet/tuple abstraction, synthetic traces, scenario
+generators, a minimal pcap codec, and a replay/amplification model."""
+
+from repro.net.packet import (
+    Packet,
+    FiveTuple,
+    PROTO_TCP,
+    PROTO_UDP,
+    PROTO_ICMP,
+    ip_to_int,
+    int_to_ip,
+)
+
+__all__ = [
+    "Packet",
+    "FiveTuple",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "PROTO_ICMP",
+    "ip_to_int",
+    "int_to_ip",
+]

@@ -1,0 +1,156 @@
+"""Packet and five-tuple abstractions.
+
+SuperFE abstracts a packet as a key-value tuple (§4.1): header fields
+(addresses, ports, protocol, TCP flags) carry values parsed from the packet,
+and switch-filled metadata (arrival timestamp, wire size, direction) carries
+values the programmable switch attaches on ingress.  :class:`Packet` is the
+in-memory form of that tuple; :meth:`Packet.field` exposes the uniform
+key-based view the policy language operates on.
+
+IP addresses are stored as 32-bit integers for speed; :func:`ip_to_int` and
+:func:`int_to_ip` convert to and from dotted-quad strings at the edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+#: TCP flag bits (subset used by the scenario generators and filters).
+TCP_FIN = 0x01
+TCP_SYN = 0x02
+TCP_RST = 0x04
+TCP_PSH = 0x08
+TCP_ACK = 0x10
+
+#: Direction constants: +1 for egress (initiator -> responder, or inside ->
+#: outside the monitored network), -1 for ingress.  Matches the ±1 encoding
+#: used by the website-fingerprinting policies of §4.2.
+DIR_EGRESS = 1
+DIR_INGRESS = -1
+
+
+def ip_to_int(addr: str) -> int:
+    """Convert a dotted-quad IPv4 address to its 32-bit integer form."""
+    parts = addr.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not an IPv4 address: {addr!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {addr!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Convert a 32-bit integer to a dotted-quad IPv4 string."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"not a 32-bit value: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+@dataclass(frozen=True, slots=True)
+class FiveTuple:
+    """The classic flow 5-tuple: addresses, ports, and IP protocol."""
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    proto: int
+
+    def reversed(self) -> "FiveTuple":
+        """The same conversation seen from the opposite direction."""
+        return FiveTuple(self.dst_ip, self.src_ip, self.dst_port,
+                         self.src_port, self.proto)
+
+    def canonical(self) -> "FiveTuple":
+        """A direction-independent form: the lexicographically smaller
+        endpoint is placed first, so both directions of a conversation map
+        to the same key."""
+        if (self.src_ip, self.src_port) <= (self.dst_ip, self.dst_port):
+            return self
+        return self.reversed()
+
+    def __str__(self) -> str:
+        return (f"{int_to_ip(self.src_ip)}:{self.src_port} -> "
+                f"{int_to_ip(self.dst_ip)}:{self.dst_port}/{self.proto}")
+
+
+@dataclass(frozen=True, slots=True)
+class Packet:
+    """One packet as a key-value tuple.
+
+    Header-field keys (parsed from the wire): ``src_ip``, ``dst_ip``,
+    ``src_port``, ``dst_port``, ``proto``, ``tcp_flags``.
+
+    Switch-filled metadata keys: ``tstamp`` (arrival time, ns), ``size``
+    (wire length, bytes), ``direction`` (+1 egress / -1 ingress, derived
+    from the ingress port).
+    """
+
+    tstamp: int
+    size: int
+    src_ip: int
+    dst_ip: int
+    src_port: int = 0
+    dst_port: int = 0
+    proto: int = PROTO_TCP
+    tcp_flags: int = 0
+    direction: int = DIR_EGRESS
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("packet size must be non-negative")
+        if self.direction not in (DIR_EGRESS, DIR_INGRESS):
+            raise ValueError("direction must be +1 or -1")
+
+    @property
+    def five_tuple(self) -> FiveTuple:
+        return FiveTuple(self.src_ip, self.dst_ip, self.src_port,
+                         self.dst_port, self.proto)
+
+    @property
+    def flow_key(self) -> FiveTuple:
+        """Direction-independent flow key (canonical 5-tuple)."""
+        return self.five_tuple.canonical()
+
+    @property
+    def is_tcp(self) -> bool:
+        return self.proto == PROTO_TCP
+
+    @property
+    def is_udp(self) -> bool:
+        return self.proto == PROTO_UDP
+
+    def field(self, name: str):
+        """Uniform key-based access used by the policy language.
+
+        Supports every header/metadata key plus the derived keys
+        ``flow`` (canonical 5-tuple) and the protocol-existence pseudo
+        fields ``tcp.exist`` / ``udp.exist``.
+        """
+        if name == "flow":
+            return self.flow_key
+        if name == "tcp.exist":
+            return self.is_tcp
+        if name == "udp.exist":
+            return self.is_udp
+        try:
+            return getattr(self, name)
+        except AttributeError:
+            raise KeyError(f"unknown packet field: {name!r}") from None
+
+    def with_direction(self, direction: int) -> "Packet":
+        return replace(self, direction=direction)
+
+
+def sort_by_time(packets: Iterator[Packet]) -> list[Packet]:
+    """Return packets sorted by arrival timestamp (stable)."""
+    return sorted(packets, key=lambda p: p.tstamp)

@@ -1,0 +1,34 @@
+"""FE-NIC simulator: a model of the Netronome NFP-4000 SoC SmartNIC —
+hierarchical memory (CLS/CTM/IMEM/EMEM + DRAM), group hash tables with
+fixed-length chaining, ILP state placement, a per-packet cycle-cost model
+with the §6.2 optimizations, multi-core scaling, and the feature computing
+engine that turns MGPV streams into feature vectors."""
+
+from repro.nicsim.memory import MemoryLevel, NFP_MEMORY_HIERARCHY, DRAM
+from repro.nicsim.grouptable import GroupTable
+from repro.nicsim.placement import (
+    PlacementProblem,
+    PlacementResult,
+    solve_ilp,
+    solve_greedy,
+)
+from repro.nicsim.cycles import CycleModel, CycleModelConfig
+from repro.nicsim.cores import NICTopology, scaling_throughput
+from repro.nicsim.engine import FeatureEngine, FeatureVector
+
+__all__ = [
+    "MemoryLevel",
+    "NFP_MEMORY_HIERARCHY",
+    "DRAM",
+    "GroupTable",
+    "PlacementProblem",
+    "PlacementResult",
+    "solve_ilp",
+    "solve_greedy",
+    "CycleModel",
+    "CycleModelConfig",
+    "NICTopology",
+    "scaling_throughput",
+    "FeatureEngine",
+    "FeatureVector",
+]

@@ -1,0 +1,353 @@
+"""The FE-NIC feature computing engine (§6).
+
+Consumes the ordered switch->NIC event stream (FG-table sync messages and
+evicted MGPV records), maintains a synchronized FG-key mirror, and for
+every metadata cell updates the per-group map/reduce states of every
+granularity section — recovering intermediate granularities by projecting
+the cell's FG key (§5.1).  ``collect`` semantics:
+
+- per-group (``collect(flow)`` etc.): vectors are produced at
+  :meth:`FeatureEngine.finalize` for every group of the collect
+  granularity, concatenating that group's features with those of its
+  enclosing coarser groups;
+- per-packet (``collect(pkt)``): a vector is snapshotted after each cell,
+  concatenating the current features of the cell's group at every section
+  (the Kitsune mode).
+
+Group states live in :class:`~repro.nicsim.grouptable.GroupTable` hash
+tables whose memory level comes from the ILP placement (§6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+import numpy as np
+
+from repro.core.compiler import CompiledPolicy, PolicyError, Section
+from repro.core.functions import (
+    ExecContext,
+    make_map_fn,
+    make_reduce_fn,
+    make_synth_fn,
+)
+from repro.nicsim.grouptable import GroupTable
+from repro.nicsim.memory import EMEM, level_by_name
+from repro.nicsim.placement import PlacementResult
+from repro.switchsim.mgpv import Event, FGSync, MGPVRecord
+
+
+@dataclass
+class FeatureVector:
+    """One output vector: the emitting unit's key, feature names, values."""
+
+    key: tuple
+    names: tuple[str, ...]
+    values: np.ndarray
+
+
+class MemberView:
+    """A member tuple as seen inside one section: the cell's metadata
+    fields overlaid with this section's mapped keys."""
+
+    __slots__ = ("_fields", "_mapped")
+
+    def __init__(self, fields: dict) -> None:
+        self._fields = fields
+        self._mapped: dict = {}
+
+    def get(self, key: str):
+        if key in self._mapped:
+            return self._mapped[key]
+        try:
+            return self._fields[key]
+        except KeyError:
+            raise KeyError(f"member has no key {key!r}") from None
+
+    def set(self, key: str, value) -> None:
+        self._mapped[key] = value
+
+    def has(self, key: str) -> bool:
+        return key in self._mapped or key in self._fields
+
+
+class _GroupState:
+    """Per-group function instances for one section."""
+
+    __slots__ = ("map_fns", "reducers", "last_update")
+
+    def __init__(self, section: Section, ctx: ExecContext) -> None:
+        self.map_fns = [(m.dst, m.src, make_map_fn(m.fn, ctx))
+                        for m in section.maps]
+        self.reducers = [(feat, make_reduce_fn(feat.reduce_fn, ctx))
+                         for feat in section.features]
+        self.last_update = 0
+
+    def state_bytes(self) -> int:
+        return sum(int(getattr(r, "state_bytes", 8))
+                   for _, r in self.reducers)
+
+
+@dataclass
+class EngineStats:
+    records: int = 0
+    cells: int = 0
+    syncs: int = 0
+    orphan_cells: int = 0
+    skipped_updates: int = 0
+    vectors_emitted: int = 0
+    extra: dict = dc_field(default_factory=dict)
+
+
+class FeatureEngine:
+    """Turns an MGPV event stream into feature vectors."""
+
+    def __init__(self, compiled: CompiledPolicy,
+                 ctx: ExecContext | None = None,
+                 placement: PlacementResult | None = None,
+                 table_indices: int = 4096,
+                 table_width: int = 4) -> None:
+        self.compiled = compiled
+        self.ctx = ctx or ExecContext(division_free=True)
+        self.stats = EngineStats()
+        self._clock = 0     # ns; advanced by cell tstamps or externally
+        self._fg_mirror: dict[int, tuple] = {}
+        self._synth_cache: dict = {}
+        self._pkt_vectors: list[FeatureVector] = []
+        self._validate_collect_unit()
+
+        self._tables: list[tuple[Section, GroupTable]] = []
+        for section in compiled.sections:
+            level = self._section_level(section, placement)
+            entry_bytes = self._entry_bytes(section)
+            table = GroupTable(
+                n_indices=table_indices, width=table_width,
+                entry_bytes=entry_bytes, level=level,
+                state_factory=(lambda sec=section:
+                               _GroupState(sec, self.ctx)))
+            self._tables.append((section, table))
+
+    # -- setup helpers -------------------------------------------------------
+
+    def _validate_collect_unit(self) -> None:
+        unit = self.compiled.collect_unit
+        if unit == "pkt":
+            return
+        collected_levels = [sec.granularity.level
+                            for sec in self.compiled.sections
+                            if sec.collected]
+        unit_level = next(sec.granularity.level
+                          for sec in self.compiled.sections
+                          if sec.granularity.name == unit)
+        if any(lvl > unit_level for lvl in collected_levels):
+            raise PolicyError(
+                f"collect unit {unit!r} is coarser than a section with "
+                f"collected features; collect at the finest used "
+                f"granularity or per pkt")
+
+    @staticmethod
+    def _section_level(section: Section,
+                       placement: PlacementResult | None):
+        if placement is None:
+            return EMEM
+        names = [placement.placement.get(f.name)
+                 for f in section.features]
+        names = [n for n in names if n]
+        if not names:
+            return EMEM
+        return max((level_by_name(n) for n in names),
+                   key=lambda l: l.latency_cycles)
+
+    def _entry_bytes(self, section: Section) -> int:
+        probe = _GroupState(section, self.ctx)
+        return section.granularity.key_bytes + probe.state_bytes()
+
+    def _synth(self, spec):
+        if spec not in self._synth_cache:
+            self._synth_cache[spec] = make_synth_fn(spec, self.ctx)
+        return self._synth_cache[spec]
+
+    # -- event consumption ---------------------------------------------------
+
+    def consume(self, event: Event) -> None:
+        if isinstance(event, FGSync):
+            self.stats.syncs += 1
+            self._fg_mirror[event.index] = event.key
+        elif isinstance(event, MGPVRecord):
+            self._process_record(event)
+        else:
+            raise TypeError(f"unknown event {event!r}")
+
+    def run(self, events) -> "FeatureEngine":
+        for event in events:
+            self.consume(event)
+        return self
+
+    def _process_record(self, record: MGPVRecord) -> None:
+        self.stats.records += 1
+        fields_order = self.compiled.metadata_fields
+        for fg_idx, meta in record.cells:
+            self.stats.cells += 1
+            fg_key = self._fg_mirror.get(fg_idx)
+            if fg_key is None:
+                self.stats.orphan_cells += 1
+                continue
+            fields = dict(zip(fields_order, meta))
+            self._process_cell(fg_key, fields)
+
+    def advance_clock(self, now_ns: int) -> None:
+        """Advance the engine's notion of time; cells carrying a
+        ``tstamp`` field advance it automatically."""
+        self._clock = max(self._clock, now_ns)
+
+    def _process_cell(self, fg_key: tuple, fields: dict) -> None:
+        tstamp = fields.get("tstamp")
+        if tstamp is not None:
+            self._clock = max(self._clock, tstamp)
+        for section, table in self._tables:
+            key = section.granularity.project(fg_key)
+            state, _ = table.lookup_or_insert(key)
+            state.last_update = self._clock
+            view = MemberView(fields)
+            for dst, src, fn in state.map_fns:
+                src_value = view.get(src) if src is not None else None
+                value = fn.apply(view, src_value)
+                if value is not None:
+                    view.set(dst, value)
+            for feat, reducer in state.reducers:
+                if not view.has(feat.src):
+                    self.stats.skipped_updates += 1
+                    continue
+                reducer.update(view.get(feat.src), view)
+        if self.compiled.collect_unit == "pkt":
+            self._emit_packet_vector(fg_key)
+
+    # -- output --------------------------------------------------------------
+
+    def _finalize_feature(self, feat, reducer):
+        value = reducer.finalize()
+        for spec in feat.synth_fns:
+            value = self._synth(spec)(value)
+        return np.atleast_1d(np.asarray(value, dtype=np.float64))
+
+    def _emit_packet_vector(self, fg_key: tuple) -> None:
+        names: list[str] = []
+        parts: list[np.ndarray] = []
+        for section, table in self._tables:
+            if not section.collected:
+                continue
+            key = section.granularity.project(fg_key)
+            state = table.get(key)
+            if state is None:
+                continue
+            collected = {f.name for f in section.collected}
+            for feat, reducer in state.reducers:
+                if feat.name in collected:
+                    names.append(feat.name)
+                    parts.append(self._finalize_feature(feat, reducer))
+        if parts:
+            self.stats.vectors_emitted += 1
+            self._pkt_vectors.append(FeatureVector(
+                key=fg_key, names=tuple(names),
+                values=np.concatenate(parts)))
+
+    @property
+    def packet_vectors(self) -> list[FeatureVector]:
+        """Per-packet vectors accumulated so far (per-pkt policies)."""
+        return self._pkt_vectors
+
+    def finalize(self) -> list[FeatureVector]:
+        """Produce the output feature vectors.
+
+        Per-packet policies return the vectors accumulated during
+        consumption; per-group policies emit one vector per group of the
+        collect granularity, including features of enclosing coarser
+        groups.
+        """
+        unit = self.compiled.collect_unit
+        if unit == "pkt":
+            return list(self._pkt_vectors)
+
+        unit_entry = next((sec, tbl) for sec, tbl in self._tables
+                          if sec.granularity.name == unit)
+        unit_section, unit_table = unit_entry
+        vectors = []
+        for key, _state in unit_table.items():
+            vec = self._group_vector(key, unit_section)
+            if vec is not None:
+                vectors.append(vec)
+        self.stats.vectors_emitted += len(vectors)
+        return vectors
+
+    def evict_idle(self, now_ns: int, timeout_ns: int
+                   ) -> list[FeatureVector]:
+        """NIC-side group aging: emit the final vector of every
+        collect-granularity group idle longer than ``timeout_ns`` and
+        free its state; idle groups of other sections are reaped without
+        emission.  Per-packet policies only reap (their vectors were
+        already emitted per cell).
+
+        This is the "feature vectors will be evicted from the SmartNIC"
+        path of §3.2 for long-running deployments.
+        """
+        if timeout_ns <= 0:
+            raise ValueError("timeout must be positive")
+        unit = self.compiled.collect_unit
+        vectors: list[FeatureVector] = []
+        if unit != "pkt":
+            unit_section, unit_table = next(
+                (sec, tbl) for sec, tbl in self._tables
+                if sec.granularity.name == unit)
+            idle = [key for key, state in unit_table.items()
+                    if now_ns - state.last_update > timeout_ns]
+            for key in idle:
+                vec = self._group_vector(key, unit_section)
+                if vec is not None:
+                    vectors.append(vec)
+                unit_table.remove(key)
+            self.stats.vectors_emitted += len(vectors)
+        for section, table in self._tables:
+            if unit != "pkt" and section.granularity.name == unit:
+                continue
+            idle = [key for key, state in table.items()
+                    if now_ns - state.last_update > timeout_ns]
+            for key in idle:
+                table.remove(key)
+        return vectors
+
+    def _group_vector(self, key: tuple,
+                      unit_section: Section) -> FeatureVector | None:
+        """Assemble one collect-unit group's vector (with enclosing
+        coarser-group features), as finalize() does per group."""
+        names: list[str] = []
+        parts: list[np.ndarray] = []
+        for section, table in self._tables:
+            if not section.collected:
+                continue
+            sec_key = (key if section is unit_section
+                       else section.granularity.project(key))
+            state = table.get(sec_key)
+            if state is None:
+                continue
+            collected = {f.name for f in section.collected}
+            for feat, reducer in state.reducers:
+                if feat.name in collected:
+                    names.append(feat.name)
+                    parts.append(self._finalize_feature(feat, reducer))
+        if not parts:
+            return None
+        return FeatureVector(key=key, names=tuple(names),
+                             values=np.concatenate(parts))
+
+    # -- accounting ----------------------------------------------------------
+
+    def total_state_bytes(self) -> int:
+        """Bytes of live reducer state across all group tables (Fig 15's
+        memory axis)."""
+        return sum(state.state_bytes()
+                   for _, table in self._tables
+                   for _, state in table.items())
+
+    def table_stats(self) -> dict:
+        return {section.granularity.name: table.stats
+                for section, table in self._tables}

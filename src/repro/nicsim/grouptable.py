@@ -1,0 +1,120 @@
+"""Group state tables with fixed-length chaining (§6.2, Fig 8).
+
+Each (granularity) section keeps its per-group states in a hash table
+organized so one 512-bit data-bus transfer covers a whole bucket: the
+table has ``n_indices`` buckets of ``width`` fixed entries each, sized so
+``width * entry_bytes <= bus width``.  Bucket-overflowing entries spill to
+external DRAM — slow, but harmless while the collision rate stays low.
+
+The table tracks access statistics (bucket hits, DRAM spills, cycle
+costs) that feed the NIC cycle model and the Table 4 memory column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nicsim.memory import DRAM, MemoryLevel
+from repro.streaming.hyperloglog import hash_key
+
+
+@dataclass
+class GroupTableStats:
+    lookups: int = 0
+    inserts: int = 0
+    bucket_hits: int = 0
+    dram_hits: int = 0
+    dram_entries_peak: int = 0
+    access_cycles: int = 0
+
+    @property
+    def collision_rate(self) -> float:
+        """Fraction of lookups that had to chase the DRAM chain."""
+        return self.dram_hits / self.lookups if self.lookups else 0.0
+
+
+class GroupTable:
+    """Fixed-length-chained hash table for per-group state objects.
+
+    ``state_factory`` builds a fresh state for a new group (the engine
+    passes a closure instantiating the section's map/reduce function
+    objects).  Lookups return ``(state, created)`` and account the memory
+    cycles of the access against ``stats``.
+    """
+
+    def __init__(self, n_indices: int, width: int, entry_bytes: int,
+                 level: MemoryLevel, state_factory,
+                 dram: MemoryLevel = DRAM) -> None:
+        if n_indices < 1 or width < 1:
+            raise ValueError("table geometry must be positive")
+        self.n_indices = n_indices
+        self.width = width
+        self.entry_bytes = entry_bytes
+        self.level = level
+        self.dram = dram
+        self.state_factory = state_factory
+        self.stats = GroupTableStats()
+        # buckets[i] maps key -> state, bounded to `width` entries.
+        self._buckets: list[dict] = [dict() for _ in range(n_indices)]
+        self._overflow: dict = {}
+
+    @property
+    def bucket_bytes(self) -> int:
+        return self.width * self.entry_bytes
+
+    def fits_bus(self) -> bool:
+        """True when one bus transfer loads a whole bucket (the design
+        target of §6.2)."""
+        return self.bucket_bytes <= self.level.bus_width_bytes
+
+    def lookup_or_insert(self, key) -> tuple[object, bool]:
+        self.stats.lookups += 1
+        idx = hash_key(key) % self.n_indices
+        bucket = self._buckets[idx]
+        self.stats.access_cycles += self.level.latency_cycles
+        if key in bucket:
+            self.stats.bucket_hits += 1
+            return bucket[key], False
+        if key in self._overflow:
+            self.stats.dram_hits += 1
+            self.stats.access_cycles += self.dram.latency_cycles
+            return self._overflow[key], False
+        # New group.
+        self.stats.inserts += 1
+        state = self.state_factory()
+        if len(bucket) < self.width:
+            bucket[key] = state
+        else:
+            self._overflow[key] = state
+            self.stats.dram_hits += 1
+            self.stats.access_cycles += self.dram.latency_cycles
+            self.stats.dram_entries_peak = max(
+                self.stats.dram_entries_peak, len(self._overflow))
+        return state, True
+
+    def get(self, key):
+        idx = hash_key(key) % self.n_indices
+        return self._buckets[idx].get(key) or self._overflow.get(key)
+
+    def items(self):
+        for bucket in self._buckets:
+            yield from bucket.items()
+        yield from self._overflow.items()
+
+    def remove(self, key) -> bool:
+        """Free a group's entry (NIC-side aging); True if it existed."""
+        idx = hash_key(key) % self.n_indices
+        if key in self._buckets[idx]:
+            del self._buckets[idx][key]
+            return True
+        if key in self._overflow:
+            del self._overflow[key]
+            return True
+        return False
+
+    def __len__(self) -> int:
+        return (sum(len(b) for b in self._buckets) + len(self._overflow))
+
+    def memory_bytes(self) -> int:
+        """Bytes resident in this table's on-chip level."""
+        return self.n_indices * self.bucket_bytes

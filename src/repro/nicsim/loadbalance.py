@@ -1,0 +1,63 @@
+"""Multi-SmartNIC load balancing (§8.5).
+
+"We can also add more SmartNICs to scale up FE-NIC further, with a
+simple load-balance mechanism implemented on the switch to distribute
+the MGPV traffic across them evenly."  This module implements that
+mechanism: the switch routes every MGPV record to a NIC by the CG-key
+hash it already computed, and each FG-sync message follows its owner CG
+group — so all state for one group lands on one NIC and no cross-NIC
+coordination is needed.
+"""
+
+from __future__ import annotations
+
+from repro.core.compiler import CompiledPolicy
+from repro.core.functions import ExecContext
+from repro.nicsim.engine import FeatureEngine, FeatureVector
+from repro.streaming.hyperloglog import hash_key
+from repro.switchsim.mgpv import Event, FGSync, MGPVRecord
+
+
+class NICCluster:
+    """A bank of FE-NIC engines fed by hash-based switch steering."""
+
+    def __init__(self, compiled: CompiledPolicy, n_nics: int,
+                 ctx: ExecContext | None = None, **engine_kwargs) -> None:
+        if n_nics < 1:
+            raise ValueError("need at least one NIC")
+        self.compiled = compiled
+        self.n_nics = n_nics
+        self.engines = [FeatureEngine(compiled, ctx=ctx, **engine_kwargs)
+                        for _ in range(n_nics)]
+
+    def _route_key(self, cg_key: tuple) -> int:
+        return hash_key(cg_key) % self.n_nics
+
+    def consume(self, event: Event) -> None:
+        if isinstance(event, FGSync):
+            # An FG key is referenced only by its owner CG group (§5.1),
+            # so the sync follows the group's route.
+            cg_key = self.compiled.cg.project(event.key)
+            self.engines[self._route_key(cg_key)].consume(event)
+        elif isinstance(event, MGPVRecord):
+            self.engines[self._route_key(event.cg_key)].consume(event)
+        else:
+            raise TypeError(f"unknown event {event!r}")
+
+    def run(self, events) -> "NICCluster":
+        for event in events:
+            self.consume(event)
+        return self
+
+    def finalize(self) -> list[FeatureVector]:
+        vectors = []
+        for engine in self.engines:
+            vectors.extend(engine.finalize())
+        return vectors
+
+    def cells_per_nic(self) -> list[int]:
+        """Load distribution (for the evenness check)."""
+        return [engine.stats.cells for engine in self.engines]
+
+    def orphan_cells(self) -> int:
+        return sum(engine.stats.orphan_cells for engine in self.engines)

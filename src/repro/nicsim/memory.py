@@ -1,0 +1,51 @@
+"""The NFP SmartNIC's hierarchical memory (§6.2, Fig 8).
+
+Netronome NFP-4000 processing cores see four on-chip memories with
+increasing size and latency — CLS and CTM are per-island, IMEM and EMEM
+are shared by all islands — plus external DRAM behind EMEM.  The data bus
+between cores and the memory subsystem moves 512-bit (64-byte) lines,
+which is the constraint the group-table placement ILP works against.
+
+Latency constants follow Netronome's published programmer references
+(approximate, in core cycles at 800 MHz).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemoryLevel:
+    """One level of the hierarchy."""
+
+    name: str
+    size_bytes: int
+    latency_cycles: int
+    bus_width_bytes: int = 64
+    island_local: bool = False   # shared only within an island
+
+    def __str__(self) -> str:
+        return (f"{self.name}({self.size_bytes // 1024} KB, "
+                f"{self.latency_cycles} cyc)")
+
+
+CLS = MemoryLevel("CLS", 64 * 1024, 30, island_local=True)
+CTM = MemoryLevel("CTM", 256 * 1024, 60, island_local=True)
+IMEM = MemoryLevel("IMEM", 4 * 1024 * 1024, 150)
+#: EMEM: the 3 MB on-chip cache fronting external memory; modelled with
+#: the cache plus a slice of its DRAM backing as directly placeable,
+#: keeping the paper's "increasing sizes, higher latencies" ordering.
+EMEM = MemoryLevel("EMEM", 8 * 1024 * 1024, 250)
+DRAM = MemoryLevel("DRAM", 2 * 1024 * 1024 * 1024, 500)
+
+#: On-chip hierarchy in placement order (fastest first).  DRAM is the
+#: overflow target for hash-collision chaining, not a placement target.
+NFP_MEMORY_HIERARCHY: list[MemoryLevel] = [CLS, CTM, IMEM, EMEM]
+
+
+def level_by_name(name: str) -> MemoryLevel:
+    for level in NFP_MEMORY_HIERARCHY + [DRAM]:
+        if level.name == name:
+            return level
+    raise KeyError(f"unknown memory level {name!r}")

@@ -1,0 +1,39 @@
+"""Streaming algorithms used by FE-NIC's reducing functions (§6.1).
+
+Every statistic here is computed in a single pass over the data with O(1)
+(or O(bins)) state, which is what makes feature computation feasible on
+SoC SmartNIC cores.  Each class follows the same small protocol:
+
+- ``update(x)`` — consume one value;
+- ``result()`` — current value of the statistic;
+- ``state_bytes`` — size of the retained state, for the Fig 15 memory
+  accounting;
+- ``merge(other)`` (where meaningful) — combine two partial states, used
+  when groups are split across NIC cores.
+
+:mod:`repro.streaming.naive` holds store-everything exact counterparts that
+serve both as test oracles and as the Fig 15 baseline.
+"""
+
+from repro.streaming.welford import Welford, WelfordDivisionFree
+from repro.streaming.moments import StreamingMoments
+from repro.streaming.hyperloglog import HyperLogLog
+from repro.streaming.histogram import (
+    FixedWidthHistogram,
+    VariableWidthHistogram,
+)
+from repro.streaming.bidirectional import BidirectionalStats
+from repro.streaming.damped import DampedStat, DampedCovariance, DampedWelford
+
+__all__ = [
+    "Welford",
+    "WelfordDivisionFree",
+    "StreamingMoments",
+    "HyperLogLog",
+    "FixedWidthHistogram",
+    "VariableWidthHistogram",
+    "BidirectionalStats",
+    "DampedStat",
+    "DampedCovariance",
+    "DampedWelford",
+]

@@ -1,0 +1,121 @@
+"""HyperLogLog cardinality estimation (§6.1, ``f_card``).
+
+The NIC computes a 32-bit hash per element; the first ``k`` bits index one
+of ``2^k`` buckets and the remaining ``32-k`` bits feed a leading-zero
+count.  Each bucket keeps the maximum observed rank, so the whole sketch is
+``2^k`` bytes — the paper's point is that exponentials and divisions reduce
+to shifts on the NFP cores.
+
+Two estimators are exposed:
+
+- :meth:`HyperLogLog.estimate` — the standard Flajolet et al. estimator
+  (harmonic mean with the alpha bias correction and linear-counting
+  small-range correction), used as the shipped ``f_card``;
+- :meth:`HyperLogLog.estimate_arith_mean` — the simplified
+  arithmetic-mean-of-2^M combiner the paper's prose describes, kept for
+  the accuracy-ablation bench.
+"""
+
+from __future__ import annotations
+
+
+def fmix32(value: int) -> int:
+    """MurmurHash3's 32-bit finalizer: a fast, well-mixing integer hash.
+
+    Deterministic across runs (unlike Python's ``hash``), cheap enough to
+    model the switch/NIC hash units.
+    """
+    h = value & 0xFFFFFFFF
+    h ^= h >> 16
+    h = (h * 0x85EBCA6B) & 0xFFFFFFFF
+    h ^= h >> 13
+    h = (h * 0xC2B2AE35) & 0xFFFFFFFF
+    h ^= h >> 16
+    return h
+
+
+def hash_key(key) -> int:
+    """Hash an arbitrary (hashable) key to 32 bits deterministically."""
+    if isinstance(key, int):
+        return fmix32(key)
+    if isinstance(key, tuple):
+        h = 0x9E3779B9
+        for part in key:
+            h = fmix32(h ^ hash_key(part))
+        return h
+    if isinstance(key, str):
+        h = 0x811C9DC5
+        for ch in key.encode():
+            h = ((h ^ ch) * 0x01000193) & 0xFFFFFFFF
+        return fmix32(h)
+    if isinstance(key, bool) or key is None:
+        return fmix32(int(bool(key)))
+    if isinstance(key, float):
+        return fmix32(int(key * 1024))
+    # Fall back to the structural hash of dataclass-like objects.
+    return fmix32(hash(key) & 0xFFFFFFFF)
+
+
+_ALPHA = {16: 0.673, 32: 0.697, 64: 0.709}
+
+
+class HyperLogLog:
+    """HLL sketch with ``2^k`` one-byte buckets."""
+
+    def __init__(self, k: int = 6) -> None:
+        if not 2 <= k <= 16:
+            raise ValueError("k must be in [2, 16]")
+        self.k = k
+        self.m = 1 << k
+        self.buckets = bytearray(self.m)
+
+    @property
+    def state_bytes(self) -> int:
+        return self.m
+
+    def update(self, element) -> None:
+        h = hash_key(element)
+        idx = h >> (32 - self.k)
+        rest = h & ((1 << (32 - self.k)) - 1)
+        # Rank = leading zeros in the remaining bits + 1.
+        width = 32 - self.k
+        rank = width - rest.bit_length() + 1
+        if rank > self.buckets[idx]:
+            self.buckets[idx] = rank
+
+    def _alpha(self) -> float:
+        if self.m in _ALPHA:
+            return _ALPHA[self.m]
+        return 0.7213 / (1 + 1.079 / self.m)
+
+    def estimate(self) -> float:
+        """Standard HLL estimate with small-range (linear counting)
+        correction."""
+        inv_sum = sum(2.0 ** -b for b in self.buckets)
+        raw = self._alpha() * self.m * self.m / inv_sum
+        if raw <= 2.5 * self.m:
+            zeros = self.buckets.count(0)
+            if zeros:
+                import math
+                return self.m * math.log(self.m / zeros)
+        return raw
+
+    def estimate_arith_mean(self) -> float:
+        """The paper's simplified combiner: per-bucket estimate ``2^M_j``
+        averaged arithmetically.  Higher variance than the harmonic-mean
+        estimator; kept for the ablation bench."""
+        nonzero = [b for b in self.buckets if b]
+        if not nonzero:
+            return 0.0
+        mean_rank = sum(nonzero) / len(nonzero)
+        return len(nonzero) * (2.0 ** mean_rank) / 2.0
+
+    def result(self) -> float:
+        return self.estimate()
+
+    def merge(self, other: "HyperLogLog") -> None:
+        if other.k != self.k:
+            raise ValueError("cannot merge sketches with different k")
+        for i in range(self.m):
+            if other.buckets[i] > self.buckets[i]:
+                self.buckets[i] = other.buckets[i]

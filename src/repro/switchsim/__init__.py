@@ -1,0 +1,23 @@
+"""FE-Switch simulator: the multi-granularity key-vector cache (MGPV) of
+§5, the single-granularity GPV baseline (*Flow), the recirculation aging
+scanner, the match-action filter stage, and the switch resource model."""
+
+from repro.switchsim.mgpv import (
+    MGPVCache,
+    MGPVConfig,
+    MGPVRecord,
+    FGSync,
+    CacheStats,
+)
+from repro.switchsim.gpv import GPVCache
+from repro.switchsim.filter import FilterStage
+
+__all__ = [
+    "MGPVCache",
+    "MGPVConfig",
+    "MGPVRecord",
+    "FGSync",
+    "CacheStats",
+    "GPVCache",
+    "FilterStage",
+]

@@ -1,0 +1,51 @@
+"""Aging-mechanism analysis helpers (§5.2, Fig 14).
+
+The aging scan itself lives inside :class:`~repro.switchsim.mgpv.MGPVCache`
+(recirculated internal packets advance a cursor over cache entries and
+evict groups idle longer than ``T``).  This module provides the sweep
+driver Fig 14 uses: run one trace through caches configured with a range
+of timeouts and report aggregation ratio and buffer efficiency per ``T``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.granularity import Granularity
+from repro.net.packet import Packet
+from repro.switchsim.mgpv import MGPVCache, MGPVConfig
+
+
+@dataclass(frozen=True)
+class AgingPoint:
+    """One sweep point: the timeout and the two Fig 14 metrics."""
+
+    timeout_ns: int | None
+    aggregation_ratio: float
+    buffer_efficiency: float
+    aging_evictions: int
+
+
+def sweep_aging_timeouts(packets: list[Packet], cg: Granularity,
+                         fg: Granularity,
+                         timeouts_ns: list[int | None],
+                         config: MGPVConfig | None = None,
+                         metadata_fields: tuple[str, ...] = ("size",
+                                                             "tstamp"),
+                         ) -> list[AgingPoint]:
+    """Replay ``packets`` once per timeout value (None = aging disabled)
+    and collect the Fig 14 series."""
+    base = config or MGPVConfig()
+    points = []
+    for timeout in timeouts_ns:
+        cfg = replace(base, aging_timeout_ns=timeout)
+        cache = MGPVCache(cg, fg, cfg, metadata_fields)
+        for _ in cache.process(packets):
+            pass
+        points.append(AgingPoint(
+            timeout_ns=timeout,
+            aggregation_ratio=cache.stats.aggregation_ratio_bytes,
+            buffer_efficiency=cache.buffer_efficiency(),
+            aging_evictions=cache.stats.evictions["aging"],
+        ))
+    return points

@@ -1,0 +1,49 @@
+"""The FE-Switch filter stage (§5): a single match-action table.
+
+The compiler converts each packet-level ``filter(p)`` predicate into a
+rule; the stage admits a packet only when every installed rule matches
+(predicates in a chain are conjunctive — each filter narrows the stream).
+Callable predicates (a software-only convenience for tests) are applied
+directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.core.policy import Predicate
+from repro.net.packet import Packet
+
+
+class FilterStage:
+    """Match-action filtering with simple hit/miss counters."""
+
+    def __init__(self, predicates: list[Predicate | Callable[[Packet], bool]]
+                 ) -> None:
+        self.predicates = list(predicates)
+        self.hits = 0
+        self.misses = 0
+
+    def admit(self, pkt: Packet) -> bool:
+        for pred in self.predicates:
+            matched = (pred.matches(pkt) if isinstance(pred, Predicate)
+                       else pred(pkt))
+            if not matched:
+                self.misses += 1
+                return False
+        self.hits += 1
+        return True
+
+    def apply(self, packets: Iterable[Packet]) -> Iterator[Packet]:
+        return (pkt for pkt in packets if self.admit(pkt))
+
+    @property
+    def n_rules(self) -> int:
+        """Match-action rules the table needs (one per condition)."""
+        total = 0
+        for pred in self.predicates:
+            if isinstance(pred, Predicate):
+                total += len(pred.conditions)
+            else:
+                total += 1
+        return max(total, 1) if self.predicates else 0

@@ -1,0 +1,375 @@
+"""The MGPV (Multi-granularity Grouped Packet Vector) cache system (§5).
+
+The switch groups packets at the *coarsest* granularity (CG) of the
+policy's dependency chain and stores, per packet, a small metadata cell
+that includes an index into a separate FG-key hash table holding the
+*finest*-granularity key.  The FG table is synchronized to the SmartNIC,
+which recovers every intermediate granularity by projecting FG keys — so
+one copy of the metadata serves all granularities (Fig 6/7).
+
+Storage follows the long-tail flow distribution (§5.2): every CG group
+gets a small *short buffer* (hash-indexed array); groups that fill it pop
+a pointer to a much larger *long buffer* from a stack.  Metadata leaves
+the switch toward the NIC as :class:`MGPVRecord` messages, triggered by
+
+1. **hash collision** — a new group maps to an occupied slot: the older
+   group is evicted (an LRU-like policy, §5.2);
+2. **buffer fill-up** — a short buffer fills with no long buffer
+   available, or a long buffer fills;
+3. **aging** — recirculated internal packets scan entries and evict
+   groups idle longer than the timeout ``T``.
+
+The cache maintains the invariant that an FG-table entry is referenced
+only by the CG group its key projects onto; evicting a CG group frees all
+of its FG entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Union
+
+from repro.core.granularity import Granularity
+from repro.net.packet import Packet
+from repro.streaming.hyperloglog import hash_key
+
+
+@dataclass(frozen=True)
+class MGPVConfig:
+    """Sizing and policy knobs, defaulting to the prototype's values (§7):
+    16384 short buffers of 4 cells, 4096 long buffers of 20 cells, an FG
+    table the size of the short-buffer array."""
+
+    n_short: int = 16384
+    short_size: int = 4
+    n_long: int = 4096
+    long_size: int = 20
+    fg_table_size: int = 16384
+    aging_timeout_ns: int | None = None     # None disables aging
+    aging_scan_per_pkt: int = 2             # entries checked per recirculation
+    cell_bytes: int = 9                     # metadata bytes per packet cell
+    cg_key_bytes: int = 4
+    fg_key_bytes: int = 13
+    record_header_bytes: int = 10           # cg key hash + length + seq
+
+    def __post_init__(self) -> None:
+        if min(self.n_short, self.short_size, self.n_long, self.long_size,
+               self.fg_table_size) < 1:
+            raise ValueError("all MGPV sizes must be positive")
+
+    @property
+    def sram_bytes(self) -> int:
+        """Total switch SRAM footprint of the MGPV structures."""
+        short = self.n_short * (self.short_size * self.cell_bytes
+                                + self.cg_key_bytes + 8)   # key + bookkeeping
+        long = self.n_long * self.long_size * self.cell_bytes
+        stack = self.n_long * 2
+        fg = self.fg_table_size * self.fg_key_bytes
+        return short + long + stack + fg
+
+
+@dataclass(frozen=True)
+class FGSync:
+    """Switch -> NIC notification: FG-table slot ``index`` now holds
+    ``key`` (§5.1's synchronized hash table)."""
+
+    index: int
+    key: tuple
+
+    def wire_bytes(self, config: MGPVConfig) -> int:
+        return 2 + config.fg_key_bytes
+
+
+@dataclass(frozen=True)
+class MGPVRecord:
+    """One evicted MGPV: the CG group key, the switch's 32-bit hash of it
+    (reused by the NIC, §6.2), and the packet metadata cells — each cell
+    is ``(fg_index, metadata_tuple)``."""
+
+    cg_key: tuple
+    cg_hash32: int
+    cells: tuple
+    reason: str                              # collision|short_full|long_full|aging|flush
+
+    def wire_bytes(self, config: MGPVConfig) -> int:
+        return (config.record_header_bytes + config.cg_key_bytes
+                + len(self.cells) * config.cell_bytes)
+
+
+Event = Union[FGSync, MGPVRecord]
+
+
+@dataclass
+class CacheStats:
+    """Counters the Fig 12-14 benches read."""
+
+    pkts_in: int = 0
+    bytes_in: int = 0
+    records_out: int = 0
+    cells_out: int = 0
+    bytes_out: int = 0
+    syncs_out: int = 0
+    evictions: dict = field(default_factory=lambda: {
+        "collision": 0, "short_full": 0, "long_full": 0, "aging": 0,
+        "flush": 0})
+    long_allocs: int = 0
+    long_alloc_failures: int = 0
+    fg_collisions: int = 0
+
+    @property
+    def aggregation_ratio_bytes(self) -> float:
+        """Bytes to the NIC / original traffic bytes (Fig 12)."""
+        return self.bytes_out / self.bytes_in if self.bytes_in else 0.0
+
+    @property
+    def aggregation_ratio_rate(self) -> float:
+        """Messages to the NIC / packets received (Fig 12)."""
+        if not self.pkts_in:
+            return 0.0
+        return (self.records_out + self.syncs_out) / self.pkts_in
+
+
+class _Entry:
+    """One CG group resident in the cache."""
+
+    __slots__ = ("cg_key", "hash32", "short", "long", "long_idx",
+                 "last_access", "fg_indices")
+
+    def __init__(self, cg_key: tuple, hash32: int, now: int) -> None:
+        self.cg_key = cg_key
+        self.hash32 = hash32
+        self.short: list = []
+        self.long: list = []
+        self.long_idx: int | None = None
+        self.last_access = now
+        self.fg_indices: set[int] = set()
+
+
+class MGPVCache:
+    """Functional simulator of the FE-Switch MGPV batching engine.
+
+    Feed packets with :meth:`insert` (or drive a whole trace with
+    :meth:`process`); it yields the ordered switch->NIC event stream of
+    :class:`FGSync` and :class:`MGPVRecord` messages.  Call :meth:`flush`
+    at end-of-trace to drain resident groups.
+    """
+
+    def __init__(self, cg: Granularity, fg: Granularity,
+                 config: MGPVConfig | None = None,
+                 metadata_fields: tuple[str, ...] = ("size", "tstamp"),
+                 ) -> None:
+        self.cg = cg
+        self.fg = fg
+        self.config = config or MGPVConfig()
+        self.metadata_fields = metadata_fields
+        self.stats = CacheStats()
+        self._slots: list[_Entry | None] = [None] * self.config.n_short
+        self._long_stack: list[int] = list(range(self.config.n_long))
+        self._fg_keys: list[tuple | None] = [None] * self.config.fg_table_size
+        self._fg_owner_slot: list[int | None] = (
+            [None] * self.config.fg_table_size)
+        self._aging_cursor = 0
+        self._now = 0
+        # Occupancy-time integrals for buffer-efficiency reporting (Fig 14).
+        self._occ_samples = 0
+        self._occ_occupied = 0
+        self._occ_active = 0
+
+    # -- public API ----------------------------------------------------------
+
+    def insert(self, pkt: Packet) -> list[Event]:
+        """Process one packet; returns the switch->NIC events it caused."""
+        self._now = max(self._now, pkt.tstamp)
+        self.stats.pkts_in += 1
+        self.stats.bytes_in += pkt.size
+        events: list[Event] = []
+
+        if self.config.aging_timeout_ns is not None:
+            events.extend(self._aging_scan())
+
+        fg_key = self.fg.packet_key(pkt)
+        cg_key = self.cg.project(fg_key)
+        hash32 = hash_key(cg_key)
+        slot_idx = hash32 % self.config.n_short
+
+        entry = self._slots[slot_idx]
+        if entry is not None and entry.cg_key != cg_key:
+            # Case 1: hash collision — evict the older group (LRU-like).
+            events.append(self._evict(slot_idx, "collision"))
+            entry = None
+        if entry is None:
+            entry = _Entry(cg_key, hash32, pkt.tstamp)
+            self._slots[slot_idx] = entry
+
+        fg_idx, fg_events = self._resolve_fg(fg_key, slot_idx)
+        events.extend(fg_events)
+        # The FG collision path may have evicted our own entry (when the
+        # displaced FG key belonged to this CG group); re-create it.
+        entry = self._slots[slot_idx]
+        if entry is None or entry.cg_key != cg_key:
+            entry = _Entry(cg_key, hash32, pkt.tstamp)
+            self._slots[slot_idx] = entry
+        entry.fg_indices.add(fg_idx)
+        entry.last_access = pkt.tstamp
+
+        cell = (fg_idx, tuple(pkt.field(f) for f in self.metadata_fields))
+        events.extend(self._append_cell(slot_idx, entry, cell))
+        self._sample_occupancy()
+        return events
+
+    def process(self, packets: Iterable[Packet],
+                flush_at_end: bool = True) -> Iterator[Event]:
+        """Drive a whole trace through the cache."""
+        for pkt in packets:
+            yield from self.insert(pkt)
+        if flush_at_end:
+            yield from self.flush()
+
+    def flush(self) -> list[Event]:
+        """Drain every resident group (end of measurement)."""
+        events = []
+        for idx, entry in enumerate(self._slots):
+            if entry is not None and (entry.short or entry.long):
+                events.append(self._evict(idx, "flush"))
+            elif entry is not None:
+                self._remove(idx)
+        return events
+
+    @property
+    def now_ns(self) -> int:
+        """The switch's notion of current time (last packet seen)."""
+        return self._now
+
+    @property
+    def resident_groups(self) -> int:
+        return sum(1 for e in self._slots if e is not None)
+
+    @property
+    def long_buffers_in_use(self) -> int:
+        return self.config.n_long - len(self._long_stack)
+
+    def buffer_efficiency(self, active_window_ns: int = 100_000_000
+                          ) -> float:
+        """Time-averaged fraction of occupied buffer slots whose group was
+        recently active (Fig 14's buffer-efficiency metric)."""
+        if self._occ_occupied == 0:
+            return 1.0
+        return self._occ_active / self._occ_occupied
+
+    def memory_bytes(self) -> int:
+        """Configured SRAM footprint (Fig 13's memory axis)."""
+        return self.config.sram_bytes
+
+    # -- internals -----------------------------------------------------------
+
+    def _resolve_fg(self, fg_key: tuple, inserting_slot: int
+                    ) -> tuple[int, list[Event]]:
+        events: list[Event] = []
+        fg_idx = hash_key(fg_key) % self.config.fg_table_size
+        existing = self._fg_keys[fg_idx]
+        if existing == fg_key:
+            return fg_idx, events
+        if existing is not None:
+            # FG slot collision: the displaced key's owner group must be
+            # flushed first — its resident cells reference this index.
+            self.stats.fg_collisions += 1
+            owner = self._fg_owner_slot[fg_idx]
+            if owner is not None and self._slots[owner] is not None:
+                events.append(self._evict(owner, "collision"))
+        self._fg_keys[fg_idx] = fg_key
+        self._fg_owner_slot[fg_idx] = inserting_slot
+        sync = FGSync(fg_idx, fg_key)
+        events.append(sync)
+        self.stats.syncs_out += 1
+        self.stats.bytes_out += sync.wire_bytes(self.config)
+        return fg_idx, events
+
+    def _append_cell(self, slot_idx: int, entry: _Entry, cell
+                     ) -> list[Event]:
+        events: list[Event] = []
+        cfg = self.config
+        if entry.long_idx is not None:
+            entry.long.append(cell)
+            if len(entry.long) >= cfg.long_size:
+                # Case 2b: long buffer full — evict short + long, release
+                # the long pointer; the (likely long) flow keeps its entry.
+                events.append(self._emit(entry, "long_full"))
+                self._long_stack.append(entry.long_idx)
+                entry.long_idx = None
+                entry.short = []
+                entry.long = []
+            return events
+        entry.short.append(cell)
+        if len(entry.short) >= cfg.short_size:
+            if self._long_stack:
+                entry.long_idx = self._long_stack.pop()
+                self.stats.long_allocs += 1
+            else:
+                # Case 2a: short full, no long buffer — evict the short
+                # buffer so it can be reused.
+                self.stats.long_alloc_failures += 1
+                events.append(self._emit(entry, "short_full"))
+                entry.short = []
+        return events
+
+    def _emit(self, entry: _Entry, reason: str) -> MGPVRecord:
+        record = MGPVRecord(
+            cg_key=entry.cg_key, cg_hash32=entry.hash32,
+            cells=tuple(entry.short) + tuple(entry.long), reason=reason)
+        self.stats.records_out += 1
+        self.stats.cells_out += len(record.cells)
+        self.stats.bytes_out += record.wire_bytes(self.config)
+        self.stats.evictions[reason] += 1
+        return record
+
+    def _evict(self, slot_idx: int, reason: str) -> MGPVRecord:
+        entry = self._slots[slot_idx]
+        assert entry is not None
+        record = self._emit(entry, reason)
+        self._remove(slot_idx)
+        return record
+
+    def _remove(self, slot_idx: int) -> None:
+        entry = self._slots[slot_idx]
+        if entry is None:
+            return
+        if entry.long_idx is not None:
+            self._long_stack.append(entry.long_idx)
+        for fg_idx in entry.fg_indices:
+            if self._fg_owner_slot[fg_idx] == slot_idx:
+                self._fg_keys[fg_idx] = None
+                self._fg_owner_slot[fg_idx] = None
+        self._slots[slot_idx] = None
+
+    def _aging_scan(self) -> list[Event]:
+        """Model of the recirculated internal packets: each arriving packet
+        advances the scan cursor over a few entries, evicting timed-out
+        groups entirely in the data plane (§5.2)."""
+        timeout = self.config.aging_timeout_ns
+        assert timeout is not None
+        events: list[Event] = []
+        for _ in range(self.config.aging_scan_per_pkt):
+            idx = self._aging_cursor
+            self._aging_cursor = (idx + 1) % self.config.n_short
+            entry = self._slots[idx]
+            if entry is None:
+                continue
+            if self._now - entry.last_access > timeout:
+                if entry.short or entry.long:
+                    events.append(self._evict(idx, "aging"))
+                else:
+                    self._remove(idx)
+        return events
+
+    def _sample_occupancy(self, active_window_ns: int = 100_000_000,
+                          stride: int = 64) -> None:
+        # Sample every `stride` packets to keep accounting cheap.
+        if self.stats.pkts_in % stride:
+            return
+        for entry in self._slots:
+            if entry is None:
+                continue
+            self._occ_occupied += 1
+            if self._now - entry.last_access <= active_window_ns:
+                self._occ_active += 1
+        self._occ_samples += 1

@@ -1,0 +1,106 @@
+"""Switch resource accounting (Table 4).
+
+Models the Tofino resources the FE-Switch program consumes: logical
+match-action tables, stateful ALUs, and SRAM blocks.  The capacity
+constants follow the Tofino-1 architecture (12 stages; 16 logical tables,
+4 sALUs, and 80 SRAM blocks of 16 KB per stage), which also matches the
+granularity of the percentages the paper reports.
+
+The estimator is structural: every register array the MGPV needs costs
+sALUs proportional to its word width (registers are 32-bit), and both the
+insert and the evict/resubmit paths touch the arrays, doubling the count —
+the reason Table 4 shows sALUs as the dominant resource.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.compiler import CompiledPolicy
+from repro.switchsim.mgpv import MGPVConfig
+
+
+@dataclass(frozen=True)
+class SwitchProfile:
+    """Capacity of the target switch ASIC."""
+
+    name: str = "Tofino-1"
+    stages: int = 12
+    tables_total: int = 192         # 16 logical tables per stage
+    salus_total: int = 48           # 4 per stage
+    sram_blocks_total: int = 960    # 80 per stage
+    sram_block_bytes: int = 16384
+
+
+TOFINO = SwitchProfile()
+
+#: Logical tables any production pipeline spends on basic L2/L3 forwarding,
+#: which FE-Switch coexists with (§8.3's "common forwarding behaviors").
+_BASE_FORWARDING_TABLES = 30
+#: FE-Switch fixed control tables: hash computation, buffer management,
+#: stack push/pop with resubmit, eviction steering, aging recirculation.
+_MGPV_CONTROL_TABLES = 13
+#: Fixed sALUs: stack pointer, stack array, aging timestamp + cursor,
+#: and two hash/CRC engine slots.
+_MGPV_BASE_SALUS = 6
+
+
+def _words(nbytes: int) -> int:
+    """32-bit register words needed to hold ``nbytes``."""
+    return max(1, math.ceil(nbytes / 4))
+
+
+@dataclass(frozen=True)
+class SwitchResourceReport:
+    tables_used: int
+    salus_used: int
+    sram_blocks_used: int
+    profile: SwitchProfile
+
+    @property
+    def tables_pct(self) -> float:
+        return 100.0 * self.tables_used / self.profile.tables_total
+
+    @property
+    def salus_pct(self) -> float:
+        return 100.0 * self.salus_used / self.profile.salus_total
+
+    @property
+    def sram_pct(self) -> float:
+        return 100.0 * self.sram_blocks_used / self.profile.sram_blocks_total
+
+    def fits(self) -> bool:
+        return (self.tables_used <= self.profile.tables_total
+                and self.salus_used <= self.profile.salus_total
+                and self.sram_blocks_used <= self.profile.sram_blocks_total)
+
+
+def estimate_switch_resources(compiled: CompiledPolicy,
+                              config: MGPVConfig | None = None,
+                              profile: SwitchProfile = TOFINO,
+                              ) -> SwitchResourceReport:
+    """Estimate Table 4's switch columns for a compiled policy."""
+    config = config or MGPVConfig()
+
+    n_filter_rules = max(len(compiled.switch_filters), 0)
+    n_grans = len(compiled.chain)
+    n_meta = len(compiled.metadata_fields)
+
+    tables = (_BASE_FORWARDING_TABLES + _MGPV_CONTROL_TABLES
+              + (1 if n_filter_rules else 0)       # the filter table
+              + 3 * n_grans                        # per-granularity keying
+              + n_meta)                            # per-field extraction
+
+    cell_words = _words(compiled.metadata_bytes_per_pkt)
+    cg_words = _words(compiled.cg.key_bytes)
+    fg_words = _words(compiled.fg.key_bytes)
+    # Insert path + evict/resubmit path each access every register array.
+    salus = _MGPV_BASE_SALUS + 2 * (cell_words * 2   # short + long regions
+                                    + cg_words + fg_words)
+
+    sram_bytes = config.sram_bytes
+    sram_blocks = (math.ceil(sram_bytes / profile.sram_block_bytes)
+                   + tables)    # each logical table needs ~1 block overhead
+
+    return SwitchResourceReport(tables, salus, sram_blocks, profile)

@@ -1,0 +1,148 @@
+"""Tofino pipeline-stage allocation for the FE-Switch program.
+
+A Tofino pipeline has 12 match-action stages; every register array is
+bound to one stage and a packet can touch it only there, so the MGPV
+program's operations must be laid out along the pipeline respecting
+their data dependencies (hash before lookup, lookup before append,
+fill-count before eviction decision...).  Operations that don't fit the
+first pass run in a *resubmit* pass — exactly how the long-buffer
+stack's allocate/release semantics work in the paper (§5.2).
+
+:func:`allocate_stages` performs a greedy topological (ASAP) allocation
+of the compiled policy's operation DAG onto stages with per-stage sALU
+and table capacity, reporting the stage map, whether one pass fits, and
+how many resubmit passes are needed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.compiler import CompiledPolicy
+from repro.switchsim.mgpv import MGPVConfig
+from repro.switchsim.resources import SwitchProfile, TOFINO
+
+
+@dataclass(frozen=True)
+class SwitchOp:
+    """One pipeline operation: consumes sALUs and/or logical tables in a
+    single stage."""
+
+    name: str
+    deps: tuple[str, ...] = ()
+    salus: int = 0
+    tables: int = 1
+
+
+def _words(nbytes: int) -> int:
+    return max(1, math.ceil(nbytes / 4))
+
+
+def build_op_dag(compiled: CompiledPolicy,
+                 config: MGPVConfig | None = None) -> list[SwitchOp]:
+    """The FE-Switch operation DAG for a compiled policy."""
+    config = config or MGPVConfig()
+    ops: list[SwitchOp] = []
+    ops.append(SwitchOp("parse", tables=2))
+    prev = "parse"
+    if compiled.switch_filters:
+        ops.append(SwitchOp("filter", deps=(prev,), tables=1))
+        prev = "filter"
+
+    ops.append(SwitchOp("hash_cg", deps=(prev,), tables=1, salus=1))
+    ops.append(SwitchOp("hash_fg", deps=(prev,), tables=1, salus=1))
+
+    cg_words = _words(compiled.cg.key_bytes)
+    for w in range(cg_words):
+        ops.append(SwitchOp(f"cg_key_cmp_{w}", deps=("hash_cg",),
+                            salus=1))
+    cg_done = tuple(f"cg_key_cmp_{w}" for w in range(cg_words))
+
+    fg_words = _words(compiled.fg.key_bytes)
+    for w in range(fg_words):
+        ops.append(SwitchOp(f"fg_key_cmp_{w}", deps=("hash_fg",),
+                            salus=1))
+    fg_done = tuple(f"fg_key_cmp_{w}" for w in range(fg_words))
+
+    ops.append(SwitchOp("fill_count", deps=cg_done, salus=1))
+    ops.append(SwitchOp("last_access", deps=cg_done, salus=1))
+    ops.append(SwitchOp("long_ptr", deps=("fill_count",), salus=1))
+
+    cell_words = _words(compiled.metadata_bytes_per_pkt)
+    for w in range(cell_words):
+        ops.append(SwitchOp(f"cell_write_{w}",
+                            deps=("fill_count",) + fg_done, salus=1))
+    ops.append(SwitchOp("stack_top", deps=("long_ptr",), salus=1))
+    ops.append(SwitchOp("stack_array", deps=("stack_top",), salus=1))
+    ops.append(SwitchOp("evict_steer",
+                        deps=tuple(f"cell_write_{w}"
+                                   for w in range(cell_words))
+                        + ("stack_array", "last_access"),
+                        tables=2))
+    return ops
+
+
+@dataclass
+class StageAllocation:
+    """Result of laying the DAG onto the pipeline."""
+
+    stage_of: dict                      # op name -> stage index
+    n_stages: int
+    n_passes: int                       # 1 = single pass, 2+ = resubmits
+    profile: SwitchProfile
+
+    @property
+    def fits_single_pass(self) -> bool:
+        return self.n_passes == 1
+
+    def ops_in_stage(self, stage: int) -> list[str]:
+        return sorted(op for op, s in self.stage_of.items()
+                      if s == stage)
+
+
+def allocate_stages(compiled: CompiledPolicy,
+                    config: MGPVConfig | None = None,
+                    profile: SwitchProfile = TOFINO) -> StageAllocation:
+    """ASAP allocation with per-stage capacity: each op lands in the
+    first stage after all of its dependencies with free sALUs/tables;
+    ops pushed past the last stage run in a resubmit pass (stage indices
+    continue counting across passes)."""
+    ops = build_op_dag(compiled, config)
+    by_name = {op.name: op for op in ops}
+    for op in ops:
+        for dep in op.deps:
+            if dep not in by_name:
+                raise ValueError(f"{op.name} depends on unknown {dep}")
+
+    salus_per_stage = profile.salus_total // profile.stages
+    tables_per_stage = profile.tables_total // profile.stages
+    used_salus: dict[int, int] = {}
+    used_tables: dict[int, int] = {}
+    stage_of: dict[str, int] = {}
+
+    remaining = list(ops)
+    while remaining:
+        progressed = False
+        for op in list(remaining):
+            if any(dep not in stage_of for dep in op.deps):
+                continue
+            earliest = max((stage_of[dep] + 1 for dep in op.deps),
+                           default=0)
+            stage = earliest
+            while (used_salus.get(stage, 0) + op.salus > salus_per_stage
+                   or used_tables.get(stage, 0) + op.tables
+                   > tables_per_stage):
+                stage += 1
+            stage_of[op.name] = stage
+            used_salus[stage] = used_salus.get(stage, 0) + op.salus
+            used_tables[stage] = used_tables.get(stage, 0) + op.tables
+            remaining.remove(op)
+            progressed = True
+        if not progressed:
+            raise ValueError("dependency cycle in the operation DAG")
+
+    n_stages = max(stage_of.values()) + 1
+    n_passes = math.ceil(n_stages / profile.stages)
+    return StageAllocation(stage_of=stage_of, n_stages=n_stages,
+                           n_passes=n_passes, profile=profile)

@@ -1,0 +1,33 @@
+"""Shared fixtures: small deterministic traces and common policies."""
+
+import pytest
+
+from repro import pktstream
+from repro.net.trace import generate_trace
+
+
+@pytest.fixture(scope="session")
+def enterprise_trace():
+    """A small ENTERPRISE trace (deterministic)."""
+    return generate_trace("ENTERPRISE", n_flows=200, seed=42)
+
+
+@pytest.fixture(scope="session")
+def campus_trace():
+    return generate_trace("CAMPUS", n_flows=120, seed=42)
+
+
+@pytest.fixture()
+def basic_flow_policy():
+    """The Fig 3 per-flow statistics policy."""
+    return (
+        pktstream()
+        .filter("tcp.exist")
+        .groupby("flow")
+        .map("one", None, "f_one")
+        .reduce("one", ["f_sum"])
+        .map("ipt", "tstamp", "f_ipt")
+        .reduce("size", ["f_mean", "f_var", "f_min", "f_max"])
+        .reduce("ipt", ["f_mean", "f_var", "f_min", "f_max"])
+        .collect("flow")
+    )

@@ -1,0 +1,56 @@
+"""Autoencoder: reconstruction learning and anomaly separation."""
+
+import numpy as np
+import pytest
+
+from repro.apps.detectors.autoencoder import Autoencoder
+
+
+def test_dim_validation():
+    with pytest.raises(ValueError):
+        Autoencoder(0)
+
+
+def test_hidden_ratio():
+    ae = Autoencoder(100, hidden_ratio=0.75)
+    assert ae.hidden == 75
+    assert Autoencoder(1, hidden_ratio=0.1).hidden == 1
+
+
+def test_training_reduces_reconstruction_error():
+    rng = np.random.default_rng(0)
+    data = rng.uniform(0, 1, (400, 8)) * np.array([1, 2, 3, 4, 5, 6, 7, 8])
+    ae = Autoencoder(8, seed=1)
+    ae.partial_fit(data[:50])      # initialize normalizer
+    before = ae.score(data).mean()
+    ae.fit(data, epochs=15)
+    after = ae.score(data).mean()
+    assert after < before
+
+
+def test_anomalies_score_higher():
+    rng = np.random.default_rng(1)
+    # Benign: strongly correlated features; anomaly: independent.
+    base = rng.normal(0, 1, (600, 1))
+    benign = np.hstack([base + rng.normal(0, 0.05, (600, 1))
+                        for _ in range(6)])
+    ae = Autoencoder(6, hidden_ratio=0.5, seed=2).fit(benign, epochs=150)
+    anomalies = rng.normal(0, 1, (100, 6))
+    benign_scores = ae.score(benign[:100])
+    anomaly_scores = ae.score(anomalies)
+    assert anomaly_scores.mean() > 3.0 * benign_scores.mean()
+
+
+def test_score_shape_and_range():
+    ae = Autoencoder(4, seed=3)
+    data = np.random.default_rng(2).uniform(0, 10, (50, 4))
+    ae.fit(data, epochs=2)
+    scores = ae.score(data)
+    assert scores.shape == (50,)
+    assert np.all(scores >= 0)
+
+
+def test_single_sample_partial_fit():
+    ae = Autoencoder(3, seed=4)
+    ae.partial_fit(np.array([1.0, 2.0, 3.0]))
+    assert ae._trained == 1

@@ -1,0 +1,79 @@
+"""KitNET: feature mapping, ensemble training, anomaly detection."""
+
+import numpy as np
+import pytest
+
+from repro.apps.detectors.kitnet import KitNET, cluster_features
+
+
+def correlated_benign(n=500, seed=0):
+    """12 features in 3 correlated blocks of 4."""
+    rng = np.random.default_rng(seed)
+    blocks = []
+    for b in range(3):
+        base = rng.normal(0, 1, (n, 1))
+        blocks.append(np.hstack(
+            [base * (b + 1) + rng.normal(0, 0.1, (n, 1))
+             for _ in range(4)]))
+    return np.hstack(blocks)
+
+
+class TestFeatureMapper:
+    def test_clusters_cover_all_features(self):
+        data = correlated_benign()
+        clusters = cluster_features(data, max_group=5)
+        flat = sorted(i for c in clusters for i in c)
+        assert flat == list(range(12))
+
+    def test_respects_max_group(self):
+        clusters = cluster_features(correlated_benign(), max_group=4)
+        assert all(len(c) <= 4 for c in clusters)
+
+    def test_correlated_features_grouped(self):
+        clusters = cluster_features(correlated_benign(), max_group=4)
+        # Each block of 4 correlated features should land together.
+        cluster_of = {}
+        for ci, cols in enumerate(clusters):
+            for col in cols:
+                cluster_of[col] = ci
+        for block in range(3):
+            cols = [block * 4 + i for i in range(4)]
+            assert len({cluster_of[c] for c in cols}) == 1
+
+    def test_constant_columns_dont_crash(self):
+        data = correlated_benign()
+        data[:, 0] = 5.0
+        clusters = cluster_features(data, max_group=4)
+        assert sorted(i for c in clusters for i in c) == list(range(12))
+
+
+class TestKitNET:
+    def test_requires_enough_samples(self):
+        with pytest.raises(ValueError):
+            KitNET().fit(np.zeros((5, 4)))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            KitNET().score(np.zeros((1, 4)))
+        with pytest.raises(RuntimeError):
+            KitNET().predict(np.zeros((1, 4)))
+
+    def test_detects_distribution_shift(self):
+        benign = correlated_benign(600, seed=1)
+        net = KitNET(max_group=4, seed=2).fit(benign, epochs=60)
+        rng = np.random.default_rng(3)
+        anomalies = rng.normal(0, 3, (100, 12))
+        b_scores = net.score(benign[:100])
+        a_scores = net.score(anomalies)
+        assert a_scores.mean() > 2 * b_scores.mean()
+
+    def test_threshold_predict(self):
+        benign = correlated_benign(400, seed=4)
+        net = KitNET(max_group=4, seed=5).fit(
+            benign, epochs=60, threshold_quantile=99.0)
+        preds = net.predict(benign)
+        # Roughly the quantile's share of benign flagged.
+        assert preds.mean() < 0.1
+        rng = np.random.default_rng(6)
+        anomalous = rng.normal(0, 4, (50, 12))
+        assert net.predict(anomalous).mean() > 0.5

@@ -1,0 +1,82 @@
+"""k-NN and embedding classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.apps.detectors.embedding import EmbeddingClassifier
+from repro.apps.detectors.knn import KNNClassifier
+
+
+def gaussian_classes(n_classes=3, per_class=40, dim=8, sep=6.0, seed=0):
+    rng = np.random.default_rng(seed)
+    xs, ys = [], []
+    for c in range(n_classes):
+        center = rng.normal(0, 1, dim) * sep + c * sep
+        xs.append(center + rng.normal(0, 1, (per_class, dim)))
+        ys.extend([c] * per_class)
+    return np.vstack(xs), np.asarray(ys)
+
+
+class TestKNN:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KNNClassifier(k=0)
+        with pytest.raises(ValueError):
+            KNNClassifier(k=5).fit(np.zeros((3, 2)), np.zeros(3))
+        with pytest.raises(ValueError):
+            KNNClassifier().fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(RuntimeError):
+            KNNClassifier().predict(np.zeros((1, 2)))
+
+    def test_separable_classes(self):
+        x, y = gaussian_classes()
+        knn = KNNClassifier(k=3).fit(x, y)
+        assert knn.score(x, y) > 0.95
+
+    def test_k1_memorizes_training_set(self):
+        x, y = gaussian_classes(sep=2.0, seed=1)
+        knn = KNNClassifier(k=1).fit(x, y)
+        assert knn.score(x, y) == 1.0
+
+    def test_constant_feature_no_nan(self):
+        x, y = gaussian_classes(seed=2)
+        x[:, 0] = 7.0
+        knn = KNNClassifier(k=3).fit(x, y)
+        assert knn.score(x, y) > 0.9
+
+
+class TestEmbedding:
+    def test_needs_two_classes(self):
+        with pytest.raises(ValueError):
+            EmbeddingClassifier().fit(np.zeros((10, 4)), np.zeros(10))
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError):
+            EmbeddingClassifier().predict(np.zeros((1, 4)))
+        with pytest.raises(RuntimeError):
+            EmbeddingClassifier().embed(np.zeros((1, 4)))
+
+    def test_separable_classes(self):
+        x, y = gaussian_classes(n_classes=4, per_class=30, seed=3)
+        clf = EmbeddingClassifier(embed_dim=8, hidden=32, seed=4)
+        clf.fit(x, y, epochs=40)
+        assert clf.score(x, y) > 0.9
+
+    def test_embeddings_unit_norm(self):
+        x, y = gaussian_classes(seed=5)
+        clf = EmbeddingClassifier(embed_dim=8, hidden=32, seed=6)
+        clf.fit(x, y, epochs=10)
+        z = clf.embed(x)
+        norms = np.linalg.norm(z, axis=1)
+        assert np.allclose(norms[norms > 0], 1.0)
+
+    def test_embedding_separates_classes(self):
+        x, y = gaussian_classes(n_classes=2, per_class=40, seed=7)
+        clf = EmbeddingClassifier(embed_dim=4, hidden=16, seed=8)
+        clf.fit(x, y, epochs=40)
+        z = clf.embed(x)
+        z0, z1 = z[y == 0].mean(axis=0), z[y == 1].mean(axis=0)
+        between = np.linalg.norm(z0 - z1)
+        within = (np.linalg.norm(z[y == 0] - z0, axis=1).mean()
+                  + np.linalg.norm(z[y == 1] - z1, axis=1).mean()) / 2
+        assert between > within

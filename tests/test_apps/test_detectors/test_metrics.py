@@ -1,0 +1,72 @@
+"""Detection metrics."""
+
+import numpy as np
+import pytest
+
+from repro.apps.detectors.metrics import (
+    accuracy,
+    equal_error_rate,
+    precision_recall_f1,
+    roc_auc,
+)
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy([1, 0, 1], [1, 0, 0]) == pytest.approx(2 / 3)
+        assert accuracy([], []) == 0.0
+
+    def test_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy([1], [1, 0])
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        p, r, f = precision_recall_f1([1, 1, 0], [1, 1, 0])
+        assert (p, r, f) == (1.0, 1.0, 1.0)
+
+    def test_all_negative_predictions(self):
+        p, r, f = precision_recall_f1([1, 1, 0], [0, 0, 0])
+        assert (p, r, f) == (0.0, 0.0, 0.0)
+
+    def test_known_values(self):
+        # tp=1, fp=1, fn=1
+        p, r, f = precision_recall_f1([1, 0, 1, 0], [1, 1, 0, 0])
+        assert p == pytest.approx(0.5)
+        assert r == pytest.approx(0.5)
+        assert f == pytest.approx(0.5)
+
+
+class TestAuc:
+    def test_perfect_separation(self):
+        assert roc_auc([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted(self):
+        assert roc_auc([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 2000)
+        s = rng.uniform(0, 1, 2000)
+        assert roc_auc(y, s) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_averaged(self):
+        assert roc_auc([0, 1], [0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_degenerate_classes(self):
+        assert roc_auc([1, 1], [0.1, 0.2]) == 0.5
+        assert roc_auc([0, 0], [0.1, 0.2]) == 0.5
+
+
+class TestEer:
+    def test_perfect_separation_low_eer(self):
+        y = [0] * 50 + [1] * 50
+        s = list(np.linspace(0, 0.4, 50)) + list(np.linspace(0.6, 1, 50))
+        assert equal_error_rate(y, s) < 0.05
+
+    def test_random_near_half(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, 1000)
+        s = rng.uniform(0, 1, 1000)
+        assert 0.35 < equal_error_rate(y, s) < 0.65

@@ -1,0 +1,63 @@
+"""Online KitNET: the three-phase operation of Kitsune."""
+
+import numpy as np
+import pytest
+
+from repro.apps.detectors.kitnet import OnlineKitNET
+
+
+def correlated(n, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    base = rng.normal(0, scale, (n, 1))
+    return np.hstack([base + rng.normal(0, 0.1 * scale, (n, 1))
+                      for _ in range(6)])
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        OnlineKitNET(fm_grace=5)
+    with pytest.raises(ValueError):
+        OnlineKitNET(ad_grace=0)
+
+
+def test_phase_progression():
+    net = OnlineKitNET(fm_grace=50, ad_grace=100)
+    data = correlated(200, seed=1)
+    phases = []
+    for row in data[:160]:
+        phases.append(net.phase)
+        net.process(row)
+    assert phases[0] == "feature-mapping"
+    assert phases[60] == "training"
+    assert phases[155] == "executing"
+
+
+def test_grace_returns_zero():
+    net = OnlineKitNET(fm_grace=30, ad_grace=40)
+    data = correlated(80, seed=2)
+    scores = [net.process(row) for row in data[:70]]
+    assert all(s == 0.0 for s in scores)
+
+
+def test_detects_shift_in_execution_phase():
+    net = OnlineKitNET(fm_grace=100, ad_grace=600, max_group=3, seed=3)
+    benign = correlated(800, seed=4)
+    for row in benign[:700]:
+        net.process(row)
+    assert net.phase == "executing"
+    benign_scores = [net.process(row) for row in benign[700:]]
+    rng = np.random.default_rng(5)
+    attack = rng.normal(0, 3, (100, 6))
+    attack_scores = [net.process(row) for row in attack]
+    assert np.mean(attack_scores) > 2 * np.mean(benign_scores)
+
+
+def test_clusters_built_once():
+    net = OnlineKitNET(fm_grace=40, ad_grace=10)
+    data = correlated(60, seed=6)
+    for row in data:
+        net.process(row)
+    assert net.clusters is not None
+    flat = sorted(i for c in net.clusters for i in c)
+    assert flat == list(range(6))
+    assert not net._fm_buffer    # buffer released after mapping

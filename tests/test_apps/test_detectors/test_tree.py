@@ -1,0 +1,62 @@
+"""CART decision tree."""
+
+import numpy as np
+import pytest
+
+from repro.apps.detectors.tree import DecisionTree
+
+
+def test_unfitted_raises():
+    with pytest.raises(RuntimeError):
+        DecisionTree().predict(np.zeros((1, 2)))
+
+
+def test_length_mismatch():
+    with pytest.raises(ValueError):
+        DecisionTree().fit(np.zeros((3, 2)), np.zeros(4))
+
+
+def test_perfectly_separable():
+    rng = np.random.default_rng(0)
+    x0 = rng.uniform(0, 1, (50, 3))
+    x1 = rng.uniform(2, 3, (50, 3))
+    x = np.vstack([x0, x1])
+    y = np.array([0] * 50 + [1] * 50)
+    tree = DecisionTree(max_depth=3).fit(x, y)
+    assert (tree.predict(x) == y).all()
+    assert tree.depth() == 1
+
+
+def test_xor_needs_depth_two():
+    x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]] * 20, dtype=float)
+    y = np.array([0, 1, 1, 0] * 20)
+    shallow = DecisionTree(max_depth=1, min_samples_split=2).fit(x, y)
+    deep = DecisionTree(max_depth=3, min_samples_split=2).fit(x, y)
+    assert (deep.predict(x) == y).mean() == 1.0
+    assert (shallow.predict(x) == y).mean() < 1.0
+
+
+def test_max_depth_respected():
+    rng = np.random.default_rng(1)
+    x = rng.uniform(0, 1, (200, 4))
+    y = (rng.uniform(0, 1, 200) > 0.5).astype(int)
+    tree = DecisionTree(max_depth=2, min_samples_split=2).fit(x, y)
+    assert tree.depth() <= 2
+
+
+def test_pure_node_stops():
+    x = np.ones((20, 2))
+    y = np.ones(20, dtype=int)
+    tree = DecisionTree().fit(x, y)
+    assert tree.depth() == 0
+    assert (tree.predict(x) == 1).all()
+
+
+def test_predict_proba_bounds():
+    rng = np.random.default_rng(2)
+    x = rng.uniform(0, 1, (100, 3))
+    y = (x[:, 0] > 0.5).astype(int)
+    tree = DecisionTree(max_depth=4).fit(x, y)
+    proba = tree.predict_proba(x)
+    assert np.all((proba >= 0) & (proba <= 1))
+    assert ((proba > 0.5) == tree.predict(x).astype(bool)).mean() > 0.95

@@ -1,0 +1,79 @@
+"""Kitsune three-way extraction (Fig 10 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kitsune_features import (
+    FEATURE_FAMILIES,
+    OriginalKitsuneExtractor,
+    extract_three_ways,
+    family_of,
+    feature_layout,
+    relative_errors,
+)
+from repro.net.trace import generate_trace
+
+
+@pytest.fixture(scope="module")
+def packets():
+    return generate_trace("ENTERPRISE", n_flows=80, seed=13)[:1200]
+
+
+@pytest.fixture(scope="module")
+def three_ways(packets):
+    return extract_three_ways(packets)
+
+
+def test_layout_is_115_dims():
+    names = feature_layout()
+    assert len(names) == 115
+    assert all(family_of(n) in FEATURE_FAMILIES for n in names)
+
+
+def test_all_three_paths_agree_on_groups(three_ways):
+    std, sfe, orig = three_ways
+    assert set(std) == set(orig)
+    assert set(sfe) <= set(std)
+    assert len(std) > 20
+
+
+def test_vector_sequences_aligned(three_ways, packets):
+    std, sfe, orig = three_ways
+    total_std = sum(len(v) for v in std.values())
+    total_orig = sum(len(v) for v in orig.values())
+    assert total_std == len(packets)
+    assert total_orig == len(packets)
+
+
+def test_superfe_error_below_paper_bound(three_ways):
+    """Fig 10's headline: SuperFE extraction error below 4%."""
+    std, sfe, _ = three_ways
+    errors = relative_errors(std, sfe)
+    for family, err in errors.items():
+        assert err < 0.04, (family, err)
+
+
+def test_original_kitsune_has_nonzero_error(three_ways):
+    std, _, orig = three_ways
+    errors = relative_errors(std, orig)
+    assert max(errors.values()) > 0.0
+
+
+def test_dimensions_match_policy(three_ways):
+    std, sfe, orig = three_ways
+    any_vec = next(iter(std.values()))[0]
+    assert len(any_vec) == 115
+    any_vec_o = next(iter(orig.values()))[0]
+    assert len(any_vec_o) == 115
+
+
+def test_original_extractor_state_grows_per_group(packets):
+    ex = OriginalKitsuneExtractor()
+    ex.run(packets[:200])
+    assert len(ex._g.host_size) > 1
+    assert len(ex._g.sock_size) >= len(ex._g.chan_size)
+
+
+def test_relative_errors_empty_reference():
+    assert relative_errors({}, {}) == {
+        fam: 0.0 for fam in FEATURE_FAMILIES}

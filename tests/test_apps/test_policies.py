@@ -1,0 +1,71 @@
+"""Table 3 policies: every app compiles with its expected feature
+dimension and the documented granularity structure."""
+
+import pytest
+
+from repro.apps import APP_POLICIES, build_policy
+from repro.core.compiler import PolicyCompiler
+
+
+@pytest.fixture(scope="module")
+def compiler():
+    return PolicyCompiler()
+
+
+def test_all_ten_applications_present():
+    assert set(APP_POLICIES) == {
+        "CUMUL", "AWF", "DF", "TF", "PeerShark", "N-BaIoT", "MPTD",
+        "NPOD", "HELAD", "Kitsune"}
+
+
+def test_unknown_app():
+    with pytest.raises(KeyError):
+        build_policy("nope")
+
+
+@pytest.mark.parametrize("name", sorted(APP_POLICIES))
+def test_compiles_with_expected_dimension(name, compiler):
+    spec = APP_POLICIES[name]
+    compiled = compiler.compile(spec.build())
+    assert compiled.output_dim() == spec.expected_dim
+
+
+@pytest.mark.parametrize("name,grans", [
+    ("TF", ["flow"]),
+    ("CUMUL", ["flow"]),
+    ("PeerShark", ["channel"]),
+    ("N-BaIoT", ["host", "channel"]),
+    ("HELAD", ["host", "channel", "socket"]),
+    ("Kitsune", ["host", "channel", "socket"]),
+])
+def test_granularity_structure(name, grans, compiler):
+    compiled = compiler.compile(build_policy(name))
+    assert [g.name for g in compiled.chain] == grans
+
+
+def test_wf_policies_identical():
+    """AWF, DF and TF share one extractor (Table 3 shows identical LOC)."""
+    assert build_policy("AWF").pretty() == build_policy("DF").pretty()
+    assert build_policy("DF").pretty() == build_policy("TF").pretty()
+
+
+def test_wf_policies_are_smallest():
+    locs = {name: spec.build().loc for name, spec in APP_POLICIES.items()}
+    assert locs["TF"] <= min(locs["CUMUL"], locs["MPTD"], locs["Kitsune"])
+    assert locs["MPTD"] >= locs["NPOD"]
+
+
+@pytest.mark.parametrize("name", sorted(APP_POLICIES))
+def test_policy_builders_are_pure(name):
+    a, b = build_policy(name), build_policy(name)
+    assert a.pretty() == b.pretty()
+
+
+def test_collect_units():
+    per_pkt = {"N-BaIoT", "HELAD", "Kitsune"}
+    for name, spec in APP_POLICIES.items():
+        unit = spec.build().collect_unit
+        if name in per_pkt:
+            assert unit == "pkt"
+        else:
+            assert unit != "pkt"

@@ -1,0 +1,34 @@
+"""Report assembler."""
+
+import pytest
+
+from repro.bench.report import build_report
+
+
+def test_missing_directory(tmp_path):
+    with pytest.raises(FileNotFoundError, match="run"):
+        build_report(tmp_path / "nope")
+
+
+def test_empty_directory(tmp_path):
+    with pytest.raises(FileNotFoundError, match="no result tables"):
+        build_report(tmp_path)
+
+
+def test_ordering_and_extras(tmp_path):
+    (tmp_path / "fig12_aggregation.txt").write_text("== fig12 ==\n")
+    (tmp_path / "table2_traces.txt").write_text("== table2 ==\n")
+    (tmp_path / "custom_extra.txt").write_text("== extra ==\n")
+    report = build_report(tmp_path)
+    assert report.index("== table2 ==") < report.index("== fig12 ==")
+    assert report.index("== fig12 ==") < report.index("== extra ==")
+    assert report.startswith("SuperFE reproduction")
+
+
+def test_real_results_if_present():
+    from repro.bench.report import default_results_dir
+    if not default_results_dir().is_dir():
+        pytest.skip("benchmarks not run yet")
+    report = build_report()
+    assert "Fig 9" in report
+    assert "Table 4" in report

@@ -1,0 +1,43 @@
+"""Pipeline-metric driver (Fig 9/12 machinery)."""
+
+import pytest
+
+from repro.apps import build_policy
+from repro.bench.runner import (
+    NIC_LINK_GBPS,
+    SWITCH_LINE_RATE_GBPS,
+    app_pipeline_metrics,
+)
+from repro.net.trace import generate_trace
+
+
+@pytest.fixture(scope="module")
+def packets():
+    return generate_trace("ENTERPRISE", n_flows=150, seed=2)
+
+
+def test_metrics_consistency(packets):
+    m = app_pipeline_metrics("NPOD", build_policy("NPOD"),
+                             "ENTERPRISE", packets)
+    assert 0 < m.aggregation_ratio_bytes < 1
+    assert 0 < m.aggregation_ratio_rate < 1
+    assert m.nic_total_pps > m.nic_core_pps
+    assert m.superfe_gbps <= SWITCH_LINE_RATE_GBPS
+    assert m.superfe_gbps <= NIC_LINK_GBPS / m.aggregation_ratio_bytes \
+        + 1e-6
+    assert m.speedup == pytest.approx(m.superfe_gbps / m.software_gbps)
+    assert m.feature_rate_gbps < m.superfe_gbps
+
+
+def test_simple_policy_outperforms_complex(packets):
+    tf = app_pipeline_metrics("TF", build_policy("TF"), "E", packets)
+    kit = app_pipeline_metrics("Kitsune", build_policy("Kitsune"), "E",
+                               packets)
+    assert tf.nic_core_pps > kit.nic_core_pps
+    assert tf.superfe_gbps >= kit.superfe_gbps
+
+
+def test_superfe_beats_software(packets):
+    for app in ("TF", "NPOD"):
+        m = app_pipeline_metrics(app, build_policy(app), "E", packets)
+        assert m.speedup > 10

@@ -1,0 +1,45 @@
+"""Benchmark table rendering."""
+
+import pytest
+
+from repro.bench.tables import Table, format_series
+
+
+def test_render_alignment():
+    t = Table("demo", ["Name", "Value"])
+    t.add_row("short", 1.5)
+    t.add_row("a-much-longer-name", 12345.678)
+    text = t.render()
+    lines = text.splitlines()
+    assert lines[0] == "== demo =="
+    assert "Name" in lines[1] and "Value" in lines[1]
+    # All data rows have aligned columns.
+    assert len(lines) == 5
+
+
+def test_row_width_validation():
+    t = Table("x", ["a", "b"])
+    with pytest.raises(ValueError):
+        t.add_row(1)
+
+
+def test_float_formatting():
+    t = Table("x", ["v"])
+    t.add_row(0.00001234)
+    t.add_row(1234567.0)
+    t.add_row(3.14159)
+    text = t.render()
+    assert "1.23e-05" in text
+    assert "3.14" in text
+
+
+def test_empty_table_renders():
+    t = Table("empty", ["col"])
+    assert "empty" in t.render()
+
+
+def test_format_series():
+    text = format_series("s", [1, 2], [0.5, 0.25], "cores", "pps")
+    assert "cores -> pps" in text
+    assert "1: 0.5" in text
+    assert "2: 0.25" in text

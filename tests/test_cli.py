@@ -1,0 +1,91 @@
+"""CLI: every subcommand end to end, including pcap round trips."""
+
+import csv
+
+import pytest
+
+from repro.cli import main
+
+
+def test_apps_lists_all(capsys):
+    assert main(["apps"]) == 0
+    out = capsys.readouterr().out
+    for name in ("CUMUL", "Kitsune", "NPOD", "TF"):
+        assert name in out
+
+
+def test_manifest(capsys):
+    assert main(["manifest", "--app", "NPOD"]) == 0
+    out = capsys.readouterr().out
+    assert "FE-Switch" in out
+    assert "FE-NIC" in out
+    assert "ft_hist" in out
+
+
+def test_codegen_stdout_and_file(tmp_path, capsys):
+    assert main(["codegen", "--app", "NPOD", "--target", "p4"]) == 0
+    out = capsys.readouterr().out
+    assert "#include <tna.p4>" in out
+    path = str(tmp_path / "fe.c")
+    assert main(["codegen", "--app", "Kitsune", "--target", "microc",
+                 "--out", path]) == 0
+    with open(path) as fh:
+        assert "struct group_socket" in fh.read()
+
+
+def test_gen_trace_and_extract_pcap(tmp_path, capsys):
+    pcap = str(tmp_path / "t.pcap")
+    out_csv = str(tmp_path / "f.csv")
+    assert main(["gen-trace", "--profile", "ENTERPRISE",
+                 "--flows", "80", "--seed", "3", "--out", pcap]) == 0
+    assert main(["extract", "--app", "NPOD", "--pcap", pcap,
+                 "--out", out_csv]) == 0
+    with open(out_csv) as fh:
+        rows = list(csv.reader(fh))
+    header, data = rows[0], rows[1:]
+    assert header[:2] == ["key0", "key1"]
+    assert len(header) == 5 + 37     # flow key + NPOD dims
+    assert len(data) > 10
+    # Key IPs rendered dotted-quad.
+    assert data[0][0].count(".") == 3
+
+
+def test_extract_synthetic_software(tmp_path):
+    out_csv = str(tmp_path / "sw.csv")
+    assert main(["extract", "--app", "PeerShark", "--trace",
+                 "ENTERPRISE", "--flows", "60", "--seed", "1",
+                 "--out", out_csv, "--software"]) == 0
+    with open(out_csv) as fh:
+        rows = list(csv.reader(fh))
+    assert len(rows[0]) == 2 + 4     # channel key + PeerShark dims
+
+
+def test_extract_validation(tmp_path, capsys):
+    out_csv = str(tmp_path / "x.csv")
+    assert main(["extract", "--app", "nope", "--trace", "ENTERPRISE",
+                 "--out", out_csv]) == 2
+    assert main(["extract", "--app", "NPOD", "--out", out_csv]) == 2
+    assert main(["extract", "--app", "NPOD", "--pcap", "a",
+                 "--trace", "ENTERPRISE", "--out", out_csv]) == 2
+
+
+def test_gen_trace_unknown_profile(tmp_path):
+    assert main(["gen-trace", "--profile", "NOPE", "--out",
+                 str(tmp_path / "t.pcap")]) == 2
+
+
+def test_hardware_software_csv_agree(tmp_path):
+    """The two CLI paths produce the same groups for an exact policy."""
+    hw, sw = str(tmp_path / "hw.csv"), str(tmp_path / "sw.csv")
+    args = ["extract", "--app", "NPOD", "--trace", "ENTERPRISE",
+            "--flows", "50", "--seed", "2"]
+    assert main(args + ["--out", hw]) == 0
+    assert main(args + ["--out", sw, "--software"]) == 0
+
+    def load(path):
+        with open(path) as fh:
+            rows = list(csv.reader(fh))[1:]
+        return {tuple(r[:5]): r[5:] for r in rows}
+
+    hw_map, sw_map = load(hw), load(sw)
+    assert hw_map == sw_map     # histograms are exact on both paths

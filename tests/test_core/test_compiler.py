@@ -1,0 +1,220 @@
+"""Policy compiler: operator-order validation, switch/NIC partitioning,
+metadata inference, resource inputs, manifests."""
+
+import pytest
+
+from repro.core.compiler import (
+    CompiledPolicy,
+    PolicyCompiler,
+    PolicyError,
+)
+from repro.core.policy import pktstream
+
+
+@pytest.fixture()
+def compiler():
+    return PolicyCompiler()
+
+
+def fig3_policy():
+    return (
+        pktstream()
+        .filter("tcp.exist")
+        .groupby("flow")
+        .map("one", None, "f_one")
+        .reduce("one", ["f_sum"])
+        .map("ipt", "tstamp", "f_ipt")
+        .reduce("size", ["f_mean", "f_var", "f_min", "f_max"])
+        .reduce("ipt", ["f_mean", "f_var", "f_min", "f_max"])
+        .collect("flow")
+    )
+
+
+class TestValidation:
+    def test_empty_policy(self, compiler):
+        with pytest.raises(PolicyError, match="empty"):
+            compiler.compile(pktstream())
+
+    def test_no_groupby(self, compiler):
+        with pytest.raises(PolicyError, match="no groupby"):
+            compiler.compile(pktstream().filter("tcp.exist"))
+
+    def test_map_before_groupby(self, compiler):
+        policy = (pktstream().map("one", None, "f_one").groupby("flow")
+                  .reduce("size", ["f_sum"]).collect("flow"))
+        with pytest.raises(PolicyError, match="follow a groupby"):
+            compiler.compile(policy)
+
+    def test_filter_after_groupby_rejected(self, compiler):
+        policy = (pktstream().groupby("flow").filter("tcp.exist")
+                  .reduce("size", ["f_sum"]).collect("flow"))
+        with pytest.raises(PolicyError, match="filter after groupby"):
+            compiler.compile(policy)
+
+    def test_unknown_map_source(self, compiler):
+        policy = (pktstream().groupby("flow")
+                  .map("x", "undefined_key", "f_identity")
+                  .reduce("x", ["f_sum"]).collect("flow"))
+        with pytest.raises(PolicyError, match="map source"):
+            compiler.compile(policy)
+
+    def test_unknown_reduce_source(self, compiler):
+        policy = (pktstream().groupby("flow")
+                  .reduce("nope", ["f_sum"]).collect("flow"))
+        with pytest.raises(PolicyError, match="reduce source"):
+            compiler.compile(policy)
+
+    def test_unknown_functions(self, compiler):
+        with pytest.raises(PolicyError, match="mapping function"):
+            compiler.compile(pktstream().groupby("flow")
+                             .map("x", None, "f_zzz")
+                             .reduce("x", ["f_sum"]).collect("flow"))
+        with pytest.raises(PolicyError, match="reducing function"):
+            compiler.compile(pktstream().groupby("flow")
+                             .reduce("size", ["f_zzz"]).collect("flow"))
+        with pytest.raises(PolicyError, match="synthesizing function"):
+            compiler.compile(pktstream().groupby("flow")
+                             .reduce("size", ["f_array"])
+                             .synthesize("f_zzz").collect("flow"))
+
+    def test_synthesize_needs_preceding_reduce(self, compiler):
+        with pytest.raises(PolicyError, match="synthesize must follow"):
+            compiler.compile(pktstream().groupby("flow")
+                             .synthesize("f_norm")
+                             .reduce("size", ["f_sum"]).collect("flow"))
+
+    def test_no_collect(self, compiler):
+        with pytest.raises(PolicyError, match="never calls collect"):
+            compiler.compile(pktstream().groupby("flow")
+                             .reduce("size", ["f_sum"]))
+
+    def test_inconsistent_collect_units(self, compiler):
+        policy = (pktstream().groupby("host")
+                  .reduce("size", ["f_sum"]).collect("pkt")
+                  .groupby("channel").reduce("size", ["f_sum"])
+                  .collect("channel"))
+        with pytest.raises(PolicyError, match="inconsistent collect"):
+            compiler.compile(policy)
+
+    def test_unparseable_filter_field(self, compiler):
+        with pytest.raises(PolicyError, match="not parseable"):
+            compiler.compile(pktstream().filter("payload == 5")
+                             .groupby("flow").reduce("size", ["f_sum"])
+                             .collect("flow"))
+
+    def test_mixed_chains_rejected(self, compiler):
+        policy = (pktstream().groupby("flow")
+                  .reduce("size", ["f_sum"]).collect("pkt")
+                  .groupby("host").reduce("size", ["f_sum"])
+                  .collect("pkt"))
+        with pytest.raises(ValueError, match="dependency chains"):
+            compiler.compile(policy)
+
+
+class TestPartitioning:
+    def test_fig3(self, compiler):
+        compiled = compiler.compile(fig3_policy())
+        assert isinstance(compiled, CompiledPolicy)
+        assert len(compiled.switch_filters) == 1
+        assert compiled.cg.name == "flow"
+        assert compiled.fg.name == "flow"
+        assert len(compiled.sections) == 1
+        assert compiled.collect_unit == "flow"
+        assert compiled.output_dim() == 9
+
+    def test_multi_granularity_chain(self, compiler):
+        policy = (pktstream().groupby("host")
+                  .reduce("size", ["f_mean"]).collect("pkt")
+                  .groupby("socket").reduce("size", ["f_mean"])
+                  .collect("pkt"))
+        compiled = compiler.compile(policy)
+        assert compiled.cg.name == "host"
+        assert compiled.fg.name == "socket"
+        assert [s.granularity.name for s in compiled.sections] == [
+            "host", "socket"]
+
+    def test_metadata_inference(self, compiler):
+        compiled = compiler.compile(fig3_policy())
+        assert set(compiled.metadata_fields) == {"size", "tstamp"}
+        # direction only when a directional function appears
+        policy = (pktstream().groupby("flow")
+                  .map("d", "size", "f_direction")
+                  .reduce("d", ["f_sum"]).collect("flow"))
+        compiled2 = compiler.compile(policy)
+        assert "direction" in compiled2.metadata_fields
+        assert "tstamp" not in compiled2.metadata_fields
+
+    def test_metadata_bytes(self, compiler):
+        compiled = compiler.compile(fig3_policy())
+        # size (2) + tstamp (4) + fg index (2)
+        assert compiled.metadata_bytes_per_pkt == 8
+
+    def test_feature_names_and_collection(self, compiler):
+        compiled = compiler.compile(fig3_policy())
+        names = compiled.feature_names
+        assert "f_sum(one)" in names
+        assert "f_mean(size)" in names
+        assert len(names) == 9
+
+    def test_collect_flags_pending_features_only(self, compiler):
+        policy = (pktstream().groupby("flow")
+                  .reduce("size", ["f_mean"])
+                  .collect("flow")
+                  .reduce("size", ["f_max"])
+                  .collect("flow"))
+        compiled = compiler.compile(policy)
+        assert len(compiled.sections[0].collected) == 2
+
+    def test_uncollected_features_excluded(self, compiler):
+        policy = (pktstream().groupby("flow")
+                  .reduce("size", ["f_mean"])      # never collected
+                  .reduce("tstamp", ["f_max"])
+                  .collect("flow"))
+        compiled = compiler.compile(policy)
+        # collect flags everything pending in the section
+        assert len(compiled.sections[0].collected) == 2
+
+    def test_synthesize_renames_feature(self, compiler):
+        policy = (pktstream().groupby("flow")
+                  .map("d", "size", "f_direction")
+                  .reduce("d", ["f_array"])
+                  .synthesize("ft_sample{16}")
+                  .collect("flow"))
+        compiled = compiler.compile(policy)
+        assert compiled.feature_names == ["ft_sample{16}(f_array(d))"]
+        assert compiled.output_dim() == 16
+
+    def test_synthesize_by_name(self, compiler):
+        policy = (pktstream().groupby("flow")
+                  .reduce("size", ["f_array"])
+                  .reduce("tstamp", ["f_max"])
+                  .synthesize("ft_sample{8}", "f_array(size)")
+                  .collect("flow"))
+        compiled = compiler.compile(policy)
+        dims = {f.name: f.dim for s in compiled.sections
+                for f in s.collected}
+        assert dims["ft_sample{8}(f_array(size))"] == 8
+        assert dims["f_max(tstamp)"] == 1
+
+    def test_output_dim_dynamic(self, compiler):
+        policy = (pktstream().groupby("flow")
+                  .reduce("size", ["f_array"]).collect("flow"))
+        assert compiler.compile(policy).output_dim() is None
+
+
+class TestResources:
+    def test_state_requirements(self, compiler):
+        compiled = compiler.compile(fig3_policy())
+        reqs = compiled.state_requirements()
+        assert len(reqs) == 9
+        assert all(r.size_bytes > 0 for r in reqs)
+        assert all(r.section == "flow" for r in reqs)
+
+    def test_manifests_render(self, compiler):
+        compiled = compiler.compile(fig3_policy())
+        switch = compiled.switch_manifest()
+        nic = compiled.nic_manifest()
+        assert "FE-Switch" in switch
+        assert "groupby chain: flow" in switch
+        assert "FE-NIC" in nic
+        assert "f_mean(size)" in nic

@@ -1,0 +1,219 @@
+"""Function registry: spec parsing, mapping/reducing/synthesizing
+semantics, extension registration."""
+
+import numpy as np
+import pytest
+
+from repro.core.functions import (
+    ExecContext,
+    FnSpec,
+    make_map_fn,
+    make_reduce_fn,
+    make_synth_fn,
+    parse_fn_spec,
+    register_map_fn,
+    register_reduce_fn,
+    register_synth_fn,
+)
+from repro.nicsim.engine import MemberView
+
+
+def member(**fields):
+    return MemberView(fields)
+
+
+class TestSpecParsing:
+    def test_bare_name(self):
+        spec = parse_fn_spec("f_mean")
+        assert spec == FnSpec("f_mean")
+
+    def test_positional_args(self):
+        spec = parse_fn_spec("ft_hist{10000, 100}")
+        assert spec.name == "ft_hist"
+        assert spec.args == (10000, 100)
+
+    def test_kwargs(self):
+        spec = parse_fn_spec("f_dmean{lam=0.1}")
+        assert spec.kwargs_dict == {"lam": 0.1}
+
+    def test_mixed_and_float(self):
+        spec = parse_fn_spec("ft_percent{50, 1.5, 16}")
+        assert spec.args == (50, 1.5, 16)
+
+    def test_passthrough(self):
+        spec = FnSpec("x")
+        assert parse_fn_spec(spec) is spec
+
+    def test_malformed(self):
+        with pytest.raises(ValueError):
+            parse_fn_spec("{bad}")
+
+    def test_str_round_trip(self):
+        assert str(parse_fn_spec("ft_hist{100, 16}")) == "ft_hist{100, 16}"
+        assert str(parse_fn_spec("f_sum")) == "f_sum"
+
+
+class TestMapFns:
+    def test_f_one(self):
+        fn = make_map_fn("f_one")
+        assert fn.apply(member(), None) == 1
+
+    def test_f_ipt_skips_first(self):
+        fn = make_map_fn("f_ipt")
+        assert fn.apply(member(tstamp=100), None) is None
+        assert fn.apply(member(tstamp=350), None) == 250
+
+    def test_f_speed(self):
+        fn = make_map_fn("f_speed")
+        assert fn.apply(member(tstamp=0), 100) is None
+        # 1000 bytes over 1 us -> 1e9 B/s
+        assert fn.apply(member(tstamp=1000), 1000) == pytest.approx(1e9)
+
+    def test_f_direction(self):
+        fn = make_map_fn("f_direction")
+        assert fn.apply(member(direction=1), 5) == 5
+        assert fn.apply(member(direction=-1), 5) == -5
+
+    def test_f_burst_increments_on_change(self):
+        fn = make_map_fn("f_burst")
+        dirs = [1, 1, -1, -1, 1]
+        bursts = [fn.apply(member(direction=d), None) for d in dirs]
+        assert bursts == [0, 0, 1, 1, 2]
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            make_map_fn("f_nope")
+
+    def test_per_group_state_isolation(self):
+        a, b = make_map_fn("f_ipt"), make_map_fn("f_ipt")
+        a.apply(member(tstamp=0), None)
+        assert b.apply(member(tstamp=50), None) is None
+
+
+class TestReduceFns:
+    def run(self, name, values, directions=None):
+        fn = make_reduce_fn(name)
+        for i, v in enumerate(values):
+            d = directions[i] if directions else 1
+            fn.update(v, member(direction=d))
+        return fn.finalize()
+
+    def test_scalars(self):
+        assert self.run("f_sum", [1, 2, 3]) == 6.0
+        assert self.run("f_max", [5, 1, 9]) == 9.0
+        assert self.run("f_min", [5, 1, 9]) == 1.0
+        assert self.run("f_sum", []) == 0.0
+
+    def test_welford_family(self):
+        data = [10.0, 20.0, 30.0]
+        assert self.run("f_mean", data) == pytest.approx(20.0)
+        assert self.run("f_var", data) == pytest.approx(np.var(data))
+        assert self.run("f_std", data) == pytest.approx(np.std(data))
+
+    def test_division_free_context(self):
+        fn = make_reduce_fn("f_mean", ExecContext(division_free=True))
+        for v in (100, 200, 300):
+            fn.update(v, member())
+        assert abs(fn.finalize() - 200.0) <= 1.0
+
+    def test_moments(self):
+        rng = np.random.default_rng(0)
+        data = list(rng.exponential(1.0, 5000))
+        assert self.run("f_skew", data) == pytest.approx(2.0, rel=0.25)
+        assert self.run("f_kur", data) == pytest.approx(9.0, rel=0.35)
+
+    def test_bidirectional(self):
+        values = [3.0, 4.0] * 10
+        dirs = [1, -1] * 10
+        assert self.run("f_mag", values, dirs) == pytest.approx(5.0)
+        assert self.run("f_radius", values, dirs) == pytest.approx(0.0)
+
+    def test_card(self):
+        fn = make_reduce_fn("f_card{k=8}")
+        for i in range(1000):
+            fn.update(i % 200, member())
+        assert fn.finalize() == pytest.approx(200, rel=0.15)
+
+    def test_array(self):
+        out = self.run("f_array", [1, -1, 1])
+        assert isinstance(out, np.ndarray)
+        assert out.tolist() == [1, -1, 1]
+
+    def test_hist_pdf_cdf_percentile(self):
+        hist = self.run("ft_hist{10, 4}", [5, 15, 15, 35])
+        assert hist.tolist() == [1, 2, 0, 1]
+        pdf = self.run("f_pdf{10, 4}", [5, 15, 15, 35])
+        assert pdf.sum() == pytest.approx(1.0)
+        cdf = self.run("f_cdf{10, 4}", [5, 15, 15, 35])
+        assert cdf[-1] == pytest.approx(1.0)
+        pct = self.run("ft_percent{50, 10, 4}", [5, 15, 15, 35])
+        assert pct == pytest.approx(20.0)
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            make_reduce_fn("f_nope")
+
+
+class TestSynthFns:
+    def test_norm_l2(self):
+        fn = make_synth_fn("f_norm")
+        out = fn(np.array([3.0, 4.0]))
+        assert np.linalg.norm(out) == pytest.approx(1.0)
+
+    def test_norm_minmax(self):
+        fn = make_synth_fn("f_norm{mode=minmax}")
+        out = fn(np.array([10.0, 20.0, 30.0]))
+        assert out.tolist() == [0.0, 0.5, 1.0]
+
+    def test_norm_zero_vector(self):
+        fn = make_synth_fn("f_norm")
+        assert fn(np.zeros(3)).tolist() == [0.0, 0.0, 0.0]
+
+    def test_sample_pad_and_truncate(self):
+        fn = make_synth_fn("ft_sample{4}")
+        assert fn(np.array([1.0, 2.0])).tolist() == [1, 2, 0, 0]
+        assert fn(np.arange(10.0)).tolist() == [0, 1, 2, 3]
+
+    def test_sample_requires_length(self):
+        with pytest.raises(ValueError):
+            make_synth_fn("ft_sample")
+
+    def test_marker(self):
+        fn = make_synth_fn("f_marker")
+        out = fn(np.array([100.0, 100.0, -50.0, -50.0, 100.0]))
+        # Cumulative sums at each direction change + final total.
+        assert out.tolist() == [200.0, 100.0, 200.0]
+
+    def test_marker_empty(self):
+        fn = make_synth_fn("f_marker")
+        assert fn(np.array([])).size == 0
+
+
+class TestRegistration:
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            register_map_fn("f_one", lambda s, c: None)
+        with pytest.raises(ValueError):
+            register_reduce_fn("f_sum", lambda s, c: None)
+        with pytest.raises(ValueError):
+            register_synth_fn("f_norm", lambda s, c: None)
+
+    def test_custom_reduce_fn(self):
+        class Last:
+            state_bytes = 8
+
+            def __init__(self):
+                self.value = 0.0
+
+            def update(self, value, member):
+                self.value = value
+
+            def finalize(self):
+                return self.value
+
+        register_reduce_fn("f_last_test", lambda s, c: Last(),
+                           override=True)
+        fn = make_reduce_fn("f_last_test")
+        fn.update(1.0, member())
+        fn.update(9.0, member())
+        assert fn.finalize() == 9.0

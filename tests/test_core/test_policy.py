@@ -1,0 +1,116 @@
+"""Policy DSL: builder immutability, predicate parsing, pretty printing,
+validation at construction time."""
+
+import pytest
+
+from repro.core.policy import Policy, Predicate, pktstream
+from repro.net.packet import PROTO_TCP, PROTO_UDP, Packet
+
+
+def pkt(**kw):
+    defaults = dict(tstamp=0, size=100, src_ip=1, dst_ip=2, src_port=10,
+                    dst_port=443, proto=PROTO_TCP)
+    defaults.update(kw)
+    return Packet(**defaults)
+
+
+class TestPredicate:
+    def test_bare_boolean_field(self):
+        p = Predicate.parse("tcp.exist")
+        assert p.matches(pkt())
+        assert not p.matches(pkt(proto=PROTO_UDP))
+
+    @pytest.mark.parametrize("text,matching,failing", [
+        ("dst_port == 443", pkt(), pkt(dst_port=80)),
+        ("dst_port != 80", pkt(), pkt(dst_port=80)),
+        ("size > 50", pkt(size=51), pkt(size=50)),
+        ("size >= 100", pkt(size=100), pkt(size=99)),
+        ("size < 200", pkt(size=100), pkt(size=200)),
+        ("size <= 100", pkt(size=100), pkt(size=101)),
+    ])
+    def test_comparisons(self, text, matching, failing):
+        p = Predicate.parse(text)
+        assert p.matches(matching)
+        assert not p.matches(failing)
+
+    def test_conjunction(self):
+        p = Predicate.parse("tcp.exist and size > 50 and dst_port == 443")
+        assert len(p.conditions) == 3
+        assert p.matches(pkt(size=60))
+        assert not p.matches(pkt(size=60, dst_port=80))
+
+    def test_parse_error(self):
+        with pytest.raises(ValueError):
+            Predicate.parse("size !!! 5")
+
+    def test_str_round_trip(self):
+        text = "tcp.exist and size > 50"
+        assert str(Predicate.parse(text)) == text
+
+
+class TestBuilder:
+    def test_immutability(self):
+        base = pktstream()
+        extended = base.filter("tcp.exist")
+        assert base.ops == ()
+        assert len(extended.ops) == 1
+
+    def test_unknown_granularity_rejected_eagerly(self):
+        with pytest.raises(KeyError):
+            pktstream().groupby("nope")
+        with pytest.raises(KeyError):
+            pktstream().groupby("flow").collect("nope")
+
+    def test_collect_pkt_allowed(self):
+        p = pktstream().groupby("host").collect("pkt")
+        assert p.collect_unit == "pkt"
+
+    def test_reduce_requires_functions(self):
+        with pytest.raises(ValueError):
+            pktstream().groupby("flow").reduce("size", [])
+
+    def test_reduce_accepts_single_spec(self):
+        p = pktstream().groupby("flow").reduce("size", "f_mean")
+        assert p.ops[-1].fns[0].name == "f_mean"
+
+    def test_filter_type_check(self):
+        with pytest.raises(TypeError):
+            pktstream().filter(42)
+
+    def test_callable_filter(self):
+        p = pktstream().filter(lambda packet: packet.size > 10)
+        assert callable(p.ops[0].predicate)
+
+    def test_granularities_in_order(self):
+        p = (pktstream().groupby("host").collect("pkt")
+             .groupby("channel").collect("pkt"))
+        assert p.granularities == ["host", "channel"]
+
+    def test_collect_unit_conflict_detected(self):
+        p = (pktstream().groupby("flow").reduce("size", ["f_mean"])
+             .collect("flow").collect("pkt"))
+        with pytest.raises(ValueError):
+            _ = p.collect_unit
+
+
+class TestPretty:
+    def test_fig3_shape(self):
+        p = (pktstream()
+             .filter("tcp.exist")
+             .groupby("flow")
+             .map("one", None, "f_one")
+             .reduce("one", ["f_sum"])
+             .collect("flow"))
+        text = p.pretty()
+        assert text.splitlines()[0] == "pktstream"
+        assert ".filter(tcp.exist)" in text
+        assert ".groupby(flow)" in text
+        assert ".map(one, _, f_one)" in text
+        assert ".reduce(one, [f_sum])" in text
+        assert ".collect(flow)" in text
+        assert p.loc == 6
+
+    def test_fn_params_render(self):
+        p = pktstream().groupby("flow").reduce(
+            "ipt", ["ft_hist{10000, 100}"]).collect("flow")
+        assert "ft_hist{10000, 100}" in p.pretty()

@@ -1,0 +1,115 @@
+"""Operational runtime: incremental processing, counter polling, live
+reconfiguration, hot swap."""
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import PolicyError
+from repro.core.pipeline import SuperFE
+from repro.core.policy import pktstream
+from repro.core.runtime import SuperFERuntime
+from repro.net.trace import generate_trace
+
+
+def flow_policy():
+    return (pktstream().filter("tcp.exist").groupby("flow")
+            .reduce("size", ["f_sum", "f_max"]).collect("flow"))
+
+
+def pkt_policy():
+    return (pktstream().groupby("host")
+            .reduce("size", ["f_sum"]).collect("pkt"))
+
+
+@pytest.fixture(scope="module")
+def packets():
+    return generate_trace("ENTERPRISE", n_flows=120, seed=11)
+
+
+class TestIncremental:
+    def test_batched_equals_oneshot(self, packets):
+        runtime = SuperFERuntime(flow_policy())
+        for start in range(0, len(packets), 100):
+            runtime.process(packets[start:start + 100])
+        incremental = {tuple(v.key): v.values
+                       for v in runtime.drain()}
+        oneshot = SuperFE(flow_policy()).run(packets).by_key()
+        assert incremental.keys() == oneshot.keys()
+        for key in oneshot:
+            assert np.array_equal(incremental[key], oneshot[key])
+
+    def test_per_packet_vectors_returned_per_batch(self, packets):
+        runtime = SuperFERuntime(pkt_policy())
+        total = 0
+        for start in range(0, 400, 100):
+            vectors = runtime.process(packets[start:start + 100])
+            total += len(vectors)
+        # Most packets produce a vector once their cells reach the NIC;
+        # resident (unflushed) groups hold the remainder.
+        assert 0 < total <= 400
+        runtime.drain()
+
+    def test_snapshot_non_destructive(self, packets):
+        runtime = SuperFERuntime(flow_policy())
+        runtime.process(packets[:300])
+        a = runtime.snapshot()
+        b = runtime.snapshot()
+        assert {tuple(v.key) for v in a} == {tuple(v.key) for v in b}
+        runtime.process(packets[300:600])    # keeps running fine
+
+
+class TestControlPlane:
+    def test_poll_counters_deltas(self, packets):
+        runtime = SuperFERuntime(flow_policy())
+        runtime.process(packets[:200])
+        first = runtime.poll_counters()
+        assert first.pkts_in > 0
+        second = runtime.poll_counters()
+        assert second.pkts_in == 0           # nothing since last poll
+        runtime.process(packets[200:260])
+        third = runtime.poll_counters()
+        assert 0 < third.pkts_in <= 60
+
+    def test_live_aging_retune(self, packets):
+        runtime = SuperFERuntime(flow_policy())
+        runtime.process(packets[:100])
+        runtime.set_aging_timeout(1_000)     # aggressive
+        runtime.process(packets[100:])
+        assert runtime.cache.stats.evictions["aging"] > 0
+        with pytest.raises(ValueError):
+            runtime.set_aging_timeout(0)
+        runtime.set_aging_timeout(None)      # disable again
+
+    def test_install_filter_at_runtime(self, packets):
+        runtime = SuperFERuntime(flow_policy())
+        runtime.process(packets[:100])
+        before = runtime.filter_stage.misses
+        runtime.install_filter("size > 100000")    # drops everything
+        runtime.process(packets[100:200])
+        assert runtime.filter_stage.misses > before
+        assert runtime.poll_counters().pkts_in < 200
+
+    def test_install_invalid_filter(self):
+        runtime = SuperFERuntime(flow_policy())
+        with pytest.raises(PolicyError):
+            runtime.install_filter("payload == 1")
+
+
+class TestHotSwap:
+    def test_swap_emits_final_vectors_and_installs(self, packets):
+        runtime = SuperFERuntime(flow_policy())
+        runtime.process(packets[:400])
+        final = runtime.hot_swap(pkt_policy())
+        assert len(final) > 10
+        assert runtime.compiled.collect_unit == "pkt"
+        # New deployment starts with fresh counters.
+        assert runtime.poll_counters().pkts_in == 0
+        vectors = runtime.process(packets[400:500])
+        assert runtime.cache.stats.pkts_in == 100
+
+    def test_result_view(self, packets):
+        runtime = SuperFERuntime(flow_policy())
+        runtime.process(packets[:200])
+        result = runtime.result()
+        assert result.feature_names == ["f_sum(size)", "f_max(size)"]
+        assert len(result) >= 0

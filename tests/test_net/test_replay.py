@@ -1,0 +1,73 @@
+"""Replay re-timing and switch-based amplification."""
+
+import pytest
+
+from repro.net.packet import PROTO_TCP, Packet
+from repro.net.replay import amplify, offered_load_gbps, replay
+from repro.net.trace import generate_trace
+
+
+def make_packets(n=100, gap_ns=1000, size=1000):
+    return [Packet(i * gap_ns, size, 1, 2, 10, 20, PROTO_TCP)
+            for i in range(n)]
+
+
+class TestOfferedLoad:
+    def test_known_rate(self):
+        # 1000 B / 1000 ns -> 8 Gbit/s
+        pkts = make_packets()
+        assert offered_load_gbps(pkts) == pytest.approx(
+            8.0, rel=0.02)
+
+    def test_degenerate(self):
+        assert offered_load_gbps([]) == 0.0
+        assert offered_load_gbps(make_packets(1)) == 0.0
+
+
+class TestReplay:
+    def test_scales_to_target(self):
+        pkts = make_packets()
+        for target in (1.0, 40.0, 100.0):
+            scaled = replay(pkts, target)
+            assert offered_load_gbps(scaled) == pytest.approx(
+                target, rel=0.05)
+
+    def test_preserves_order_and_content(self):
+        pkts = generate_trace("ENTERPRISE", n_flows=30, seed=1)
+        scaled = replay(pkts, 10.0)
+        assert len(scaled) == len(pkts)
+        assert [p.flow_key for p in scaled] == [p.flow_key for p in pkts]
+        ts = [p.tstamp for p in scaled]
+        assert ts == sorted(ts)
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            replay(make_packets(), 0.0)
+
+
+class TestAmplify:
+    def test_factor_one_is_identity(self):
+        pkts = make_packets(10)
+        assert amplify(pkts, 1) == pkts
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            amplify(make_packets(2), 0)
+
+    def test_multiplies_packets_and_flows(self):
+        pkts = make_packets(50)
+        amped = amplify(pkts, 4)
+        assert len(amped) == 200
+        flows = {p.flow_key for p in amped}
+        assert len(flows) == 4    # one flow became four
+
+    def test_no_rewrite_keeps_flows(self):
+        pkts = make_packets(20)
+        amped = amplify(pkts, 3, rewrite_hosts=False)
+        assert len({p.flow_key for p in amped}) == 1
+
+    def test_time_ordered(self):
+        pkts = generate_trace("CAMPUS", n_flows=20, seed=2)
+        amped = amplify(pkts, 3)
+        ts = [p.tstamp for p in amped]
+        assert ts == sorted(ts)

@@ -1,0 +1,149 @@
+"""Attack/benign scenario generators: label alignment, attack structure,
+and the communication patterns each detector depends on."""
+
+import numpy as np
+import pytest
+
+from repro.net.packet import PROTO_TCP, PROTO_UDP, TCP_SYN
+from repro.net.scenarios import (
+    ScenarioTrace,
+    covert_channel_scenario,
+    mirai_scenario,
+    os_scan_scenario,
+    p2p_botnet_scenario,
+    ssdp_flood_scenario,
+    website_traces,
+)
+
+
+class TestScenarioTrace:
+    def test_label_alignment_enforced(self):
+        from repro.net.packet import Packet
+        pkt = Packet(0, 100, 1, 2)
+        with pytest.raises(ValueError):
+            ScenarioTrace("x", [pkt], np.array([0, 1], dtype=np.int8))
+
+    def test_split_train_test(self):
+        s = mirai_scenario(seed=1, n_benign_flows=50, n_bots=4)
+        train, test = s.split_train_test(0.3)
+        assert len(train.packets) + len(test.packets) == len(s.packets)
+        assert train.packets[-1].tstamp <= test.packets[0].tstamp
+
+
+class TestMirai:
+    def test_structure(self):
+        s = mirai_scenario(seed=2, n_benign_flows=80, n_bots=6)
+        assert s.n_malicious > 0
+        assert 0 < s.n_malicious < len(s.packets)
+        # Time ordered.
+        ts = [p.tstamp for p in s.packets]
+        assert ts == sorted(ts)
+        # The flood phase targets the victim on many ports.
+        victim = s.meta["victim"]
+        flood = [p for p, l in zip(s.packets, s.labels)
+                 if l and p.dst_ip == victim]
+        assert len(flood) > 50
+        assert all(p.size < 150 for p in flood)
+
+    def test_scan_phase_hits_telnet(self):
+        s = mirai_scenario(seed=3, n_benign_flows=60, n_bots=8)
+        scan_ports = {p.dst_port for p, l in zip(s.packets, s.labels)
+                      if l and p.tcp_flags == TCP_SYN
+                      and p.dst_port in (23, 2323)}
+        assert scan_ports <= {23, 2323} and scan_ports
+
+
+class TestOsScan:
+    def test_single_attacker_many_targets(self):
+        s = os_scan_scenario(seed=1, n_benign_flows=60, n_targets=50,
+                             ports_per_target=10)
+        attackers = {p.src_ip for p, l in zip(s.packets, s.labels) if l}
+        assert attackers == {s.meta["attacker"]}
+        targets = {p.dst_ip for p, l in zip(s.packets, s.labels) if l}
+        assert len(targets) == 50
+        # SYN probes only.
+        assert all(p.tcp_flags == TCP_SYN and p.proto == PROTO_TCP
+                   for p, l in zip(s.packets, s.labels) if l)
+
+
+class TestSsdpFlood:
+    def test_udp_1900_to_victim(self):
+        s = ssdp_flood_scenario(seed=1, n_benign_flows=60,
+                                n_reflectors=10)
+        attack = [p for p, l in zip(s.packets, s.labels) if l]
+        assert attack
+        assert all(p.proto == PROTO_UDP for p in attack)
+        assert all(p.src_port == 1900 for p in attack)
+        assert len({p.dst_ip for p in attack}) == 1
+        assert np.mean([p.size for p in attack]) > 800
+
+
+class TestCovertChannel:
+    def test_bimodal_gaps_in_covert_flows(self):
+        s = covert_channel_scenario(seed=1, n_normal_flows=20,
+                                    n_covert_flows=8, pkts_per_flow=80)
+        by_flow: dict = {}
+        for p, l in zip(s.packets, s.labels):
+            by_flow.setdefault((p.flow_key, int(l)), []).append(p.tstamp)
+        covert_cv, normal_cv = [], []
+        for (key, lab), ts in by_flow.items():
+            ts = sorted(ts)
+            gaps = np.diff(ts)
+            if len(gaps) < 10:
+                continue
+            cv = gaps.std() / gaps.mean()
+            (covert_cv if lab else normal_cv).append(cv)
+        # Bimodal (two-level) delays have higher dispersion than the
+        # unimodal lognormal background.
+        assert np.mean(covert_cv) > np.mean(normal_cv)
+
+    def test_flow_counts(self):
+        s = covert_channel_scenario(seed=2, n_normal_flows=10,
+                                    n_covert_flows=5, pkts_per_flow=20)
+        assert s.n_malicious == 5 * 20
+        assert len(s.packets) == 15 * 20
+
+
+class TestP2PBotnet:
+    def test_bot_pairs_chatter(self):
+        s = p2p_botnet_scenario(seed=1, n_benign_flows=40, n_bots=8)
+        bots = set(s.meta["bots"])
+        attack = [p for p, l in zip(s.packets, s.labels) if l]
+        assert attack
+        assert all(p.src_ip in bots and p.dst_ip in bots for p in attack)
+        assert np.mean([p.size for p in attack]) < 200
+
+
+class TestWebsiteTraces:
+    def test_corpus_shape(self):
+        visits = website_traces(n_sites=5, visits_per_site=4, seed=1)
+        assert len(visits) == 20
+        assert {v.site_id for v in visits} == set(range(5))
+
+    def test_visit_is_single_flow(self):
+        visits = website_traces(n_sites=3, visits_per_site=2, seed=2)
+        for visit in visits:
+            keys = {p.flow_key for p in visit.packets}
+            assert len(keys) == 1
+
+    def test_sites_have_distinct_templates(self):
+        visits = website_traces(n_sites=4, visits_per_site=3, seed=3)
+        def signature(v):
+            dirs = [p.direction for p in v.packets[:40]]
+            return tuple(dirs)
+        # Visits to the same site resemble each other more than visits to
+        # different sites (hamming distance on direction prefixes).
+        def dist(a, b):
+            la = min(len(a), len(b))
+            return sum(x != y for x, y in zip(a[:la], b[:la])) / max(la, 1)
+        same, diff = [], []
+        for i, vi in enumerate(visits):
+            for vj in visits[i + 1:]:
+                d = dist(signature(vi), signature(vj))
+                (same if vi.site_id == vj.site_id else diff).append(d)
+        assert np.mean(same) < np.mean(diff)
+
+    def test_deterministic(self):
+        a = website_traces(n_sites=2, visits_per_site=2, seed=5)
+        b = website_traces(n_sites=2, visits_per_site=2, seed=5)
+        assert all(x.packets == y.packets for x, y in zip(a, b))

@@ -1,0 +1,102 @@
+"""Synthetic traces must match Table 2's statistics and structural
+properties (time order, heavy tail, determinism)."""
+
+import numpy as np
+import pytest
+
+from repro.net.trace import (
+    TRACE_PROFILES,
+    TraceProfile,
+    generate_trace,
+    iter_trace,
+    trace_stats,
+)
+
+
+class TestProfiles:
+    def test_all_three_registered(self):
+        assert set(TRACE_PROFILES) == {"MAWI-IXP", "ENTERPRISE", "CAMPUS"}
+
+    def test_large_fraction_solves_mixture(self):
+        for profile in TRACE_PROFILES.values():
+            frac = profile.large_pkt_fraction
+            assert 0.0 <= frac <= 1.0
+            mixture_mean = (frac * profile.large_pkt_mean
+                            + (1 - frac) * profile.small_pkt_mean)
+            assert mixture_mean == pytest.approx(profile.mean_pkt_size,
+                                                 rel=0.01)
+
+    def test_lognormal_mu_hits_mean(self):
+        profile = TRACE_PROFILES["MAWI-IXP"]
+        mean = np.exp(profile.flow_len_mu + profile.flow_len_sigma ** 2 / 2)
+        assert mean == pytest.approx(profile.mean_flow_len, rel=1e-9)
+
+
+class TestGeneration:
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            generate_trace("NOPE", n_flows=1)
+
+    def test_deterministic(self):
+        a = generate_trace("ENTERPRISE", n_flows=50, seed=9)
+        b = generate_trace("ENTERPRISE", n_flows=50, seed=9)
+        assert a == b
+        c = generate_trace("ENTERPRISE", n_flows=50, seed=10)
+        assert a != c
+
+    def test_time_ordered(self):
+        pkts = generate_trace("CAMPUS", n_flows=100, seed=1)
+        tstamps = [p.tstamp for p in pkts]
+        assert tstamps == sorted(tstamps)
+
+    def test_iter_matches_generate(self):
+        assert (list(iter_trace("ENTERPRISE", n_flows=20, seed=3))
+                == generate_trace("ENTERPRISE", n_flows=20, seed=3))
+
+    @pytest.mark.parametrize("name", sorted(TRACE_PROFILES))
+    def test_table2_statistics(self, name):
+        """Measured stats must match Table 2 within sampling tolerance."""
+        pkts = generate_trace(name, n_flows=3000, seed=0)
+        stats = trace_stats(pkts)
+        profile = TRACE_PROFILES[name]
+        assert stats.mean_pkt_size == pytest.approx(
+            profile.mean_pkt_size, rel=0.08)
+        assert stats.mean_flow_len == pytest.approx(
+            profile.mean_flow_len, rel=0.35)
+
+    def test_heavy_tail(self):
+        """Median flow length far below mean — the long-tail property the
+        MGPV short/long buffer split depends on."""
+        pkts = generate_trace("MAWI-IXP", n_flows=2000, seed=0)
+        from collections import Counter
+        lengths = Counter(p.flow_key for p in pkts)
+        sizes = np.array(sorted(lengths.values()))
+        assert np.median(sizes) < sizes.mean() / 2
+
+    def test_first_packet_is_egress_syn(self):
+        pkts = generate_trace("ENTERPRISE", n_flows=30, seed=2)
+        first_by_flow = {}
+        for p in pkts:
+            first_by_flow.setdefault(p.flow_key, p)
+        assert all(p.direction == 1 for p in first_by_flow.values())
+
+    def test_both_directions_present(self):
+        pkts = generate_trace("MAWI-IXP", n_flows=60, seed=4)
+        dirs = {p.direction for p in pkts}
+        assert dirs == {1, -1}
+
+
+class TestStats:
+    def test_empty(self):
+        s = trace_stats([])
+        assert s.n_packets == 0
+        assert s.n_flows == 0
+
+    def test_counts(self):
+        pkts = generate_trace("ENTERPRISE", n_flows=25, seed=7)
+        s = trace_stats(pkts)
+        assert s.n_packets == len(pkts)
+        assert 1 <= s.n_flows <= 25
+        assert s.duration_s > 0
+        assert s.total_bytes == pytest.approx(
+            sum(p.size for p in pkts), rel=1e-6)

@@ -1,0 +1,51 @@
+"""Multi-core scaling model (Fig 16)."""
+
+import pytest
+
+from repro.nicsim.cores import (
+    NFP4000_PAIR,
+    NFP4000_SINGLE,
+    NICTopology,
+    contention_factor,
+    scaling_throughput,
+)
+
+
+def test_topologies():
+    assert NFP4000_PAIR.n_cores == 120
+    assert NFP4000_SINGLE.n_cores == 60
+    assert NFP4000_PAIR.islands() == 10
+    assert NFP4000_PAIR.islands(13) == 2
+
+
+def test_contention_factor_bounds():
+    assert contention_factor(1) == 1.0
+    for n in (2, 8, 60, 120):
+        f = contention_factor(n)
+        assert 0.9 < f <= 1.0
+
+
+def test_per_ip_distribution_nearly_linear():
+    """Fig 16: near-linear scaling to 120 cores."""
+    pps = 1e6
+    t120 = scaling_throughput(pps, 120, per_ip_distribution=True)
+    assert t120 > 0.9 * 120 * pps
+
+
+def test_no_distribution_contends():
+    pps = 1e6
+    with_dist = scaling_throughput(pps, 120, per_ip_distribution=True)
+    without = scaling_throughput(pps, 120, per_ip_distribution=False)
+    assert without < 0.3 * with_dist
+
+
+def test_monotone_in_cores():
+    pps = 1e6
+    throughputs = [scaling_throughput(pps, n) for n in (1, 2, 4, 8, 16,
+                                                        32, 64, 120)]
+    assert throughputs == sorted(throughputs)
+
+
+def test_invalid_cores():
+    with pytest.raises(ValueError):
+        scaling_throughput(1e6, 0)

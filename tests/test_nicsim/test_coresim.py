@@ -1,0 +1,115 @@
+"""Discrete-event core simulator: mechanics, latency hiding, and
+agreement with the analytic cycle model."""
+
+import pytest
+
+from repro.apps import build_policy
+from repro.core.compiler import PolicyCompiler
+from repro.nicsim.coresim import (
+    CoreSimulator,
+    Phase,
+    cell_program,
+    simulate_policy,
+)
+from repro.nicsim.cycles import CycleModel, CycleModelConfig
+
+
+@pytest.fixture(scope="module")
+def kitsune():
+    return PolicyCompiler().compile(build_policy("Kitsune"))
+
+
+@pytest.fixture(scope="module")
+def npod():
+    return PolicyCompiler().compile(build_policy("NPOD"))
+
+
+class TestMechanics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoreSimulator([])
+        with pytest.raises(ValueError):
+            CoreSimulator([Phase("compute", 1)], n_threads=0)
+        with pytest.raises(ValueError):
+            CoreSimulator([Phase("compute", 1)]).run(0)
+        with pytest.raises(ValueError):
+            Phase("gpu", 1)
+        with pytest.raises(ValueError):
+            Phase("compute", -1)
+
+    def test_pure_compute_single_thread(self):
+        sim = CoreSimulator([Phase("compute", 10)], n_threads=1)
+        result = sim.run(100)
+        assert result.total_cycles == 1000
+        assert result.ctx_switches == 0
+        assert result.idle_cycles == 0
+
+    def test_memory_single_thread_fully_exposed(self):
+        program = [Phase("compute", 10), Phase("mem", 100)]
+        result = CoreSimulator(program, n_threads=1,
+                               ctx_switch_cycles=2).run(50)
+        # Each cell: 10 compute + 2 ctx + (100-2... wait: switch, then
+        # idle until the reply.  Per steady-state cell: 10 + 2 + ~98.
+        assert result.cycles_per_cell == pytest.approx(110, rel=0.1)
+        assert result.idle_cycles > 0
+
+    def test_threads_hide_memory_latency(self):
+        program = [Phase("compute", 20), Phase("mem", 100)]
+        single = CoreSimulator(program, n_threads=1).run(200)
+        eight = CoreSimulator(program, n_threads=8).run(200)
+        assert eight.total_cycles < single.total_cycles / 2
+        # With 8 threads, 20 compute each fully covers the 100-cycle
+        # latency: throughput approaches compute-bound.
+        assert eight.cycles_per_cell == pytest.approx(22, rel=0.15)
+
+    def test_compute_bound_threads_dont_help(self):
+        program = [Phase("compute", 200), Phase("mem", 10)]
+        single = CoreSimulator(program, n_threads=1).run(100)
+        eight = CoreSimulator(program, n_threads=8).run(100)
+        assert eight.total_cycles == pytest.approx(single.total_cycles,
+                                                   rel=0.1)
+
+
+class TestCellProgram:
+    def test_structure(self, npod):
+        program = cell_program(npod)
+        kinds = [p.kind for p in program]
+        assert kinds[0] == "compute"
+        assert "mem" in kinds
+        # One section: cell fetch + bucket load + writeback = 3 mems.
+        assert kinds.count("mem") == 3
+
+    def test_sections_add_memory_phases(self, kitsune, npod):
+        assert (cell_program(kitsune).count(Phase("mem", 250))
+                >= cell_program(npod).count(Phase("mem", 250)))
+        kit_mems = [p for p in cell_program(kitsune) if p.kind == "mem"]
+        npod_mems = [p for p in cell_program(npod) if p.kind == "mem"]
+        assert len(kit_mems) == 7      # cell + 3 sections x 2
+        assert len(npod_mems) == 3
+
+    def test_division_flag_changes_compute(self, npod):
+        base = cell_program(npod, CycleModelConfig.baseline())
+        opt = cell_program(npod, CycleModelConfig())
+        base_compute = sum(p.cycles for p in base if p.kind == "compute")
+        opt_compute = sum(p.cycles for p in opt if p.kind == "compute")
+        assert base_compute > opt_compute
+
+
+class TestAgreementWithAnalyticModel:
+    @pytest.mark.parametrize("app", ["NPOD", "Kitsune", "TF"])
+    @pytest.mark.parametrize("optimized", [True, False])
+    def test_within_band(self, app, optimized):
+        compiled = PolicyCompiler().compile(build_policy(app))
+        config = (CycleModelConfig() if optimized
+                  else CycleModelConfig.baseline())
+        analytic = CycleModel(compiled, config).cycles_per_cell().total
+        simulated = simulate_policy(compiled, n_cells=1000,
+                                    config=config).cycles_per_cell
+        ratio = simulated / analytic
+        assert 0.5 < ratio < 2.0, (app, optimized, analytic, simulated)
+
+    def test_optimizations_improve_simulated_throughput(self, kitsune):
+        base = simulate_policy(kitsune, 1000,
+                               CycleModelConfig.baseline())
+        opt = simulate_policy(kitsune, 1000, CycleModelConfig())
+        assert (opt.throughput_pps() / base.throughput_pps()) > 4.0

@@ -1,0 +1,117 @@
+"""Cycle model: optimization flags (Fig 17), software baseline (Fig 9)."""
+
+import pytest
+
+from repro.apps import build_policy
+from repro.core.compiler import PolicyCompiler
+from repro.nicsim.cycles import (
+    CycleModel,
+    CycleModelConfig,
+    register_fn_ops,
+    software_cycles_per_packet,
+    software_throughput_pps,
+)
+
+
+@pytest.fixture(scope="module")
+def kitsune_compiled():
+    return PolicyCompiler().compile(build_policy("Kitsune"))
+
+
+@pytest.fixture(scope="module")
+def tf_compiled():
+    return PolicyCompiler().compile(build_policy("TF"))
+
+
+class TestOptimizationFlags:
+    def test_each_optimization_helps(self, kitsune_compiled):
+        base = CycleModelConfig.baseline()
+        configs = [
+            base,
+            CycleModelConfig(reuse_switch_hash=True,
+                             thread_latency_hiding=False,
+                             division_elimination=False),
+            CycleModelConfig(reuse_switch_hash=True,
+                             thread_latency_hiding=True,
+                             division_elimination=False),
+            CycleModelConfig(),   # all three
+        ]
+        totals = [CycleModel(kitsune_compiled, c).cycles_per_cell().total
+                  for c in configs]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_division_elimination_is_biggest_single_win(
+            self, kitsune_compiled):
+        """Fig 17's observation."""
+        base = CycleModelConfig.baseline()
+        def gain(**kw):
+            params = dict(reuse_switch_hash=False,
+                          thread_latency_hiding=False,
+                          division_elimination=False)
+            params.update(kw)
+            cfg = CycleModelConfig(**params)
+            return (CycleModel(kitsune_compiled, base)
+                    .cycles_per_cell().total
+                    - CycleModel(kitsune_compiled, cfg)
+                    .cycles_per_cell().total)
+        g_hash = gain(reuse_switch_hash=True)
+        g_thread = gain(thread_latency_hiding=True)
+        g_div = gain(division_elimination=True)
+        assert g_div > g_thread > 0
+        assert g_div > g_hash > 0
+
+    def test_combined_speedup_at_least_4x(self, kitsune_compiled):
+        base = CycleModel(kitsune_compiled, CycleModelConfig.baseline())
+        opt = CycleModel(kitsune_compiled, CycleModelConfig())
+        speedup = (base.cycles_per_cell().total
+                   / opt.cycles_per_cell().total)
+        assert speedup >= 4.0
+
+    def test_breakdown_categories(self, kitsune_compiled):
+        bd = CycleModel(kitsune_compiled,
+                        CycleModelConfig.baseline()).cycles_per_cell()
+        assert bd.hash > 0
+        assert bd.memory > 0
+        assert bd.compute > 0
+        assert bd.division > 0
+        assert bd.total == pytest.approx(
+            bd.hash + bd.memory + bd.compute + bd.division)
+
+
+class TestThroughput:
+    def test_simple_policy_faster_than_complex(self, tf_compiled,
+                                               kitsune_compiled):
+        """WFP owns the simplest extractor and the highest throughput
+        (Fig 16's observation)."""
+        tf = CycleModel(tf_compiled).throughput_per_core_pps()
+        kit = CycleModel(kitsune_compiled).throughput_per_core_pps()
+        assert tf > 5 * kit
+
+    def test_pps_positive_and_bounded(self, kitsune_compiled):
+        pps = CycleModel(kitsune_compiled).throughput_per_core_pps()
+        assert 1e4 < pps < 8e8   # below one packet/cycle at 800 MHz
+
+
+class TestSoftwareBaseline:
+    def test_costs_scale_with_policy(self, tf_compiled, kitsune_compiled):
+        assert (software_cycles_per_packet(kitsune_compiled)
+                > software_cycles_per_packet(tf_compiled))
+
+    def test_capture_floor(self, tf_compiled):
+        assert software_cycles_per_packet(tf_compiled) > 4000
+
+    def test_throughput_cores_scale(self, tf_compiled):
+        assert software_throughput_pps(tf_compiled, n_cores=16) == \
+            pytest.approx(2 * software_throughput_pps(tf_compiled,
+                                                      n_cores=8))
+
+
+class TestRegistration:
+    def test_register_ops(self):
+        register_fn_ops("f_custom_test", {"alu": 2}, kind="reduce")
+        from repro.nicsim.cycles import REDUCE_FN_OPS
+        assert REDUCE_FN_OPS["f_custom_test"] == {"alu": 2}
+        with pytest.raises(ValueError):
+            register_fn_ops("f_custom_test", {"alu": 1})
+        register_fn_ops("f_custom_test", {"alu": 3}, override=True)
+        assert REDUCE_FN_OPS["f_custom_test"] == {"alu": 3}

@@ -1,0 +1,151 @@
+"""Feature engine: FG mirror synchronization, section projection,
+per-packet vs per-group collection, orphan handling, state accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import PolicyCompiler, PolicyError
+from repro.core.functions import ExecContext
+from repro.core.policy import pktstream
+from repro.nicsim.engine import FeatureEngine, MemberView
+from repro.switchsim.mgpv import FGSync, MGPVRecord
+
+
+def compile_policy(policy):
+    return PolicyCompiler().compile(policy)
+
+
+def flow_policy():
+    return compile_policy(
+        pktstream().groupby("flow")
+        .reduce("size", ["f_sum", "f_max"]).collect("flow"))
+
+
+def record(cg_key, cells):
+    return MGPVRecord(cg_key=cg_key, cg_hash32=0, cells=tuple(cells),
+                      reason="test")
+
+
+class TestMemberView:
+    def test_overlay(self):
+        view = MemberView({"size": 10})
+        assert view.get("size") == 10
+        view.set("size", 99)
+        assert view.get("size") == 99
+        assert view.has("size")
+        assert not view.has("nope")
+        with pytest.raises(KeyError):
+            view.get("nope")
+
+
+class TestConsumption:
+    def test_fg_sync_then_record(self):
+        compiled = flow_policy()
+        engine = FeatureEngine(compiled)
+        key = (1, 2, 10, 20, 6)
+        engine.consume(FGSync(0, key))
+        engine.consume(record(key, [(0, (100, 0)), (0, (50, 1))]))
+        vectors = engine.finalize()
+        assert len(vectors) == 1
+        assert vectors[0].values.tolist() == [150.0, 100.0]
+
+    def test_orphan_cells_counted_not_crashed(self):
+        engine = FeatureEngine(flow_policy())
+        engine.consume(record((1, 2, 10, 20, 6), [(42, (100, 0))]))
+        assert engine.stats.orphan_cells == 1
+        assert engine.finalize() == []
+
+    def test_unknown_event_type(self):
+        with pytest.raises(TypeError):
+            FeatureEngine(flow_policy()).consume("nope")
+
+    def test_fg_resync_overwrites(self):
+        compiled = flow_policy()
+        engine = FeatureEngine(compiled)
+        key_a = (1, 2, 10, 20, 6)
+        key_b = (3, 4, 30, 40, 6)
+        engine.consume(FGSync(0, key_a))
+        engine.consume(record(key_a, [(0, (10, 0))]))
+        engine.consume(FGSync(0, key_b))       # slot reused
+        engine.consume(record(key_b, [(0, (20, 1))]))
+        by_key = {v.key: v.values for v in engine.finalize()}
+        assert by_key[key_a][0] == 10.0
+        assert by_key[key_b][0] == 20.0
+
+
+class TestProjection:
+    def test_coarser_sections_aggregate_across_fg_groups(self):
+        compiled = compile_policy(
+            pktstream().groupby("host").reduce("size", ["f_sum"])
+            .collect("pkt")
+            .groupby("socket").reduce("size", ["f_sum"]).collect("pkt"))
+        engine = FeatureEngine(compiled)
+        sock_a = (1, 2, 10, 20, 6)
+        sock_b = (1, 3, 10, 21, 6)   # same host, different socket
+        engine.consume(FGSync(0, sock_a))
+        engine.consume(FGSync(1, sock_b))
+        engine.consume(record((1,), [(0, (100, 0, 1)), (1, (50, 1, 1))]))
+        vectors = engine.finalize()   # per-pkt mode: 2 vectors
+        assert len(vectors) == 2
+        # Second packet: host sum has both, socket sum only its own.
+        assert vectors[1].values.tolist() == [150.0, 50.0]
+        assert vectors[0].values.tolist() == [100.0, 100.0]
+
+
+class TestCollectValidation:
+    def test_collect_coarser_than_features_rejected(self):
+        policy = (pktstream().groupby("host")
+                  .reduce("size", ["f_sum"]).collect("host")
+                  .groupby("socket").reduce("size", ["f_sum"])
+                  .collect("host"))
+        compiled = compile_policy(policy)
+        with pytest.raises(PolicyError, match="coarser"):
+            FeatureEngine(compiled)
+
+
+class TestPerGroupVectors:
+    def test_vector_includes_enclosing_group_features(self):
+        compiled = compile_policy(
+            pktstream().groupby("host").reduce("size", ["f_sum"])
+            .collect("socket")
+            .groupby("socket").reduce("size", ["f_max"])
+            .collect("socket"))
+        engine = FeatureEngine(compiled)
+        sock_a = (1, 2, 10, 20, 6)
+        sock_b = (1, 3, 11, 21, 6)
+        engine.consume(FGSync(0, sock_a))
+        engine.consume(FGSync(1, sock_b))
+        engine.consume(record((1,), [(0, (100, 0, 1)), (1, (70, 1, 1))]))
+        by_key = {v.key: v.values for v in engine.finalize()}
+        # host f_sum = 170 shared, socket f_max individual.
+        assert by_key[sock_a].tolist() == [170.0, 100.0]
+        assert by_key[sock_b].tolist() == [170.0, 70.0]
+
+
+class TestAccounting:
+    def test_state_bytes_grow_with_groups(self):
+        compiled = flow_policy()
+        engine = FeatureEngine(compiled)
+        assert engine.total_state_bytes() == 0
+        for i in range(5):
+            key = (1, 2 + i, 10, 20, 6)
+            engine.consume(FGSync(i, key))
+            engine.consume(record(key, [(i, (10, 0))]))
+        assert engine.total_state_bytes() == 5 * 16   # 2 scalar states
+
+    def test_table_stats_exposed(self):
+        engine = FeatureEngine(flow_policy())
+        stats = engine.table_stats()
+        assert "flow" in stats
+
+    def test_skipped_updates_for_missing_mapped_key(self):
+        compiled = compile_policy(
+            pktstream().groupby("flow")
+            .map("ipt", "tstamp", "f_ipt")
+            .reduce("ipt", ["f_mean"]).collect("flow"))
+        engine = FeatureEngine(compiled)
+        key = (1, 2, 10, 20, 6)
+        engine.consume(FGSync(0, key))
+        engine.consume(record(key, [(0, (0,)), (0, (100,))]))
+        # First packet has no ipt -> one skipped update.
+        assert engine.stats.skipped_updates == 1

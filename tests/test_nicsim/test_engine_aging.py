@@ -1,0 +1,86 @@
+"""NIC-side idle-group eviction (vector emission for completed flows)."""
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import PolicyCompiler
+from repro.core.policy import pktstream
+from repro.nicsim.engine import FeatureEngine
+from repro.switchsim.mgpv import FGSync, MGPVRecord
+
+
+def engine_for(policy):
+    return FeatureEngine(PolicyCompiler().compile(policy))
+
+
+def flow_engine():
+    return engine_for(
+        pktstream().groupby("flow")
+        .reduce("size", ["f_sum"]).collect("flow"))
+
+
+def feed(engine, key, idx, cells):
+    engine.consume(FGSync(idx, key))
+    engine.consume(MGPVRecord(cg_key=key, cg_hash32=0,
+                              cells=tuple(cells), reason="t"))
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        flow_engine().evict_idle(100, 0)
+
+
+def test_idle_group_emitted_and_freed():
+    engine = flow_engine()
+    key_old = (1, 2, 10, 20, 6)
+    key_new = (3, 4, 30, 40, 6)
+    # The policy batches no tstamp field; the control plane advances
+    # the engine clock instead.
+    engine.advance_clock(1_000)
+    feed(engine, key_old, 0, [(0, (100,))])
+    engine.advance_clock(9_000_000)
+    feed(engine, key_new, 1, [(1, (50,))])
+    evicted = engine.evict_idle(now_ns=10_000_000, timeout_ns=1_000_000)
+    assert [tuple(v.key) for v in evicted] == [key_old]
+    assert evicted[0].values.tolist() == [100.0]
+    # The idle group is gone; the active one remains.
+    remaining = {tuple(v.key) for v in engine.finalize()}
+    assert remaining == {key_new}
+
+
+def test_active_groups_survive():
+    engine = flow_engine()
+    key = (1, 2, 10, 20, 6)
+    engine.advance_clock(5_000_000)
+    feed(engine, key, 0, [(0, (100,))])
+    assert engine.evict_idle(now_ns=5_500_000,
+                             timeout_ns=1_000_000) == []
+    assert len(engine.finalize()) == 1
+
+
+def test_coarser_sections_reaped_without_emission():
+    engine = engine_for(
+        pktstream().groupby("host").reduce("size", ["f_sum"])
+        .collect("socket")
+        .groupby("socket").reduce("size", ["f_max"]).collect("socket"))
+    sock = (1, 2, 10, 20, 6)
+    engine.advance_clock(1_000)
+    feed(engine, sock, 0, [(0, (100, 1))])
+    evicted = engine.evict_idle(now_ns=10_000_000, timeout_ns=1_000)
+    assert len(evicted) == 1
+    # Host f_sum + socket f_max in the evicted vector.
+    assert evicted[0].values.tolist() == [100.0, 100.0]
+    # Everything is freed, including the host-section state.
+    assert engine.total_state_bytes() == 0
+
+
+def test_per_packet_policy_reaps_only():
+    engine = engine_for(
+        pktstream().groupby("host").reduce("size", ["f_sum"])
+        .collect("pkt"))
+    engine.advance_clock(1_000)
+    feed(engine, (1, 2, 10, 20, 6), 0, [(0, (100,))])
+    assert engine.stats.vectors_emitted == 1   # emitted per cell already
+    evicted = engine.evict_idle(now_ns=10_000_000, timeout_ns=1_000)
+    assert evicted == []
+    assert engine.total_state_bytes() == 0

@@ -1,0 +1,44 @@
+"""NFP memory hierarchy model."""
+
+import pytest
+
+from repro.nicsim.memory import (
+    CLS,
+    CTM,
+    DRAM,
+    EMEM,
+    IMEM,
+    NFP_MEMORY_HIERARCHY,
+    level_by_name,
+)
+
+
+def test_hierarchy_ordering():
+    """Sizes increase and latencies increase down the hierarchy."""
+    levels = NFP_MEMORY_HIERARCHY
+    assert [l.name for l in levels] == ["CLS", "CTM", "IMEM", "EMEM"]
+    sizes = [l.size_bytes for l in levels]
+    lats = [l.latency_cycles for l in levels]
+    assert sizes == sorted(sizes)
+    assert lats == sorted(lats)
+    assert DRAM.latency_cycles > EMEM.latency_cycles
+
+
+def test_island_locality():
+    assert CLS.island_local and CTM.island_local
+    assert not IMEM.island_local and not EMEM.island_local
+
+
+def test_bus_width():
+    assert all(l.bus_width_bytes == 64 for l in NFP_MEMORY_HIERARCHY)
+
+
+def test_level_by_name():
+    assert level_by_name("CLS") is CLS
+    assert level_by_name("DRAM") is DRAM
+    with pytest.raises(KeyError):
+        level_by_name("L1")
+
+
+def test_str():
+    assert "CLS" in str(CLS)

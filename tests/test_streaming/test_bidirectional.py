@@ -1,0 +1,63 @@
+"""Bidirectional 2D statistics (f_mag / f_radius / f_cov / f_pcc)."""
+
+import numpy as np
+import pytest
+
+from repro.streaming.bidirectional import BidirectionalStats
+
+
+def test_empty():
+    b = BidirectionalStats()
+    assert b.magnitude == 0.0
+    assert b.radius == 0.0
+    assert b.covariance == 0.0
+    assert b.pcc == 0.0
+
+
+def test_magnitude_of_two_constant_streams():
+    b = BidirectionalStats()
+    for _ in range(20):
+        b.update(3.0, +1)
+        b.update(4.0, -1)
+    assert b.magnitude == pytest.approx(5.0)
+    assert b.radius == pytest.approx(0.0, abs=1e-9)
+
+
+def test_radius_with_variance():
+    b = BidirectionalStats()
+    rng = np.random.default_rng(0)
+    a_vals = rng.uniform(0, 100, 500)
+    b_vals = rng.uniform(0, 200, 500)
+    for x, y in zip(a_vals, b_vals):
+        b.update(float(x), +1)
+        b.update(float(y), -1)
+    expected = np.sqrt(a_vals.var() ** 2 + b_vals.var() ** 2)
+    assert b.radius == pytest.approx(expected, rel=0.05)
+
+
+def test_single_direction_has_no_joint_stats():
+    b = BidirectionalStats()
+    for v in (1.0, 2.0, 3.0):
+        b.update(v, +1)
+    assert b.n_joint == 0
+    assert b.covariance == 0.0
+
+
+def test_state_bytes_constant():
+    b = BidirectionalStats()
+    before = b.state_bytes
+    for i in range(1000):
+        b.update(float(i), 1 if i % 2 else -1)
+    assert b.state_bytes == before
+
+
+def test_pcc_bounded_for_similar_streams():
+    b = BidirectionalStats()
+    rng = np.random.default_rng(1)
+    for _ in range(300):
+        v = rng.uniform(100, 1000)
+        b.update(v, +1)
+        b.update(v, -1)
+    # With the RMS-proxy residual the PCC is a bounded similarity score.
+    assert -2.0 <= b.pcc <= 2.0
+    assert b.covariance != 0.0

@@ -1,0 +1,143 @@
+"""Damped-window statistics: decay semantics, SS-form vs stable Welford
+agreement, approximation-model knobs, and 2D features."""
+
+import numpy as np
+import pytest
+
+from repro.streaming.damped import (
+    DampedCovariance,
+    DampedStat,
+    DampedWelford,
+)
+
+
+class TestDampedStat:
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            DampedStat(-1.0)
+
+    def test_no_decay_matches_plain_stats(self):
+        d = DampedStat(lam=0.0)
+        data = [10.0, 20.0, 30.0, 40.0]
+        for i, v in enumerate(data):
+            d.update(v, t=float(i))
+        assert d.w == 4.0
+        assert d.mean == pytest.approx(25.0)
+        assert d.variance == pytest.approx(np.var(data))
+
+    def test_decay_halves_weight(self):
+        d = DampedStat(lam=1.0)
+        d.update(100.0, t=0.0)
+        d.update(100.0, t=1.0)    # previous weight decayed by 2^-1
+        assert d.w == pytest.approx(1.5)
+        assert d.mean == pytest.approx(100.0)
+
+    def test_recency_weighting(self):
+        """After a long gap, the old value should barely matter."""
+        d = DampedStat(lam=1.0)
+        d.update(1000.0, t=0.0)
+        d.update(10.0, t=30.0)    # 2^-30 decay
+        assert d.mean == pytest.approx(10.0, rel=1e-4)
+
+    def test_out_of_order_timestamp_no_decay(self):
+        d = DampedStat(lam=1.0)
+        d.update(10.0, t=5.0)
+        d.update(20.0, t=3.0)     # earlier timestamp: no decay applied
+        assert d.w == pytest.approx(2.0)
+
+    def test_variance_nonnegative(self):
+        d = DampedStat(lam=0.5)
+        for i in range(50):
+            d.update(1e6 + (i % 2), t=i * 0.01)
+        assert d.variance >= 0.0
+
+
+class TestDampedWelford:
+    def test_agrees_with_ss_form_double_precision(self):
+        rng = np.random.default_rng(0)
+        a = DampedStat(lam=0.5)
+        b = DampedWelford(lam=0.5)
+        t = 0.0
+        for _ in range(500):
+            t += rng.exponential(0.1)
+            v = rng.uniform(40, 1500)
+            a.update(v, t)
+            b.update(v, t)
+        assert b.w == pytest.approx(a.w, rel=1e-9)
+        assert b.mean == pytest.approx(a.mean, rel=1e-9)
+        assert b.std == pytest.approx(a.std, rel=1e-6)
+
+    def test_more_stable_than_ss_form_with_offset(self):
+        """With a huge mean offset, the SS form in single precision
+        degrades while decayed Welford stays accurate."""
+        exact = DampedWelford(lam=0.1)
+        approx = DampedStat(lam=0.1, single_precision=True)
+        rng = np.random.default_rng(1)
+        t = 0.0
+        for _ in range(300):
+            t += 0.01
+            v = 1e7 + rng.uniform(0, 10)
+            exact.update(v, t)
+            approx.update(v, t)
+        true_std_scale = 10 / np.sqrt(12)
+        assert exact.std == pytest.approx(true_std_scale, rel=0.5)
+        # float32 SS-form loses the spread entirely at this offset.
+        assert abs(approx.std - exact.std) > abs(exact.std) * 0.5
+
+    def test_decay_quantization_bounded_error(self):
+        exact = DampedWelford(lam=1.0)
+        quant = DampedWelford(lam=1.0, decay_quant_bits=8)
+        rng = np.random.default_rng(2)
+        t = 0.0
+        for _ in range(400):
+            t += rng.exponential(0.5)
+            v = rng.uniform(40, 1500)
+            exact.update(v, t)
+            quant.update(v, t)
+        assert quant.w == pytest.approx(exact.w, rel=0.05)
+        assert quant.mean == pytest.approx(exact.mean, rel=0.04)
+
+    def test_decay_exp_step_changes_weight(self):
+        coarse = DampedStat(lam=1.0, decay_exp_step=0.5)
+        exact = DampedStat(lam=1.0)
+        for i in range(50):
+            coarse.update(10.0, t=i * 0.3)
+            exact.update(10.0, t=i * 0.3)
+        assert coarse.w != pytest.approx(exact.w, rel=1e-6)
+
+
+class TestDampedCovariance:
+    def test_correlated_streams_positive_pcc(self):
+        d = DampedCovariance(lam=0.0)
+        rng = np.random.default_rng(3)
+        t = 0.0
+        for _ in range(400):
+            t += 0.01
+            base = rng.uniform(100, 1000)
+            d.update(base, t, +1)
+            d.update(base + rng.normal(0, 10), t + 0.001, -1)
+            t += 0.002
+        assert d.pcc > 0.0
+        assert d.covariance > 0.0
+
+    def test_magnitude_and_radius(self):
+        d = DampedCovariance(lam=0.0)
+        for i in range(10):
+            d.update(30.0, t=i * 1.0, direction=+1)
+            d.update(40.0, t=i * 1.0 + 0.5, direction=-1)
+        assert d.magnitude == pytest.approx(50.0, rel=1e-6)
+        assert d.radius == pytest.approx(0.0, abs=1e-6)
+
+    def test_single_stream_only(self):
+        d = DampedCovariance(lam=1.0)
+        for i in range(5):
+            d.update(100.0, t=float(i), direction=+1)
+        assert d.covariance == 0.0
+        assert d.pcc == 0.0
+        assert d.magnitude == pytest.approx(100.0)
+
+    def test_stats_tuple(self):
+        d = DampedCovariance(lam=1.0)
+        d.update(10.0, 0.0, +1)
+        mag, radius, cov, pcc = d.stats()
+        assert mag == pytest.approx(10.0)

@@ -1,0 +1,173 @@
+"""Histogram-family invariants: counts conserved, CDF monotone,
+percentiles bracket numpy's, saturating binning, merge."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streaming.histogram import (
+    FixedWidthHistogram,
+    VariableWidthHistogram,
+)
+from repro.streaming.naive import NaiveStats
+
+values = st.floats(min_value=-1e5, max_value=1e5,
+                   allow_nan=False, allow_infinity=False)
+
+
+class TestFixedWidth:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            FixedWidthHistogram(0, 10)
+        with pytest.raises(ValueError):
+            FixedWidthHistogram(1.0, 0)
+
+    def test_basic_binning(self):
+        h = FixedWidthHistogram(10.0, 5)
+        for v in (0, 5, 15, 25, 49, 100):
+            h.update(v)
+        assert h.counts.tolist() == [2, 1, 1, 0, 2]   # 49 and 100 saturate
+
+    def test_negative_values_clamp_to_first_bin(self):
+        h = FixedWidthHistogram(10.0, 3)
+        h.update(-100)
+        assert h.counts[0] == 1
+
+    @given(st.lists(values, min_size=1, max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_count_conservation(self, data):
+        h = FixedWidthHistogram(100.0, 16)
+        for v in data:
+            h.update(v)
+        assert h.counts.sum() == len(data)
+        assert h.total == len(data)
+
+    @given(st.lists(values, min_size=1, max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_cdf_monotone_ends_at_one(self, data):
+        h = FixedWidthHistogram(50.0, 32)
+        for v in data:
+            h.update(v)
+        cdf = h.cdf()
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    @given(st.lists(values, min_size=1, max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_pdf_sums_to_one(self, data):
+        h = FixedWidthHistogram(50.0, 32)
+        for v in data:
+            h.update(v)
+        assert h.pdf().sum() == pytest.approx(1.0)
+
+    def test_empty_pdf_cdf(self):
+        h = FixedWidthHistogram(10.0, 4)
+        assert h.pdf().sum() == 0.0
+        assert h.cdf().sum() == 0.0
+        assert h.percentile(50) == 0.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=999),
+                    min_size=20, max_size=300),
+           st.sampled_from([10.0, 25.0, 50.0, 75.0, 90.0]))
+    @settings(max_examples=100, deadline=None)
+    def test_percentile_within_bin_resolution(self, data, q):
+        h = FixedWidthHistogram(10.0, 100)
+        for v in data:
+            h.update(v)
+        # inverted_cdf is the sample-quantile definition the histogram
+        # approximates (no interpolation between distant order stats).
+        true = float(np.percentile(data, q, method="inverted_cdf"))
+        est = h.percentile(q)
+        assert abs(est - true) <= 10.0 + 1e-9   # one bin width
+
+    def test_percentile_bad_q(self):
+        h = FixedWidthHistogram(1.0, 4)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_fraction_below(self):
+        h = FixedWidthHistogram(10.0, 10)
+        for v in (5, 15, 25, 35):
+            h.update(v)
+        assert h.fraction_below(20) == pytest.approx(0.5)
+        assert h.fraction_below(0) == 0.0
+        assert h.fraction_below(1000) == 1.0
+
+    def test_matches_naive_histogram(self):
+        rng = np.random.default_rng(3)
+        data = rng.uniform(0, 1600, 500)
+        h = FixedWidthHistogram(100.0, 16)
+        naive = NaiveStats()
+        for v in data:
+            h.update(v)
+            naive.update(v)
+        assert np.array_equal(h.result(), naive.histogram(100.0, 16))
+
+    def test_merge(self):
+        a, b = FixedWidthHistogram(10, 4), FixedWidthHistogram(10, 4)
+        a.update(5)
+        b.update(15)
+        a.merge(b)
+        assert a.total == 2
+        assert a.counts.tolist() == [1, 1, 0, 0]
+        with pytest.raises(ValueError):
+            a.merge(FixedWidthHistogram(20, 4))
+
+
+class TestVariableWidth:
+    def test_invalid_edges(self):
+        with pytest.raises(ValueError):
+            VariableWidthHistogram([1.0])
+        with pytest.raises(ValueError):
+            VariableWidthHistogram([1.0, 1.0])
+        with pytest.raises(ValueError):
+            VariableWidthHistogram([2.0, 1.0])
+
+    def test_log_spacing_constructor(self):
+        h = VariableWidthHistogram.from_log_spacing(1.0, 1e6, 12)
+        assert h.n_bins == 12
+        assert h.edges[0] == pytest.approx(1.0)
+        assert h.edges[-1] == pytest.approx(1e6, rel=1e-9)
+        ratios = [b / a for a, b in zip(h.edges, h.edges[1:])]
+        assert all(r == pytest.approx(ratios[0], rel=1e-6) for r in ratios)
+
+    def test_log_spacing_invalid(self):
+        with pytest.raises(ValueError):
+            VariableWidthHistogram.from_log_spacing(0.0, 10, 4)
+        with pytest.raises(ValueError):
+            VariableWidthHistogram.from_log_spacing(10, 5, 4)
+
+    def test_binning_and_saturation(self):
+        h = VariableWidthHistogram([0.0, 1.0, 10.0, 100.0])
+        for v in (-5, 0.5, 5.0, 50.0, 5000.0):
+            h.update(v)
+        assert h.counts.tolist() == [2, 1, 2]
+
+    @given(st.lists(st.floats(min_value=1, max_value=1e6), min_size=1,
+                    max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_count_conservation_and_cdf(self, data):
+        h = VariableWidthHistogram.from_log_spacing(1.0, 1e6, 20)
+        for v in data:
+            h.update(v)
+        assert h.total == len(data)
+        cdf = h.cdf()
+        assert cdf[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(cdf) >= -1e-12)
+
+    def test_percentile(self):
+        h = VariableWidthHistogram([0, 10, 20, 30, 40])
+        for v in range(0, 40):
+            h.update(v)
+        assert h.percentile(50) in (20.0, 30.0)
+        assert h.percentile(0) == 10.0
+
+    def test_merge_requires_same_edges(self):
+        a = VariableWidthHistogram([0, 1, 2])
+        b = VariableWidthHistogram([0, 1, 2])
+        b.update(0.5)
+        a.merge(b)
+        assert a.total == 1
+        with pytest.raises(ValueError):
+            a.merge(VariableWidthHistogram([0, 2, 4]))

@@ -1,0 +1,116 @@
+"""HyperLogLog accuracy bounds, determinism, and merge semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streaming.hyperloglog import HyperLogLog, fmix32, hash_key
+
+
+class TestHash:
+    def test_fmix32_deterministic_and_ranged(self):
+        assert fmix32(12345) == fmix32(12345)
+        for v in (0, 1, 2 ** 31, 2 ** 32 - 1, 2 ** 40):
+            assert 0 <= fmix32(v) <= 0xFFFFFFFF
+
+    def test_fmix32_avalanche(self):
+        # Flipping one input bit should flip roughly half the output bits.
+        flips = bin(fmix32(1000) ^ fmix32(1001)).count("1")
+        assert 8 <= flips <= 28
+
+    def test_hash_key_types(self):
+        assert hash_key(5) == hash_key(5)
+        assert hash_key((1, 2, 3)) == hash_key((1, 2, 3))
+        assert hash_key((1, 2)) != hash_key((2, 1))
+        assert hash_key("abc") == hash_key("abc")
+        assert hash_key("abc") != hash_key("abd")
+        assert 0 <= hash_key(None) <= 0xFFFFFFFF
+        assert 0 <= hash_key(3.25) <= 0xFFFFFFFF
+
+    @given(st.lists(st.integers(min_value=0, max_value=2 ** 32 - 1),
+                    min_size=100, max_size=100, unique=True))
+    @settings(max_examples=20, deadline=None)
+    def test_hash_collision_rarity(self, keys):
+        hashes = {hash_key(k) for k in keys}
+        assert len(hashes) >= 99   # at most 1 collision in 100
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(k=1)
+        with pytest.raises(ValueError):
+            HyperLogLog(k=17)
+
+
+class TestEstimation:
+    def test_empty(self):
+        assert HyperLogLog(6).estimate() == pytest.approx(0.0, abs=1.0)
+
+    def test_single_element(self):
+        hll = HyperLogLog(6)
+        hll.update(42)
+        assert 0.5 <= hll.estimate() <= 2.5
+
+    def test_duplicates_dont_inflate(self):
+        hll = HyperLogLog(8)
+        for _ in range(10000):
+            hll.update(7)
+        assert hll.estimate() <= 2.5
+
+    @pytest.mark.parametrize("true_n", [50, 500, 5000, 50000])
+    def test_error_within_hll_bound(self, true_n):
+        """Standard error of HLL is ~1.04/sqrt(m); allow 4 sigma."""
+        hll = HyperLogLog(k=8)
+        for i in range(true_n):
+            hll.update(i * 2654435761 % (2 ** 32))
+        est = hll.estimate()
+        sigma = 1.04 / np.sqrt(hll.m)
+        assert abs(est - true_n) / true_n < 4 * sigma + 0.02
+
+    def test_more_buckets_reduce_error(self):
+        true_n = 20000
+        errors = []
+        for k in (4, 10):
+            hll = HyperLogLog(k=k)
+            for i in range(true_n):
+                hll.update(i)
+            errors.append(abs(hll.estimate() - true_n) / true_n)
+        assert errors[1] < errors[0] + 0.02
+
+    def test_arith_mean_estimator_runs(self):
+        hll = HyperLogLog(6)
+        assert hll.estimate_arith_mean() == 0.0
+        for i in range(1000):
+            hll.update(i)
+        est = hll.estimate_arith_mean()
+        assert est > 0
+
+    def test_state_bytes(self):
+        assert HyperLogLog(6).state_bytes == 64
+        assert HyperLogLog(10).state_bytes == 1024
+
+
+class TestMerge:
+    def test_merge_disjoint_sets(self):
+        a, b, union = HyperLogLog(8), HyperLogLog(8), HyperLogLog(8)
+        for i in range(3000):
+            a.update(i)
+            union.update(i)
+        for i in range(3000, 6000):
+            b.update(i)
+            union.update(i)
+        a.merge(b)
+        assert a.estimate() == pytest.approx(union.estimate(), rel=1e-9)
+
+    def test_merge_mismatched_k(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(6).merge(HyperLogLog(8))
+
+    def test_merge_idempotent(self):
+        a, b = HyperLogLog(6), HyperLogLog(6)
+        for i in range(1000):
+            a.update(i)
+            b.update(i)
+        before = a.estimate()
+        a.merge(b)
+        assert a.estimate() == pytest.approx(before)

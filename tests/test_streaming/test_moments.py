@@ -1,0 +1,96 @@
+"""Streaming skewness/kurtosis vs scipy and merge correctness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as sps
+
+from repro.streaming.moments import StreamingMoments
+
+floats = st.floats(min_value=-1e4, max_value=1e4,
+                   allow_nan=False, allow_infinity=False)
+
+
+def test_empty_and_degenerate():
+    m = StreamingMoments()
+    assert m.skewness == 0.0
+    assert m.kurtosis == 0.0
+    m.update(1.0)
+    assert m.skewness == 0.0      # undefined -> 0 by contract
+    m.update(1.0)
+    assert m.skewness == 0.0      # zero variance
+
+
+def test_known_symmetric_distribution():
+    rng = np.random.default_rng(0)
+    data = rng.normal(10, 2, 20000)
+    m = StreamingMoments()
+    for v in data:
+        m.update(v)
+    assert m.skewness == pytest.approx(0.0, abs=0.06)
+    assert m.kurtosis == pytest.approx(3.0, abs=0.12)
+
+
+def test_known_skewed_distribution():
+    rng = np.random.default_rng(1)
+    data = rng.exponential(1.0, 20000)
+    m = StreamingMoments()
+    for v in data:
+        m.update(v)
+    # Exponential: skewness 2, kurtosis 9.
+    assert m.skewness == pytest.approx(2.0, rel=0.1)
+    assert m.kurtosis == pytest.approx(9.0, rel=0.2)
+
+
+@given(st.lists(floats, min_size=3, max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_matches_scipy(values):
+    arr = np.asarray(values)
+    if arr.var() < 1e-6:
+        return
+    m = StreamingMoments()
+    for v in values:
+        m.update(v)
+    assert m.mean == pytest.approx(float(arr.mean()), rel=1e-8, abs=1e-6)
+    assert m.variance == pytest.approx(float(arr.var()), rel=1e-5,
+                                       abs=1e-5)
+    assert m.skewness == pytest.approx(
+        float(sps.skew(arr)), rel=1e-4, abs=1e-4)
+    assert m.kurtosis == pytest.approx(
+        float(sps.kurtosis(arr, fisher=False)), rel=1e-4, abs=1e-4)
+
+
+@given(st.lists(floats, min_size=2, max_size=80),
+       st.lists(floats, min_size=2, max_size=80))
+@settings(max_examples=80, deadline=None)
+def test_merge_equals_concatenation(a, b):
+    arr = np.asarray(a + b)
+    if arr.var() < 1e-6:
+        return
+    ma, mb, mc = StreamingMoments(), StreamingMoments(), StreamingMoments()
+    for v in a:
+        ma.update(v)
+        mc.update(v)
+    for v in b:
+        mb.update(v)
+        mc.update(v)
+    ma.merge(mb)
+    assert ma.n == mc.n
+    assert ma.mean == pytest.approx(mc.mean, rel=1e-8, abs=1e-6)
+    assert ma.m2 == pytest.approx(mc.m2, rel=1e-6, abs=1e-4)
+    assert ma.skewness == pytest.approx(mc.skewness, rel=1e-4, abs=1e-4)
+    assert ma.kurtosis == pytest.approx(mc.kurtosis, rel=1e-4, abs=1e-4)
+
+
+def test_merge_with_empty():
+    m = StreamingMoments()
+    for v in (1.0, 2.0, 3.0):
+        m.update(v)
+    other = StreamingMoments()
+    m.merge(other)
+    assert m.n == 3
+    fresh = StreamingMoments()
+    fresh.merge(m)
+    assert fresh.n == 3
+    assert fresh.mean == pytest.approx(2.0)

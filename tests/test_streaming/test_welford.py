@@ -1,0 +1,130 @@
+"""Welford streaming mean/variance vs numpy ground truth, including the
+division-free NFP variant's error bound and merge correctness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streaming.welford import Welford, WelfordDivisionFree
+
+floats = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+
+
+class TestWelford:
+    def test_empty(self):
+        w = Welford()
+        assert w.n == 0
+        assert w.mean == 0.0
+        assert w.variance == 0.0
+
+    def test_single_value(self):
+        w = Welford()
+        w.update(5.0)
+        assert w.mean == 5.0
+        assert w.variance == 0.0
+
+    def test_constant_stream(self):
+        w = Welford()
+        for _ in range(100):
+            w.update(7.5)
+        assert w.mean == pytest.approx(7.5)
+        assert w.variance == pytest.approx(0.0, abs=1e-9)
+
+    @given(st.lists(floats, min_size=1, max_size=200))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_numpy(self, values):
+        w = Welford()
+        for v in values:
+            w.update(v)
+        arr = np.asarray(values)
+        assert w.n == len(values)
+        assert w.mean == pytest.approx(float(arr.mean()),
+                                       rel=1e-9, abs=1e-6)
+        assert w.variance == pytest.approx(float(arr.var()),
+                                           rel=1e-6, abs=1e-3)
+
+    @given(st.lists(floats, min_size=1, max_size=100),
+           st.lists(floats, min_size=1, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_merge_equals_concatenation(self, a, b):
+        wa, wb, wc = Welford(), Welford(), Welford()
+        for v in a:
+            wa.update(v)
+            wc.update(v)
+        for v in b:
+            wb.update(v)
+            wc.update(v)
+        wa.merge(wb)
+        assert wa.n == wc.n
+        assert wa.mean == pytest.approx(wc.mean, rel=1e-9, abs=1e-6)
+        assert wa.variance == pytest.approx(wc.variance, rel=1e-6,
+                                            abs=1e-3)
+
+    def test_merge_with_empty(self):
+        w = Welford()
+        w.update(3.0)
+        w.merge(Welford())
+        assert w.n == 1 and w.mean == 3.0
+        empty = Welford()
+        empty.merge(w)
+        assert empty.n == 1 and empty.mean == 3.0
+
+    def test_numerical_stability_large_offset(self):
+        # Classic catastrophic-cancellation case for the naive SS form.
+        w = Welford()
+        base = 1e9
+        for v in (base + 1, base + 2, base + 3):
+            w.update(v)
+        assert w.variance == pytest.approx(2.0 / 3.0, rel=1e-6)
+
+
+class TestWelfordDivisionFree:
+    def test_single_value(self):
+        w = WelfordDivisionFree()
+        w.update(100)
+        assert w.mean == 100
+        assert w.variance == 0.0
+
+    @given(st.lists(st.integers(min_value=40, max_value=1514),
+                    min_size=5, max_size=500))
+    @settings(max_examples=150, deadline=None)
+    def test_mean_error_bounded(self, sizes):
+        """The paper reports <4% extraction error (Fig 10); the integer
+        mean must stay within a few units of the true mean."""
+        w = WelfordDivisionFree()
+        for s in sizes:
+            w.update(s)
+        true_mean = float(np.mean(sizes))
+        # Remainder banking keeps the integer mean within 1 of truth.
+        assert abs(w.mean - true_mean) <= 1.0 + 1e-9
+
+    @given(st.lists(st.integers(min_value=0, max_value=10 ** 6),
+                    min_size=10, max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_variance_relative_error(self, values):
+        w = WelfordDivisionFree()
+        for v in values:
+            w.update(v)
+        true_var = float(np.var(values))
+        if true_var > 1.0:
+            rel = abs(w.variance - true_var) / true_var
+            assert rel < 0.15
+        assert w.variance >= 0.0 or w.variance == pytest.approx(0.0)
+
+    def test_monotone_stream(self):
+        w = WelfordDivisionFree()
+        for v in range(1, 101):
+            w.update(v)
+        assert abs(w.mean - 50.5) <= 1.0
+        assert w.std == pytest.approx(np.std(np.arange(1, 101)), rel=0.1)
+
+    def test_large_delta_slow_path(self):
+        w = WelfordDivisionFree()
+        w.update(10)
+        w.update(10)
+        w.update(10_000)    # |delta| >= 2n exercises the soft division
+        assert w.n == 3
+        true_mean = (10 + 10 + 10_000) / 3
+        assert abs(w.mean - true_mean) <= 1.0

@@ -1,0 +1,44 @@
+"""Match-action filter stage."""
+
+from repro.core.policy import Predicate
+from repro.net.packet import PROTO_TCP, PROTO_UDP, Packet
+from repro.switchsim.filter import FilterStage
+
+
+def pkt(proto=PROTO_TCP, size=100):
+    return Packet(0, size, 1, 2, 10, 20, proto)
+
+
+def test_empty_filter_admits_all():
+    stage = FilterStage([])
+    assert stage.admit(pkt())
+    assert stage.n_rules == 0
+
+
+def test_predicate_filtering_and_counters():
+    stage = FilterStage([Predicate.parse("tcp.exist")])
+    assert stage.admit(pkt(proto=PROTO_TCP))
+    assert not stage.admit(pkt(proto=PROTO_UDP))
+    assert stage.hits == 1
+    assert stage.misses == 1
+
+
+def test_conjunction_of_filters():
+    stage = FilterStage([Predicate.parse("tcp.exist"),
+                         Predicate.parse("size > 50")])
+    assert stage.admit(pkt(size=100))
+    assert not stage.admit(pkt(size=10))
+    assert stage.n_rules == 2
+
+
+def test_callable_predicate():
+    stage = FilterStage([lambda p: p.size > 500])
+    assert stage.admit(pkt(size=501))
+    assert not stage.admit(pkt(size=499))
+
+
+def test_apply_generator():
+    stage = FilterStage([Predicate.parse("tcp.exist")])
+    packets = [pkt(proto=PROTO_TCP), pkt(proto=PROTO_UDP),
+               pkt(proto=PROTO_TCP)]
+    assert len(list(stage.apply(packets))) == 2

@@ -1,0 +1,237 @@
+"""MGPV cache invariants: lossless batching, per-group order
+preservation, eviction cases, FG-table consistency, long-buffer stack
+accounting, aging."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.granularity import FLOW, HOST, SOCKET
+from repro.net.packet import PROTO_TCP, Packet
+from repro.net.trace import generate_trace
+from repro.switchsim.mgpv import FGSync, MGPVCache, MGPVConfig, MGPVRecord
+
+
+def pkt(t=0, src=1, dst=2, sport=10, dport=20, size=100):
+    return Packet(t, size, src, dst, sport, dport, PROTO_TCP)
+
+
+def drain(cache, packets):
+    events = []
+    for p in packets:
+        events.extend(cache.insert(p))
+    events.extend(cache.flush())
+    return events
+
+
+def small_config(**kw):
+    defaults = dict(n_short=64, short_size=4, n_long=8, long_size=20,
+                    fg_table_size=64)
+    defaults.update(kw)
+    return MGPVConfig(**defaults)
+
+
+class TestConfig:
+    def test_defaults_match_prototype(self):
+        cfg = MGPVConfig()
+        assert (cfg.n_short, cfg.short_size) == (16384, 4)
+        assert (cfg.n_long, cfg.long_size) == (4096, 20)
+        assert cfg.fg_table_size == 16384
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            MGPVConfig(n_short=0)
+
+    def test_sram_accounting_positive(self):
+        assert MGPVConfig().sram_bytes > 1_000_000
+
+
+class TestLosslessBatching:
+    def test_every_packet_becomes_exactly_one_cell(self):
+        trace = generate_trace("ENTERPRISE", n_flows=150, seed=1)
+        cache = MGPVCache(HOST, SOCKET, small_config())
+        events = drain(cache, trace)
+        cells = sum(len(e.cells) for e in events
+                    if isinstance(e, MGPVRecord))
+        assert cells == len(trace)
+        assert cache.stats.cells_out == len(trace)
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5),
+                              st.integers(0, 3)),
+                    min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_lossless_under_random_collisions(self, spec):
+        """Tiny cache + adversarial key patterns: still no cell is ever
+        lost or duplicated."""
+        cache = MGPVCache(HOST, SOCKET,
+                          small_config(n_short=4, n_long=1,
+                                       fg_table_size=4))
+        packets = [pkt(t=i, src=s, dst=d, sport=p)
+                   for i, (s, d, p) in enumerate(spec)]
+        events = drain(cache, packets)
+        cells = sum(len(e.cells) for e in events
+                    if isinstance(e, MGPVRecord))
+        assert cells == len(packets)
+
+    def test_cells_carry_requested_metadata(self):
+        cache = MGPVCache(FLOW, FLOW, small_config(),
+                          metadata_fields=("size", "tstamp", "direction"))
+        events = drain(cache, [pkt(t=7, size=123)])
+        record = next(e for e in events if isinstance(e, MGPVRecord))
+        _, meta = record.cells[0]
+        assert meta == (123, 7, 1)
+
+
+class TestOrderPreservation:
+    def test_per_group_cell_order(self):
+        """Cells of one CG group must reach the NIC in arrival order —
+        the §5.1 design goal MGPV exists for."""
+        trace = generate_trace("MAWI-IXP", n_flows=60, seed=2)
+        cache = MGPVCache(HOST, SOCKET,
+                          small_config(n_short=16, n_long=2))
+        events = drain(cache, trace)
+        fg_keys: dict = {}
+        seen_ts: dict = {}
+        for e in events:
+            if isinstance(e, FGSync):
+                fg_keys[e.index] = e.key
+                continue
+            for fg_idx, meta in e.cells:
+                key = e.cg_key
+                last = seen_ts.get(key, -1)
+                assert meta[1] >= last, "per-group order violated"
+                seen_ts[key] = meta[1]
+
+
+class TestEvictionCases:
+    def test_hash_collision_evicts_older_group(self):
+        cache = MGPVCache(HOST, SOCKET, small_config(n_short=1))
+        cache.insert(pkt(src=1))
+        events = cache.insert(pkt(src=2))
+        records = [e for e in events if isinstance(e, MGPVRecord)]
+        assert len(records) == 1
+        assert records[0].reason == "collision"
+        assert records[0].cg_key == (1,)
+
+    def test_short_full_without_long_buffer(self):
+        cache = MGPVCache(HOST, SOCKET,
+                          small_config(short_size=2, n_long=1,
+                                       long_size=4))
+        # Fill the only long buffer with another flow first.
+        for i in range(2):
+            cache.insert(pkt(t=i, src=9))
+        # Now src=1 fills its short buffer with no long available.
+        events = []
+        for i in range(4):
+            events.extend(cache.insert(pkt(t=10 + i, src=1)))
+        reasons = [e.reason for e in events if isinstance(e, MGPVRecord)]
+        assert "short_full" in reasons
+        assert cache.stats.long_alloc_failures >= 1
+
+    def test_long_buffer_allocation_and_release(self):
+        cfg = small_config(short_size=2, long_size=3, n_long=2)
+        cache = MGPVCache(HOST, SOCKET, cfg)
+        events = []
+        for i in range(5):   # 2 into short (alloc long), 3 into long
+            events.extend(cache.insert(pkt(t=i, src=1)))
+        reasons = [e.reason for e in events if isinstance(e, MGPVRecord)]
+        assert reasons == ["long_full"]
+        record = next(e for e in events if isinstance(e, MGPVRecord))
+        assert len(record.cells) == 5
+        # Long buffer returned to the stack.
+        assert cache.long_buffers_in_use == 0
+        assert cache.stats.long_allocs == 1
+
+    def test_flush_emits_residents(self):
+        cache = MGPVCache(HOST, SOCKET, small_config())
+        cache.insert(pkt(src=1))
+        cache.insert(pkt(src=2))
+        events = cache.flush()
+        assert len(events) == 2
+        assert all(e.reason == "flush" for e in events)
+        assert cache.resident_groups == 0
+
+    def test_stack_never_leaks(self):
+        trace = generate_trace("MAWI-IXP", n_flows=100, seed=3)
+        cfg = small_config(n_short=16, n_long=4, long_size=6)
+        cache = MGPVCache(HOST, SOCKET, cfg)
+        drain(cache, trace)
+        assert cache.long_buffers_in_use == 0
+        assert len(cache._long_stack) == cfg.n_long
+        assert sorted(cache._long_stack) == list(range(cfg.n_long))
+
+
+class TestFGTable:
+    def test_sync_before_first_reference(self):
+        cache = MGPVCache(HOST, SOCKET, small_config())
+        trace = generate_trace("ENTERPRISE", n_flows=80, seed=4)
+        known = set()
+        for e in drain(cache, trace):
+            if isinstance(e, FGSync):
+                known.add(e.index)
+            else:
+                for fg_idx, _ in e.cells:
+                    assert fg_idx in known
+
+    def test_fg_collision_evicts_owner(self):
+        cache = MGPVCache(HOST, SOCKET, small_config(fg_table_size=1))
+        cache.insert(pkt(src=1, sport=10))
+        events = cache.insert(pkt(src=2, sport=11))
+        # The colliding FG slot forces the old owner group out first.
+        records = [e for e in events if isinstance(e, MGPVRecord)]
+        assert len(records) == 1
+        assert records[0].cg_key == (1,)
+        assert cache.stats.fg_collisions == 1
+
+    def test_one_sync_per_new_key_only(self):
+        cache = MGPVCache(FLOW, FLOW, small_config())
+        for i in range(10):
+            cache.insert(pkt(t=i))
+        assert cache.stats.syncs_out == 1
+
+
+class TestAggregationRatio:
+    def test_bytes_ratio_far_below_one(self):
+        trace = generate_trace("ENTERPRISE", n_flows=300, seed=5)
+        cache = MGPVCache(HOST, SOCKET, MGPVConfig())
+        drain(cache, trace)
+        assert 0 < cache.stats.aggregation_ratio_bytes < 0.2
+
+    def test_rate_ratio_below_one(self):
+        trace = generate_trace("MAWI-IXP", n_flows=200, seed=6)
+        cache = MGPVCache(HOST, SOCKET, MGPVConfig())
+        drain(cache, trace)
+        assert 0 < cache.stats.aggregation_ratio_rate < 1.0
+
+
+class TestAging:
+    def test_idle_groups_evicted(self):
+        cfg = small_config(aging_timeout_ns=1000, aging_scan_per_pkt=64)
+        cache = MGPVCache(HOST, SOCKET, cfg)
+        cache.insert(pkt(t=0, src=1))
+        # A stream of packets from another host advances time and the
+        # scan cursor; src=1 should age out.
+        events = []
+        for i in range(100):
+            events.extend(cache.insert(pkt(t=5000 + i, src=2)))
+        reasons = [e.reason for e in events if isinstance(e, MGPVRecord)]
+        assert "aging" in reasons
+        assert cache.stats.evictions["aging"] >= 1
+
+    def test_no_aging_when_disabled(self):
+        cache = MGPVCache(HOST, SOCKET, small_config())
+        cache.insert(pkt(t=0, src=1))
+        for i in range(100):
+            cache.insert(pkt(t=10 ** 12 + i, src=2))
+        assert cache.stats.evictions["aging"] == 0
+
+    def test_active_groups_survive(self):
+        cfg = small_config(aging_timeout_ns=10_000,
+                           aging_scan_per_pkt=64)
+        cache = MGPVCache(HOST, SOCKET, cfg)
+        events = []
+        for i in range(50):
+            events.extend(cache.insert(pkt(t=i * 100, src=1)))
+        aging = [e for e in events
+                 if isinstance(e, MGPVRecord) and e.reason == "aging"]
+        assert not aging

@@ -1,0 +1,60 @@
+"""Switch resource model (Table 4): plausibility bands and monotonicity."""
+
+import pytest
+
+from repro.apps import build_policy
+from repro.core.compiler import PolicyCompiler
+from repro.switchsim.mgpv import MGPVConfig
+from repro.switchsim.resources import (
+    TOFINO,
+    estimate_switch_resources,
+)
+
+
+@pytest.fixture(scope="module")
+def compiler():
+    return PolicyCompiler()
+
+
+def estimate(app, compiler):
+    return estimate_switch_resources(compiler.compile(build_policy(app)))
+
+
+def test_profile_capacities():
+    assert TOFINO.tables_total == 192
+    assert TOFINO.salus_total == 48
+    assert TOFINO.sram_blocks_total == 960
+
+
+@pytest.mark.parametrize("app", ["TF", "N-BaIoT", "NPOD", "Kitsune"])
+def test_everything_fits(app, compiler):
+    report = estimate(app, compiler)
+    assert report.fits()
+    assert 0 < report.tables_pct < 100
+    assert 0 < report.salus_pct < 100
+    assert 0 < report.sram_pct < 100
+
+
+@pytest.mark.parametrize("app", ["TF", "N-BaIoT", "NPOD", "Kitsune"])
+def test_salus_dominate(app, compiler):
+    """Table 4's key observation: stateful ALUs are the most-utilized
+    switch resource."""
+    report = estimate(app, compiler)
+    assert report.salus_pct > report.tables_pct
+    assert report.salus_pct > report.sram_pct
+    assert report.salus_pct > 40.0
+
+
+def test_more_granularities_use_more_tables(compiler):
+    tf = estimate("TF", compiler)          # 1 granularity
+    kitsune = estimate("Kitsune", compiler)  # 3 granularities
+    assert kitsune.tables_used > tf.tables_used
+
+
+def test_sram_scales_with_config(compiler):
+    compiled = compiler.compile(build_policy("Kitsune"))
+    small = estimate_switch_resources(
+        compiled, MGPVConfig(n_short=1024, fg_table_size=1024))
+    big = estimate_switch_resources(
+        compiled, MGPVConfig(n_short=65536, fg_table_size=65536))
+    assert big.sram_blocks_used > small.sram_blocks_used

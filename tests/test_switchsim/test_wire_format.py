@@ -1,0 +1,47 @@
+"""Wire-format accounting of the switch->NIC channel."""
+
+import pytest
+
+from repro.core.granularity import FLOW, HOST, SOCKET
+from repro.net.packet import PROTO_TCP, Packet
+from repro.switchsim.mgpv import FGSync, MGPVCache, MGPVConfig, MGPVRecord
+
+
+def test_record_wire_bytes():
+    cfg = MGPVConfig(cell_bytes=9, cg_key_bytes=4,
+                     record_header_bytes=10)
+    record = MGPVRecord(cg_key=(1,), cg_hash32=0,
+                        cells=((0, (1, 2)), (0, (3, 4))), reason="t")
+    assert record.wire_bytes(cfg) == 10 + 4 + 2 * 9
+
+
+def test_sync_wire_bytes():
+    cfg = MGPVConfig(fg_key_bytes=13)
+    assert FGSync(5, (1, 2, 3, 4, 5)).wire_bytes(cfg) == 2 + 13
+
+
+def test_bytes_out_matches_event_sum():
+    cfg = MGPVConfig(n_short=64, short_size=2, n_long=4, long_size=4,
+                     fg_table_size=64, cell_bytes=8, cg_key_bytes=4,
+                     fg_key_bytes=13)
+    cache = MGPVCache(HOST, SOCKET, cfg)
+    packets = [Packet(i, 100, 1 + i % 5, 2, 10, 20 + i % 3, PROTO_TCP)
+               for i in range(200)]
+    total = 0
+    for event in cache.process(packets):
+        total += event.wire_bytes(cfg)
+    assert total == cache.stats.bytes_out
+
+
+def test_metadata_field_variants():
+    """The cell carries exactly the requested fields, in order."""
+    for fields in [("size",), ("tstamp", "direction"),
+                   ("size", "tstamp", "direction")]:
+        cache = MGPVCache(FLOW, FLOW, MGPVConfig(n_short=8),
+                          metadata_fields=fields)
+        events = cache.insert(Packet(7, 123, 1, 2, 10, 20, PROTO_TCP))
+        events += cache.flush()
+        record = next(e for e in events if isinstance(e, MGPVRecord))
+        _, meta = record.cells[0]
+        expected = {"size": 123, "tstamp": 7, "direction": 1}
+        assert meta == tuple(expected[f] for f in fields)
