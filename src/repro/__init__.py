@@ -33,6 +33,7 @@ Quickstart::
 from repro.core.policy import Policy, pktstream
 from repro.core.pipeline import SuperFE, ExtractionResult
 from repro.core.compiler import PolicyCompiler, CompiledPolicy, PolicyError
+from repro.core.dataplane import Dataplane, LinkConfig
 
 __all__ = [
     "Policy",
@@ -42,6 +43,8 @@ __all__ = [
     "PolicyCompiler",
     "CompiledPolicy",
     "PolicyError",
+    "Dataplane",
+    "LinkConfig",
 ]
 
 __version__ = "1.0.0"

@@ -26,20 +26,23 @@ from repro.net.scenarios import ScenarioTrace
 
 def extract_aligned_features(policy: Policy, packets: list[Packet],
                              extractor: str = "superfe",
+                             n_nics: int = 1,
                              ) -> tuple[np.ndarray, np.ndarray]:
     """Run a per-packet policy and align its vectors with the packet
     sequence.
 
     ``extractor`` selects the full hardware pipeline (``"superfe"``) or
     the unbatched full-precision software path (``"software"``) — the
-    Fig 11 comparison runs the same detector on both.
+    Fig 11 comparison runs the same detector on both.  ``n_nics > 1``
+    runs the hardware pipeline against the §8.5 hash-steered NIC
+    cluster (detection results must be invariant to the scale-out).
 
     Returns ``(features, valid)``: an (n, d) matrix and a boolean mask of
     packets whose vector was recovered (FG-table collisions can orphan a
     small number of cells).
     """
     if extractor == "superfe":
-        fe = SuperFE(policy)
+        fe = SuperFE(policy, n_nics=n_nics)
     elif extractor == "software":
         from repro.core.software import SoftwareExtractor
         fe = SoftwareExtractor(policy)

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.compiler import PolicyCompiler
+from repro.core.dataplane import Dataplane, LinkConfig
 from repro.core.policy import Policy
 from repro.nicsim.cores import NFP4000_PAIR, scaling_throughput
 from repro.nicsim.cycles import (
@@ -26,8 +27,6 @@ from repro.nicsim.cycles import (
     software_throughput_pps,
 )
 from repro.nicsim.placement import PlacementProblem, solve_ilp
-from repro.switchsim.filter import FilterStage
-from repro.switchsim.mgpv import MGPVCache, MGPVConfig
 
 #: Testbed constants (§8.1): a 3.3 Tb/s Tofino and two 40 GbE SmartNICs.
 SWITCH_LINE_RATE_GBPS = 3300.0
@@ -59,22 +58,16 @@ def app_pipeline_metrics(app: str, policy: Policy, trace_name: str,
                          packets, n_cores: int = NFP4000_PAIR.n_cores,
                          ) -> PipelineMetrics:
     compiled = PolicyCompiler().compile(policy)
-    from dataclasses import replace as dc_replace
-    config = dc_replace(MGPVConfig(),
-                        cell_bytes=compiled.metadata_bytes_per_pkt,
-                        cg_key_bytes=compiled.cg.key_bytes,
-                        fg_key_bytes=compiled.fg.key_bytes)
-    cache = MGPVCache(compiled.cg, compiled.fg, config,
-                      compiled.metadata_fields)
-    stage = FilterStage(compiled.switch_filters)
-    total_bits = 0
-    n_pkts = 0
-    for pkt in packets:
-        total_bits += pkt.size * 8
-        n_pkts += 1
-        if stage.admit(pkt):
-            cache.insert(pkt)
-    cache.flush()
+    # Switch-side-only dataplane: the link stage does the byte
+    # accounting, the null sink skips the (unneeded) feature engine.
+    dataplane = Dataplane.build(
+        compiled, compute=False,
+        link_config=LinkConfig(bandwidth_gbps=NIC_LINK_GBPS))
+    packets = list(packets)
+    total_bits = sum(pkt.size * 8 for pkt in packets)
+    n_pkts = len(packets)
+    dataplane.process(packets)
+    dataplane.flush()
     mean_pkt_bits = total_bits / n_pkts if n_pkts else 0.0
 
     states = compiled.state_requirements()
@@ -86,9 +79,10 @@ def app_pipeline_metrics(app: str, policy: Policy, trace_name: str,
     core_pps = model.throughput_per_core_pps()
     total_pps = scaling_throughput(core_pps, n_cores)
 
-    agg_bytes = cache.stats.aggregation_ratio_bytes or 1e-9
+    link = dataplane.link
+    agg_bytes = link.aggregation_ratio_bytes or 1e-9
     compute_bound = total_pps * mean_pkt_bits / 1e9
-    link_bound = NIC_LINK_GBPS / agg_bytes
+    link_bound = link.config.bandwidth_gbps / agg_bytes
     superfe = min(SWITCH_LINE_RATE_GBPS, link_bound, compute_bound)
 
     software = (software_throughput_pps(compiled) * mean_pkt_bits / 1e9)
@@ -96,8 +90,8 @@ def app_pipeline_metrics(app: str, policy: Policy, trace_name: str,
 
     return PipelineMetrics(
         app=app, trace=trace_name,
-        aggregation_ratio_bytes=cache.stats.aggregation_ratio_bytes,
-        aggregation_ratio_rate=cache.stats.aggregation_ratio_rate,
+        aggregation_ratio_bytes=link.aggregation_ratio_bytes,
+        aggregation_ratio_rate=link.aggregation_ratio_rate,
         mean_pkt_bits=mean_pkt_bits,
         nic_core_pps=core_pps,
         nic_total_pps=total_pps,

@@ -20,6 +20,7 @@ import csv
 import sys
 
 from repro.apps import APP_POLICIES, build_policy
+from repro.core.observe import render_counters
 from repro.core.pipeline import SuperFE
 from repro.core.software import SoftwareExtractor
 from repro.net.packet import int_to_ip
@@ -93,6 +94,9 @@ def _cmd_extract(args) -> int:
         print("provide exactly one of --pcap or --trace",
               file=sys.stderr)
         return 2
+    if args.nics < 1:
+        print(f"--nics must be >= 1, got {args.nics}", file=sys.stderr)
+        return 2
     if args.pcap:
         packets = read_pcap(args.pcap)
     else:
@@ -100,7 +104,7 @@ def _cmd_extract(args) -> int:
                                  seed=args.seed)
     policy = build_policy(args.app)
     extractor = (SoftwareExtractor(policy) if args.software
-                 else SuperFE(policy))
+                 else SuperFE(policy, n_nics=args.nics))
     result = extractor.run(packets)
 
     with open(args.out, "w", newline="") as fh:
@@ -118,8 +122,12 @@ def _cmd_extract(args) -> int:
     print(f"{mode}: {len(result.vectors)} vectors from "
           f"{len(packets)} packets -> {args.out}")
     if not args.software:
-        ratio = result.switch_stats.aggregation_ratio_bytes
+        # The switch->NIC link stage owns the Fig 12 byte accounting.
+        ratio = result.dataplane.link.aggregation_ratio_bytes
         print(f"switch batching kept {ratio:.1%} of traffic bytes")
+    if args.counters:
+        print(render_counters(result.dataplane.counters(),
+                              title="per-stage dataplane counters"))
     return 0
 
 
@@ -184,6 +192,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True)
     p.add_argument("--software", action="store_true",
                    help="use the unbatched software path")
+    p.add_argument("--nics", type=int, default=1,
+                   help="terminate in a hash-steered cluster of N NICs")
+    p.add_argument("--counters", action="store_true",
+                   help="print per-stage dataplane counters")
     p.set_defaults(func=_cmd_extract)
     return parser
 

@@ -1,8 +1,11 @@
 """SuperFE core: the policy language (§4), the policy engine that splits a
-policy across FE-Switch and FE-NIC (§3-§4), and the end-to-end pipeline."""
+policy across FE-Switch and FE-NIC (§3-§4), the composable dataplane graph
+those halves run on, and the end-to-end pipeline."""
 
 from repro.core.policy import Policy, pktstream
 from repro.core.compiler import PolicyCompiler, CompiledPolicy, PolicyError
+from repro.core.dataplane import Dataplane, LinkConfig, SwitchNICLink
+from repro.core.observe import DeltaPoller, counter_delta, render_counters
 from repro.core.pipeline import SuperFE, ExtractionResult
 
 __all__ = [
@@ -11,6 +14,12 @@ __all__ = [
     "PolicyCompiler",
     "CompiledPolicy",
     "PolicyError",
+    "Dataplane",
+    "LinkConfig",
+    "SwitchNICLink",
+    "DeltaPoller",
+    "counter_delta",
+    "render_counters",
     "SuperFE",
     "ExtractionResult",
 ]

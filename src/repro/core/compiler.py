@@ -19,7 +19,8 @@ NIC's ILP memory placement (§6.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dc_replace
+from typing import TYPE_CHECKING
 
 from repro.core.functions import (
     FN_IMPLICIT_FIELDS,
@@ -31,6 +32,9 @@ from repro.core.functions import (
     make_reduce_fn,
 )
 from repro.core.granularity import Granularity, dependency_chain
+
+if TYPE_CHECKING:   # switchsim imports core.policy; avoid the cycle
+    from repro.switchsim.mgpv import MGPVConfig
 from repro.core.policy import (
     CollectOp,
     FilterOp,
@@ -157,6 +161,21 @@ class CompiledPolicy:
                     return None
                 total += feat.dim
         return total
+
+    def sized_mgpv_config(self, base: "MGPVConfig | None" = None
+                          ) -> "MGPVConfig":
+        """Size the MGPV cell/key widths from this policy: the per-packet
+        metadata width and the CG/FG key widths all follow from the
+        compiled chain.  ``base`` supplies the remaining knobs (buffer
+        counts, aging); sizing is idempotent, so passing an
+        already-sized config is harmless."""
+        from repro.switchsim.mgpv import MGPVConfig
+        return dc_replace(
+            base or MGPVConfig(),
+            cell_bytes=self.metadata_bytes_per_pkt,
+            cg_key_bytes=self.cg.key_bytes,
+            fg_key_bytes=self.fg.key_bytes,
+        )
 
     def state_requirements(self) -> list[StateRequirement]:
         """Per-group NIC states (one per reduce function instance), sized

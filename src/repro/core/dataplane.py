@@ -1,0 +1,553 @@
+"""The composable dataplane graph behind every extraction path (Fig 1).
+
+Historically the repo had three hand-wired assemblies of the paper's
+pipeline — :class:`~repro.core.pipeline.SuperFE` (one-shot),
+:class:`~repro.core.runtime.SuperFERuntime` (continuous, §7) and
+:class:`~repro.nicsim.loadbalance.NICCluster` (§8.5 multi-NIC) — each
+duplicating the filter → MGPV → engine wiring.  This module is the one
+place that wiring lives now.  A :class:`Dataplane` is an ordered chain
+of *stages*::
+
+    FilterStage -> MGPVCache -> SwitchNICLink -> FeatureEngine | NICCluster
+                   (or PerfectSwitch, the software baseline's channel)
+
+Every stage follows one protocol — ``consume(event) -> events``,
+``flush() -> events``, ``counters() -> dict`` — so the composer can push
+packets through the graph, drain it at end-of-trace, and export uniform
+per-stage counters for :mod:`repro.core.observe` pollers.
+
+:class:`SwitchNICLink` is new: the paper's switch→NIC record channel
+(PCIe or Ethernet, §8.1's 2×40 GbE) was previously implicit — aggregation
+ratios were recomputed from cache counters in every bench.  The link
+stage does the per-record + per-batch byte accounting itself, models a
+configurable bandwidth and DMA batch size, and can inject message loss
+or backpressure drops for robustness tests, so Fig 12's metrics come
+from the component that physically carries them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.compiler import CompiledPolicy
+from repro.core.functions import ExecContext
+from repro.core.observe import Trace
+from repro.net.packet import Packet
+from repro.nicsim.engine import FeatureEngine, FeatureVector
+from repro.nicsim.loadbalance import NICCluster
+from repro.nicsim.placement import PlacementResult
+from repro.streaming.hyperloglog import hash_key
+from repro.switchsim.filter import FilterStage
+from repro.switchsim.mgpv import (
+    CacheStats,
+    FGSync,
+    MGPVCache,
+    MGPVConfig,
+    MGPVRecord,
+)
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """One dataplane stage: events in, events out, counters exported."""
+
+    name: str
+
+    def consume(self, event) -> Iterable:
+        """Process one event; returns the events it forwards downstream
+        (empty when the event is absorbed or dropped)."""
+        ...
+
+    def flush(self) -> Iterable:
+        """Drain any internal residency (end of trace / hot swap)."""
+        ...
+
+    def counters(self) -> dict:
+        """Uniform named counters (see :mod:`repro.core.observe`)."""
+        ...
+
+
+# ---------------------------------------------------------------------------
+# The switch -> NIC record channel
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Knobs of the switch→NIC record channel.
+
+    Defaults model the testbed's 2×40 GbE channel with per-record DMA
+    (batch of 1, no extra framing) — byte-for-byte the accounting the
+    MGPV cache used to do itself, so Fig 12 numbers are unchanged.
+    """
+
+    bandwidth_gbps: float = 80.0
+    batch_records: int = 1              # events per DMA/transmit batch
+    batch_header_bytes: int = 0         # extra framing per batch
+    capacity_records: int | None = None  # queue bound; None = unbounded
+    drop_rate: float = 0.0              # injected loss probability
+    drop_kind: str = "any"              # any | sync | record
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.batch_records < 1:
+            raise ValueError("batch_records must be >= 1")
+        if not 0.0 <= self.drop_rate <= 1.0:
+            raise ValueError("drop_rate must be in [0, 1]")
+        if self.drop_kind not in ("any", "sync", "record"):
+            raise ValueError(f"unknown drop_kind {self.drop_kind!r}")
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth must be positive")
+
+
+class SwitchNICLink:
+    """The modeled record channel between FE-Switch and FE-NIC.
+
+    Events enter in switch order, queue until a batch fills (or the
+    graph flushes), and leave in the same order — FG syncs must still
+    precede the cells that reference them, so the queue is strictly
+    FIFO.  The stage accounts wire bytes per record/sync plus per-batch
+    framing, tracks channel busy time against the configured bandwidth,
+    and owns the aggregation-ratio metrics of Fig 12.
+    """
+
+    name = "link"
+
+    def __init__(self, wire: MGPVConfig,
+                 config: LinkConfig | None = None) -> None:
+        self.wire = wire
+        self.config = config or LinkConfig()
+        self._rng = (np.random.default_rng(self.config.seed)
+                     if self.config.drop_rate > 0 else None)
+        self._queue: list = []
+        self._traffic: CacheStats | None = None
+        self.records_in = 0
+        self.syncs_in = 0
+        self.records_out = 0
+        self.syncs_out = 0
+        self.cells_out = 0
+        self.record_bytes = 0
+        self.sync_bytes = 0
+        self.batch_overhead_bytes = 0
+        self.bytes_out = 0
+        self.batches_out = 0
+        self.drops_injected = 0
+        self.drops_backpressure = 0
+        self.busy_ns = 0.0
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach_traffic(self, stats: CacheStats) -> None:
+        """Give the link a view of the upstream traffic counters so it
+        can express its load as the paper's aggregation ratios."""
+        self._traffic = stats
+
+    # -- stage protocol --------------------------------------------------------
+
+    def consume(self, event) -> tuple:
+        if isinstance(event, FGSync):
+            self.syncs_in += 1
+        else:
+            self.records_in += 1
+        if self._dropped(event):
+            self.drops_injected += 1
+            return ()
+        cap = self.config.capacity_records
+        if cap is not None and len(self._queue) >= cap:
+            # Backpressure with a full queue: the switch cannot stall the
+            # line rate, so the newest message is lost.
+            self.drops_backpressure += 1
+            return ()
+        self._queue.append(event)
+        if len(self._queue) >= self.config.batch_records:
+            return self._transmit()
+        return ()
+
+    def flush(self) -> tuple:
+        return self._transmit()
+
+    def counters(self) -> dict:
+        return {
+            "records_in": self.records_in,
+            "syncs_in": self.syncs_in,
+            "records_out": self.records_out,
+            "syncs_out": self.syncs_out,
+            "cells_out": self.cells_out,
+            "record_bytes": self.record_bytes,
+            "sync_bytes": self.sync_bytes,
+            "batch_overhead_bytes": self.batch_overhead_bytes,
+            "bytes_out": self.bytes_out,
+            "batches_out": self.batches_out,
+            "drops_injected": self.drops_injected,
+            "drops_backpressure": self.drops_backpressure,
+            "queue_depth": len(self._queue),
+        }
+
+    # -- channel model ---------------------------------------------------------
+
+    def _dropped(self, event) -> bool:
+        if self._rng is None:
+            return False
+        kind = self.config.drop_kind
+        if kind == "sync" and not isinstance(event, FGSync):
+            return False
+        if kind == "record" and not isinstance(event, MGPVRecord):
+            return False
+        return bool(self._rng.random() < self.config.drop_rate)
+
+    def _transmit(self) -> tuple:
+        batch, self._queue = self._queue, []
+        if not batch:
+            return ()
+        self.batches_out += 1
+        batch_bytes = self.config.batch_header_bytes
+        self.batch_overhead_bytes += self.config.batch_header_bytes
+        for event in batch:
+            wire_bytes = event.wire_bytes(self.wire)
+            if isinstance(event, FGSync):
+                self.syncs_out += 1
+                self.sync_bytes += wire_bytes
+            else:
+                self.records_out += 1
+                self.cells_out += len(event.cells)
+                self.record_bytes += wire_bytes
+            batch_bytes += wire_bytes
+        self.bytes_out += batch_bytes
+        self.busy_ns += batch_bytes * 8 / self.config.bandwidth_gbps
+        return tuple(batch)
+
+    # -- metrics (Fig 12) ------------------------------------------------------
+
+    @property
+    def aggregation_ratio_bytes(self) -> float:
+        """Bytes over the link / original traffic bytes (Fig 12)."""
+        if self._traffic is None or not self._traffic.bytes_in:
+            return 0.0
+        return self.bytes_out / self._traffic.bytes_in
+
+    @property
+    def aggregation_ratio_rate(self) -> float:
+        """Messages over the link / packets received (Fig 12)."""
+        if self._traffic is None or not self._traffic.pkts_in:
+            return 0.0
+        return (self.records_out + self.syncs_out) / self._traffic.pkts_in
+
+    def utilization(self, duration_ns: float) -> float:
+        """Fraction of ``duration_ns`` the channel was busy."""
+        return self.busy_ns / duration_ns if duration_ns > 0 else 0.0
+
+
+# ---------------------------------------------------------------------------
+# The software baseline's "perfect switch"
+# ---------------------------------------------------------------------------
+
+class PerfectSwitch:
+    """The unbatched channel of the software baseline: every packet
+    crosses to the compute stage individually (one single-cell record per
+    packet, an FG sync per new key), as port mirroring delivers it.
+    Unlike the real FG table, indices are never reused for a different
+    key.  Sync messages are control-plane writes in this model, so only
+    records count toward the stats (the historical accounting the Fig 9
+    software baseline was measured with).
+    """
+
+    name = "perfect-switch"
+
+    def __init__(self, compiled: CompiledPolicy) -> None:
+        self.compiled = compiled
+        self.stats = CacheStats()
+        self._fg_indices: dict[tuple, int] = {}
+        self._now = 0
+
+    def consume(self, pkt: Packet) -> tuple:
+        self._now = max(self._now, pkt.tstamp)
+        self.stats.pkts_in += 1
+        self.stats.bytes_in += pkt.size
+        events: list = []
+        fg_key = self.compiled.fg.packet_key(pkt)
+        idx = self._fg_indices.get(fg_key)
+        if idx is None:
+            idx = len(self._fg_indices)
+            self._fg_indices[fg_key] = idx
+            events.append(FGSync(idx, fg_key))
+        cell = (idx, tuple(pkt.field(f)
+                           for f in self.compiled.metadata_fields))
+        cg_key = self.compiled.cg.project(fg_key)
+        events.append(MGPVRecord(
+            cg_key=cg_key, cg_hash32=hash_key(cg_key),
+            cells=(cell,), reason="software"))
+        self.stats.records_out += 1
+        self.stats.cells_out += 1
+        return tuple(events)
+
+    def flush(self) -> tuple:
+        return ()
+
+    @property
+    def now_ns(self) -> int:
+        return self._now
+
+    def counters(self) -> dict:
+        s = self.stats
+        return {
+            "pkts_in": s.pkts_in,
+            "bytes_in": s.bytes_in,
+            "records_out": s.records_out,
+            "cells_out": s.cells_out,
+            "fg_keys": len(self._fg_indices),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Sink adapters
+# ---------------------------------------------------------------------------
+
+class EngineSink:
+    """Terminal stage over a single :class:`FeatureEngine`."""
+
+    name = "engine"
+
+    def __init__(self, engine: FeatureEngine) -> None:
+        self.engine = engine
+        self._pv_cursor = 0
+
+    def consume(self, event) -> tuple:
+        self.engine.consume(event)
+        return ()
+
+    def flush(self) -> tuple:
+        return ()
+
+    def counters(self) -> dict:
+        return self.engine.counters()
+
+    def finalize(self) -> list[FeatureVector]:
+        return self.engine.finalize()
+
+    def advance_clock(self, now_ns: int) -> None:
+        self.engine.advance_clock(now_ns)
+
+    def take_packet_vectors(self) -> list[FeatureVector]:
+        """Per-packet vectors produced since the last take."""
+        vectors = self.engine.packet_vectors
+        new = list(vectors[self._pv_cursor:])
+        self._pv_cursor = len(vectors)
+        return new
+
+
+class ClusterSink:
+    """Terminal stage over a :class:`NICCluster` (§8.5 scale-out)."""
+
+    name = "cluster"
+
+    def __init__(self, cluster: NICCluster) -> None:
+        self.cluster = cluster
+        self._pv_cursors = [0] * len(cluster.engines)
+
+    def consume(self, event) -> tuple:
+        self.cluster.consume(event)
+        return ()
+
+    def flush(self) -> tuple:
+        return ()
+
+    def counters(self) -> dict:
+        return self.cluster.counters()
+
+    def finalize(self) -> list[FeatureVector]:
+        return self.cluster.finalize()
+
+    def advance_clock(self, now_ns: int) -> None:
+        self.cluster.advance_clock(now_ns)
+
+    def take_packet_vectors(self) -> list[FeatureVector]:
+        new: list[FeatureVector] = []
+        for i, engine in enumerate(self.cluster.engines):
+            vectors = engine.packet_vectors
+            new.extend(vectors[self._pv_cursors[i]:])
+            self._pv_cursors[i] = len(vectors)
+        return new
+
+
+class NullSink:
+    """Event sink for switch-side-only measurements (Fig 12 benches):
+    counts what arrives, computes nothing."""
+
+    name = "sink"
+
+    def __init__(self) -> None:
+        self.records = 0
+        self.syncs = 0
+        self.cells = 0
+
+    def consume(self, event) -> tuple:
+        if isinstance(event, FGSync):
+            self.syncs += 1
+        else:
+            self.records += 1
+            self.cells += len(event.cells)
+        return ()
+
+    def flush(self) -> tuple:
+        return ()
+
+    def counters(self) -> dict:
+        return {"records": self.records, "syncs": self.syncs,
+                "cells": self.cells}
+
+    def finalize(self) -> list[FeatureVector]:
+        return []
+
+    def advance_clock(self, now_ns: int) -> None:
+        pass
+
+    def take_packet_vectors(self) -> list[FeatureVector]:
+        return []
+
+
+# ---------------------------------------------------------------------------
+# The composer
+# ---------------------------------------------------------------------------
+
+class Dataplane:
+    """One wired instance of the paper's pipeline.
+
+    Build one with :meth:`build` (the only place in the repo that
+    assembles filter → switch → link → sink), then drive it with
+    :meth:`process` and :meth:`flush`.  All facades — ``SuperFE``,
+    ``SuperFERuntime``, ``SoftwareExtractor``, multi-NIC runs — execute
+    through here.
+    """
+
+    def __init__(self, filter_stage: FilterStage,
+                 switch: MGPVCache | PerfectSwitch,
+                 link: SwitchNICLink,
+                 sink: EngineSink | ClusterSink | NullSink,
+                 compiled: CompiledPolicy,
+                 trace: Trace | None = None) -> None:
+        self.filter = filter_stage
+        self.switch = switch
+        self.link = link
+        self.sink = sink
+        self.compiled = compiled
+        self.trace = trace
+        self.stages: list[Stage] = [filter_stage, switch, link, sink]
+
+    @classmethod
+    def build(cls, compiled: CompiledPolicy, *,
+              mgpv_config: MGPVConfig | None = None,
+              ctx: ExecContext | None = None,
+              placement: PlacementResult | None = None,
+              table_indices: int = 4096,
+              table_width: int = 4,
+              n_nics: int = 1,
+              link_config: LinkConfig | None = None,
+              software: bool = False,
+              compute: bool = True,
+              trace: Trace | None = None) -> "Dataplane":
+        """Wire the Fig 1 graph for a compiled policy.
+
+        ``software`` swaps the MGPV cache for the baseline's
+        :class:`PerfectSwitch`; ``n_nics > 1`` terminates in a
+        hash-steered :class:`NICCluster`; ``compute=False`` terminates
+        in a :class:`NullSink` for switch-side-only measurements.
+        """
+        if n_nics < 1:
+            raise ValueError(f"n_nics must be >= 1, got {n_nics}")
+        wire = compiled.sized_mgpv_config(mgpv_config)
+        filter_stage = FilterStage(list(compiled.switch_filters))
+        if software:
+            switch: MGPVCache | PerfectSwitch = PerfectSwitch(compiled)
+        else:
+            switch = MGPVCache(compiled.cg, compiled.fg, wire,
+                               compiled.metadata_fields)
+        link = SwitchNICLink(wire, link_config)
+        link.attach_traffic(switch.stats)
+        engine_kwargs = dict(ctx=ctx, placement=placement,
+                             table_indices=table_indices,
+                             table_width=table_width)
+        if not compute:
+            sink: EngineSink | ClusterSink | NullSink = NullSink()
+        elif n_nics > 1:
+            sink = ClusterSink(NICCluster(compiled, n_nics,
+                                          **engine_kwargs))
+        else:
+            sink = EngineSink(FeatureEngine(compiled, **engine_kwargs))
+        return cls(filter_stage, switch, link, sink, compiled,
+                   trace=trace)
+
+    # -- convenience views ----------------------------------------------------
+
+    @property
+    def cache(self) -> MGPVCache | None:
+        """The MGPV cache, when this graph runs the hardware path."""
+        return self.switch if isinstance(self.switch, MGPVCache) else None
+
+    @property
+    def engine(self) -> FeatureEngine | None:
+        return self.sink.engine if isinstance(self.sink, EngineSink) \
+            else None
+
+    @property
+    def cluster(self) -> NICCluster | None:
+        return self.sink.cluster if isinstance(self.sink, ClusterSink) \
+            else None
+
+    @property
+    def aggregation_ratio_bytes(self) -> float:
+        return self.link.aggregation_ratio_bytes
+
+    @property
+    def aggregation_ratio_rate(self) -> float:
+        return self.link.aggregation_ratio_rate
+
+    # -- data path ------------------------------------------------------------
+
+    def _push(self, event, start: int = 0) -> None:
+        """Propagate one event from ``stages[start]`` to the sink."""
+        frontier = (event,)
+        for stage in self.stages[start:]:
+            produced: list = []
+            for ev in frontier:
+                if self.trace is not None:
+                    self.trace(stage.name, ev)
+                out = stage.consume(ev)
+                if out:
+                    produced.extend(out)
+            if not produced:
+                return
+            frontier = tuple(produced)
+
+    def process(self, packets: Iterable[Packet]) -> list[FeatureVector]:
+        """Feed a batch of packets through the graph; returns the
+        per-packet vectors the batch produced (empty for per-group
+        policies, which emit at :meth:`snapshot` / :meth:`flush`)."""
+        for pkt in packets:
+            self._push(pkt)
+        # Keep the NIC clock moving even for policies whose cells carry
+        # no timestamp (idle eviction relies on it).
+        self.sink.advance_clock(self.switch.now_ns)
+        if self.compiled.collect_unit == "pkt":
+            return self.sink.take_packet_vectors()
+        return []
+
+    def flush(self) -> list[FeatureVector]:
+        """Drain every stage in order (switch residency through the
+        link, then the link's queue) and emit final vectors."""
+        for i, stage in enumerate(self.stages):
+            for event in stage.flush():
+                self._push(event, i + 1)
+        return self.sink.finalize()
+
+    def snapshot(self) -> list[FeatureVector]:
+        """Current vectors of all resident groups; does not disturb the
+        data path."""
+        return self.sink.finalize()
+
+    # -- observability ---------------------------------------------------------
+
+    def counters(self) -> dict:
+        """Uniform per-stage counters, keyed by stage name."""
+        return {stage.name: stage.counters() for stage in self.stages}

@@ -2,18 +2,21 @@
 
 ``SuperFE`` wires the compiled policy through the full system: the
 FE-Switch filter stage and MGPV cache batch feature metadata, the ordered
-event stream crosses the switch->NIC link, and the FE-NIC feature engine
-computes the final feature vectors::
+event stream crosses the modeled switch->NIC link, and the FE-NIC feature
+engine computes the final feature vectors::
 
     fe = SuperFE(policy)
     result = fe.run(packets)
     X = result.to_matrix()
 
-The constructor solves the §6.2 ILP placement for the policy's states so
-the NIC group tables land in the right memory levels; ``division_free``
-selects the NFP integer arithmetic (on by default — it is how the real
-FE-NIC computes; turn it off to get bit-exact float results for
-debugging).
+The assembly itself lives in :class:`~repro.core.dataplane.Dataplane`;
+``SuperFE`` is the one-shot facade over it.  The constructor solves the
+§6.2 ILP placement for the policy's states so the NIC group tables land
+in the right memory levels; ``division_free`` selects the NFP integer
+arithmetic (on by default — it is how the real FE-NIC computes; turn it
+off to get bit-exact float results for debugging); ``n_nics > 1``
+terminates the graph in the §8.5 hash-steered NIC cluster instead of a
+single engine.
 """
 
 from __future__ import annotations
@@ -23,16 +26,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.compiler import CompiledPolicy, PolicyCompiler
+from repro.core.dataplane import Dataplane, LinkConfig
 from repro.core.functions import ExecContext
 from repro.core.policy import Policy
-from repro.nicsim.engine import FeatureEngine, FeatureVector
+from repro.nicsim.engine import FeatureVector
 from repro.nicsim.placement import (
     PlacementProblem,
     PlacementResult,
     solve_ilp,
 )
-from repro.switchsim.filter import FilterStage
-from repro.switchsim.mgpv import CacheStats, MGPVCache, MGPVConfig
+from repro.switchsim.mgpv import CacheStats, MGPVConfig
 
 
 @dataclass
@@ -42,8 +45,9 @@ class ExtractionResult:
     vectors: list[FeatureVector]
     feature_names: list[str]
     switch_stats: CacheStats
-    engine: FeatureEngine
+    engine: object              # FeatureEngine, or NICCluster for n_nics>1
     compiled: CompiledPolicy
+    dataplane: Dataplane | None = None
 
     def __len__(self) -> int:
         return len(self.vectors)
@@ -52,7 +56,9 @@ class ExtractionResult:
         """Stack the vectors into an (n, d) matrix; raises when vectors
         have data-dependent (unequal) widths."""
         if not self.vectors:
-            return np.empty((0, 0))
+            # Keep the feature dimension so empty results compose with
+            # detector code expecting (n, d) input.
+            return np.empty((0, len(self.feature_names)))
         widths = {len(v.values) for v in self.vectors}
         if len(widths) > 1:
             raise ValueError(
@@ -72,18 +78,12 @@ class SuperFE:
                  division_free: bool = True,
                  use_placement: bool = True,
                  table_indices: int = 4096,
-                 table_width: int = 4) -> None:
+                 table_width: int = 4,
+                 n_nics: int = 1,
+                 link_config: LinkConfig | None = None) -> None:
         self.policy = policy
         self.compiled = PolicyCompiler().compile(policy)
-        base = mgpv_config or MGPVConfig()
-        # Size the MGPV cell/key widths from the compiled policy.
-        from dataclasses import replace as dc_replace
-        self.mgpv_config = dc_replace(
-            base,
-            cell_bytes=self.compiled.metadata_bytes_per_pkt,
-            cg_key_bytes=self.compiled.cg.key_bytes,
-            fg_key_bytes=self.compiled.fg.key_bytes,
-        )
+        self.mgpv_config = self.compiled.sized_mgpv_config(mgpv_config)
         self.ctx = ExecContext(division_free=division_free)
         self.placement: PlacementResult | None = None
         if use_placement:
@@ -95,27 +95,35 @@ class SuperFE:
                 self.placement = solve_ilp(problem)
         self._table_indices = table_indices
         self._table_width = table_width
+        self.n_nics = n_nics
+        self.link_config = link_config
+
+    def dataplane(self) -> Dataplane:
+        """Wire a fresh dataplane graph for this deployment."""
+        return Dataplane.build(
+            self.compiled,
+            mgpv_config=self.mgpv_config,
+            ctx=self.ctx,
+            placement=self.placement,
+            table_indices=self._table_indices,
+            table_width=self._table_width,
+            n_nics=self.n_nics,
+            link_config=self.link_config)
 
     def run(self, packets) -> ExtractionResult:
         """Extract feature vectors from a packet stream."""
-        filter_stage = FilterStage(self.compiled.switch_filters)
-        cache = MGPVCache(
-            cg=self.compiled.cg, fg=self.compiled.fg,
-            config=self.mgpv_config,
-            metadata_fields=self.compiled.metadata_fields)
-        engine = FeatureEngine(
-            self.compiled, ctx=self.ctx, placement=self.placement,
-            table_indices=self._table_indices,
-            table_width=self._table_width)
-        for event in cache.process(filter_stage.apply(packets)):
-            engine.consume(event)
-        vectors = engine.finalize()
+        dataplane = self.dataplane()
+        dataplane.process(packets)
+        vectors = dataplane.flush()
+        sink = (dataplane.cluster if dataplane.cluster is not None
+                else dataplane.engine)
         return ExtractionResult(
             vectors=vectors,
             feature_names=self.compiled.feature_names,
-            switch_stats=cache.stats,
-            engine=engine,
+            switch_stats=dataplane.switch.stats,
+            engine=sink,
             compiled=self.compiled,
+            dataplane=dataplane,
         )
 
     def manifests(self) -> tuple[str, str]:

@@ -10,13 +10,17 @@ pipeline.SuperFE`, it runs *continuously* —
   feature vectors for groups completed so far (per-packet policies) or
   on demand via :meth:`snapshot`;
 - :meth:`poll_counters` returns the since-last-poll deltas of every
-  switch/NIC counter, the way a control plane samples data-plane state;
+  switch/link/NIC counter, the way a control plane samples data-plane
+  state (delta arithmetic via :class:`~repro.core.observe.DeltaPoller`);
 - :meth:`set_aging_timeout` retunes the aging mechanism live (the T
   knob of Fig 14);
 - :meth:`install_filter` adds a match-action rule at runtime;
 - :meth:`hot_swap` replaces the whole policy: the cache is drained into
   the NIC (no metadata loss), final vectors are emitted, and the new
   program is installed.
+
+The data path itself is one :class:`~repro.core.dataplane.Dataplane`;
+the runtime only adds the control-plane verbs around it.
 """
 
 from __future__ import annotations
@@ -24,12 +28,13 @@ from __future__ import annotations
 from dataclasses import dataclass, replace as dc_replace
 
 from repro.core.compiler import PolicyCompiler, PolicyError
+from repro.core.dataplane import Dataplane, LinkConfig
 from repro.core.functions import ExecContext
+from repro.core.observe import DeltaPoller
 from repro.core.pipeline import ExtractionResult
 from repro.core.policy import Policy, Predicate
-from repro.nicsim.engine import FeatureEngine, FeatureVector
-from repro.switchsim.filter import FilterStage
-from repro.switchsim.mgpv import MGPVCache, MGPVConfig
+from repro.nicsim.engine import FeatureVector
+from repro.switchsim.mgpv import MGPVConfig
 
 
 @dataclass(frozen=True)
@@ -54,12 +59,14 @@ class SuperFERuntime:
                  mgpv_config: MGPVConfig | None = None,
                  division_free: bool = True,
                  table_indices: int = 4096,
-                 table_width: int = 4) -> None:
+                 table_width: int = 4,
+                 link_config: LinkConfig | None = None) -> None:
         self._division_free = division_free
         self._table_indices = table_indices
         self._table_width = table_width
+        self._link_config = link_config
+        self._poller = DeltaPoller(self._absolute_counters)
         self._install(policy, mgpv_config)
-        self._last_poll = self._zero_counters()
 
     # -- installation --------------------------------------------------------
 
@@ -67,22 +74,32 @@ class SuperFERuntime:
                  mgpv_config: MGPVConfig | None) -> None:
         self.policy = policy
         self.compiled = PolicyCompiler().compile(policy)
-        base = mgpv_config or MGPVConfig()
-        self.mgpv_config = dc_replace(
-            base,
-            cell_bytes=self.compiled.metadata_bytes_per_pkt,
-            cg_key_bytes=self.compiled.cg.key_bytes,
-            fg_key_bytes=self.compiled.fg.key_bytes)
-        self.filter_stage = FilterStage(
-            list(self.compiled.switch_filters))
-        self.cache = MGPVCache(self.compiled.cg, self.compiled.fg,
-                               self.mgpv_config,
-                               self.compiled.metadata_fields)
-        self.engine = FeatureEngine(
+        self.mgpv_config = self.compiled.sized_mgpv_config(mgpv_config)
+        self.dataplane = Dataplane.build(
             self.compiled,
+            mgpv_config=self.mgpv_config,
             ctx=ExecContext(division_free=self._division_free),
             table_indices=self._table_indices,
-            table_width=self._table_width)
+            table_width=self._table_width,
+            link_config=self._link_config)
+
+    # -- dataplane views ------------------------------------------------------
+
+    @property
+    def filter_stage(self):
+        return self.dataplane.filter
+
+    @property
+    def cache(self):
+        return self.dataplane.switch
+
+    @property
+    def link(self):
+        return self.dataplane.link
+
+    @property
+    def engine(self):
+        return self.dataplane.engine
 
     # -- data path ------------------------------------------------------------
 
@@ -90,31 +107,16 @@ class SuperFERuntime:
         """Feed a batch of packets; returns the per-packet vectors the
         batch produced (empty for per-group policies, which emit at
         :meth:`snapshot` / :meth:`hot_swap` / :meth:`drain`)."""
-        before = self.engine.stats.vectors_emitted
-        for pkt in packets:
-            if not self.filter_stage.admit(pkt):
-                continue
-            for event in self.cache.insert(pkt):
-                self.engine.consume(event)
-        # Keep the NIC clock moving even for policies whose cells carry
-        # no timestamp (collect_idle relies on it).
-        self.engine.advance_clock(self.cache.now_ns)
-        if self.compiled.collect_unit == "pkt":
-            produced = self.engine.stats.vectors_emitted - before
-            return (self.engine.packet_vectors[-produced:]
-                    if produced else [])
-        return []
+        return self.dataplane.process(packets)
 
     def snapshot(self) -> list[FeatureVector]:
         """Current feature vectors of all resident groups (per-group
         policies); does not disturb the data path."""
-        return self.engine.finalize()
+        return self.dataplane.snapshot()
 
     def drain(self) -> list[FeatureVector]:
         """Flush the switch cache into the NIC and emit final vectors."""
-        for event in self.cache.flush():
-            self.engine.consume(event)
-        return self.engine.finalize()
+        return self.dataplane.flush()
 
     def collect_idle(self, timeout_ns: int) -> list[FeatureVector]:
         """Emit and free NIC-side groups idle longer than ``timeout_ns``
@@ -124,40 +126,27 @@ class SuperFERuntime:
 
     # -- control plane ---------------------------------------------------------
 
-    def _zero_counters(self) -> CounterSnapshot:
-        return CounterSnapshot(0, 0, 0, 0, 0, {}, 0, 0, 0)
-
-    def _absolute_counters(self) -> CounterSnapshot:
-        s = self.cache.stats
-        return CounterSnapshot(
-            pkts_in=s.pkts_in,
-            bytes_in=s.bytes_in,
-            records_to_nic=s.records_out,
-            bytes_to_nic=s.bytes_out,
-            fg_syncs=s.syncs_out,
-            evictions=dict(s.evictions),
-            cells_processed=self.engine.stats.cells,
-            vectors_emitted=self.engine.stats.vectors_emitted,
-            filter_misses=self.filter_stage.misses,
-        )
+    def _absolute_counters(self) -> dict:
+        """Absolute counter values, mapped from the dataplane's uniform
+        per-stage counters onto the control plane's snapshot schema."""
+        switch = self.cache.counters()
+        link = self.link.counters()
+        engine = self.engine.counters()
+        return {
+            "pkts_in": switch["pkts_in"],
+            "bytes_in": switch["bytes_in"],
+            "records_to_nic": link["records_out"],
+            "bytes_to_nic": link["bytes_out"],
+            "fg_syncs": link["syncs_out"],
+            "evictions": switch["evictions"],
+            "cells_processed": engine["cells"],
+            "vectors_emitted": engine["vectors_emitted"],
+            "filter_misses": self.filter_stage.misses,
+        }
 
     def poll_counters(self) -> CounterSnapshot:
         """Since-last-poll deltas (control planes sample, not reset)."""
-        now = self._absolute_counters()
-        last = self._last_poll
-        self._last_poll = now
-        return CounterSnapshot(
-            pkts_in=now.pkts_in - last.pkts_in,
-            bytes_in=now.bytes_in - last.bytes_in,
-            records_to_nic=now.records_to_nic - last.records_to_nic,
-            bytes_to_nic=now.bytes_to_nic - last.bytes_to_nic,
-            fg_syncs=now.fg_syncs - last.fg_syncs,
-            evictions={k: v - last.evictions.get(k, 0)
-                       for k, v in now.evictions.items()},
-            cells_processed=now.cells_processed - last.cells_processed,
-            vectors_emitted=now.vectors_emitted - last.vectors_emitted,
-            filter_misses=now.filter_misses - last.filter_misses,
-        )
+        return CounterSnapshot(**self._poller.poll())
 
     def set_aging_timeout(self, timeout_ns: int | None) -> None:
         """Retune the aging T live (Fig 14's knob)."""
@@ -185,7 +174,7 @@ class SuperFERuntime:
         programs, and reset counters."""
         final = self.drain()
         self._install(new_policy, self.mgpv_config)
-        self._last_poll = self._zero_counters()
+        self._poller.reset()
         return final
 
     # -- reporting --------------------------------------------------------------
@@ -198,4 +187,5 @@ class SuperFERuntime:
             switch_stats=self.cache.stats,
             engine=self.engine,
             compiled=self.compiled,
+            dataplane=self.dataplane,
         )

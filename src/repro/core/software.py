@@ -3,24 +3,22 @@
 The software extractor runs the *same* compiled dataflow program as the
 hardware pipeline, but with no switch batching (every packet crosses to
 the compute stage individually, as port mirroring delivers it) and full
-floating-point arithmetic.  Implementation-wise it feeds the FE-NIC
-engine a "perfect switch" stream — one single-cell record per packet and
-an FG sync per new key — so hardware and software paths share one
-semantics and differ only in batching and arithmetic.  This is both the
-Fig 9 baseline and the reference oracle the hardware path is tested
-against.
+floating-point arithmetic.  Implementation-wise it is the shared
+:class:`~repro.core.dataplane.Dataplane` graph with the MGPV cache
+swapped for the :class:`~repro.core.dataplane.PerfectSwitch` stage — one
+single-cell record per packet and an FG sync per new key — so hardware
+and software paths share one semantics and differ only in batching and
+arithmetic.  This is both the Fig 9 baseline and the reference oracle
+the hardware path is tested against.
 """
 
 from __future__ import annotations
 
 from repro.core.compiler import PolicyCompiler
+from repro.core.dataplane import Dataplane
 from repro.core.functions import ExecContext
 from repro.core.pipeline import ExtractionResult
 from repro.core.policy import Policy
-from repro.nicsim.engine import FeatureEngine
-from repro.streaming.hyperloglog import hash_key
-from repro.switchsim.filter import FilterStage
-from repro.switchsim.mgpv import CacheStats, FGSync, MGPVRecord
 
 
 class SoftwareExtractor:
@@ -34,38 +32,24 @@ class SoftwareExtractor:
         self._table_indices = table_indices
         self._table_width = table_width
 
-    def run(self, packets) -> ExtractionResult:
-        filter_stage = FilterStage(self.compiled.switch_filters)
-        engine = FeatureEngine(
-            self.compiled, ctx=self.ctx,
+    def dataplane(self) -> Dataplane:
+        """Wire a fresh perfect-switch dataplane graph."""
+        return Dataplane.build(
+            self.compiled,
+            ctx=self.ctx,
+            software=True,
             table_indices=self._table_indices,
             table_width=self._table_width)
-        stats = CacheStats()
-        fg_indices: dict[tuple, int] = {}
-        fields = self.compiled.metadata_fields
-        fg = self.compiled.fg
-        cg = self.compiled.cg
-        for pkt in filter_stage.apply(packets):
-            stats.pkts_in += 1
-            stats.bytes_in += pkt.size
-            fg_key = fg.packet_key(pkt)
-            idx = fg_indices.get(fg_key)
-            if idx is None:
-                idx = len(fg_indices)
-                fg_indices[fg_key] = idx
-                engine.consume(FGSync(idx, fg_key))
-            cell = (idx, tuple(pkt.field(f) for f in fields))
-            cg_key = cg.project(fg_key)
-            engine.consume(MGPVRecord(
-                cg_key=cg_key, cg_hash32=hash_key(cg_key),
-                cells=(cell,), reason="software"))
-            stats.records_out += 1
-            stats.cells_out += 1
-        vectors = engine.finalize()
+
+    def run(self, packets) -> ExtractionResult:
+        dataplane = self.dataplane()
+        dataplane.process(packets)
+        vectors = dataplane.flush()
         return ExtractionResult(
             vectors=vectors,
             feature_names=self.compiled.feature_names,
-            switch_stats=stats,
-            engine=engine,
+            switch_stats=dataplane.switch.stats,
+            engine=dataplane.engine,
             compiled=self.compiled,
+            dataplane=dataplane,
         )

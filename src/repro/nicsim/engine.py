@@ -341,6 +341,18 @@ class FeatureEngine:
 
     # -- accounting ----------------------------------------------------------
 
+    def counters(self) -> dict:
+        """Uniform stage counters (observe convention)."""
+        s = self.stats
+        return {
+            "records": s.records,
+            "cells": s.cells,
+            "syncs": s.syncs,
+            "orphan_cells": s.orphan_cells,
+            "skipped_updates": s.skipped_updates,
+            "vectors_emitted": s.vectors_emitted,
+        }
+
     def total_state_bytes(self) -> int:
         """Bytes of live reducer state across all group tables (Fig 15's
         memory axis)."""

@@ -13,13 +13,15 @@ from __future__ import annotations
 
 from repro.core.compiler import CompiledPolicy
 from repro.core.functions import ExecContext
-from repro.nicsim.engine import FeatureEngine, FeatureVector
+from repro.nicsim.engine import EngineStats, FeatureEngine, FeatureVector
 from repro.streaming.hyperloglog import hash_key
 from repro.switchsim.mgpv import Event, FGSync, MGPVRecord
 
 
 class NICCluster:
     """A bank of FE-NIC engines fed by hash-based switch steering."""
+
+    name = "cluster"
 
     def __init__(self, compiled: CompiledPolicy, n_nics: int,
                  ctx: ExecContext | None = None, **engine_kwargs) -> None:
@@ -55,9 +57,43 @@ class NICCluster:
             vectors.extend(engine.finalize())
         return vectors
 
+    def advance_clock(self, now_ns: int) -> None:
+        for engine in self.engines:
+            engine.advance_clock(now_ns)
+
     def cells_per_nic(self) -> list[int]:
         """Load distribution (for the evenness check)."""
         return [engine.stats.cells for engine in self.engines]
 
     def orphan_cells(self) -> int:
         return sum(engine.stats.orphan_cells for engine in self.engines)
+
+    @property
+    def stats(self) -> EngineStats:
+        """Aggregated engine statistics across the bank."""
+        total = EngineStats()
+        for engine in self.engines:
+            s = engine.stats
+            total.records += s.records
+            total.cells += s.cells
+            total.syncs += s.syncs
+            total.orphan_cells += s.orphan_cells
+            total.skipped_updates += s.skipped_updates
+            total.vectors_emitted += s.vectors_emitted
+        return total
+
+    def counters(self) -> dict:
+        """Uniform stage counters (observe convention), including the
+        per-NIC cell distribution the evenness checks read."""
+        s = self.stats
+        return {
+            "n_nics": self.n_nics,
+            "records": s.records,
+            "cells": s.cells,
+            "syncs": s.syncs,
+            "orphan_cells": s.orphan_cells,
+            "skipped_updates": s.skipped_updates,
+            "vectors_emitted": s.vectors_emitted,
+            "cells_per_nic": {str(i): c
+                              for i, c in enumerate(self.cells_per_nic())},
+        }

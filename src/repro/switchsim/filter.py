@@ -18,6 +18,8 @@ from repro.net.packet import Packet
 class FilterStage:
     """Match-action filtering with simple hit/miss counters."""
 
+    name = "filter"
+
     def __init__(self, predicates: list[Predicate | Callable[[Packet], bool]]
                  ) -> None:
         self.predicates = list(predicates)
@@ -36,6 +38,19 @@ class FilterStage:
 
     def apply(self, packets: Iterable[Packet]) -> Iterator[Packet]:
         return (pkt for pkt in packets if self.admit(pkt))
+
+    # -- dataplane stage protocol ---------------------------------------------
+
+    def consume(self, pkt: Packet) -> tuple[Packet, ...]:
+        return (pkt,) if self.admit(pkt) else ()
+
+    def flush(self) -> tuple:
+        return ()
+
+    def counters(self) -> dict:
+        return {"pkts_in": self.hits + self.misses,
+                "admitted": self.hits,
+                "filtered": self.misses}
 
     @property
     def n_rules(self) -> int:

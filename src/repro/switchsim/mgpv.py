@@ -128,6 +128,21 @@ class CacheStats:
             return 0.0
         return (self.records_out + self.syncs_out) / self.pkts_in
 
+    def as_dict(self) -> dict:
+        """The counters as a flat observe-convention dict."""
+        return {
+            "pkts_in": self.pkts_in,
+            "bytes_in": self.bytes_in,
+            "records_out": self.records_out,
+            "cells_out": self.cells_out,
+            "bytes_out": self.bytes_out,
+            "syncs_out": self.syncs_out,
+            "evictions": dict(self.evictions),
+            "long_allocs": self.long_allocs,
+            "long_alloc_failures": self.long_alloc_failures,
+            "fg_collisions": self.fg_collisions,
+        }
+
 
 class _Entry:
     """One CG group resident in the cache."""
@@ -153,6 +168,8 @@ class MGPVCache:
     :class:`FGSync` and :class:`MGPVRecord` messages.  Call :meth:`flush`
     at end-of-trace to drain resident groups.
     """
+
+    name = "mgpv"
 
     def __init__(self, cg: Granularity, fg: Granularity,
                  config: MGPVConfig | None = None,
@@ -234,6 +251,17 @@ class MGPVCache:
             elif entry is not None:
                 self._remove(idx)
         return events
+
+    def consume(self, pkt: Packet) -> list[Event]:
+        """Dataplane stage protocol: alias of :meth:`insert`."""
+        return self.insert(pkt)
+
+    def counters(self) -> dict:
+        """Uniform stage counters (observe convention)."""
+        counters = self.stats.as_dict()
+        counters["resident_groups"] = self.resident_groups
+        counters["long_buffers_in_use"] = self.long_buffers_in_use
+        return counters
 
     @property
     def now_ns(self) -> int:

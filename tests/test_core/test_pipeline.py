@@ -81,7 +81,9 @@ class TestResultHandling:
     def test_empty_input(self, basic_flow_policy):
         result = SuperFE(basic_flow_policy).run([])
         assert len(result) == 0
-        assert result.to_matrix().shape == (0, 0)
+        # Empty results keep the feature dimension so they compose with
+        # detector code expecting (n, d) input.
+        assert result.to_matrix().shape == (0, 9)
 
     def test_filter_drops_everything(self, basic_flow_policy):
         udp_only = [p for p in generate_trace("ENTERPRISE", 50, seed=1)

@@ -95,6 +95,46 @@ class TestControlPlane:
             runtime.install_filter("payload == 1")
 
 
+class TestCountersViaObserve:
+    """poll_counters() is now implemented over repro.core.observe; its
+    delta semantics must be indistinguishable from the hand-rolled
+    CounterSnapshot arithmetic it replaced."""
+
+    def test_deltas_sum_to_absolutes(self, packets):
+        runtime = SuperFERuntime(flow_policy())
+        polled = []
+        for start in range(0, 600, 200):
+            runtime.process(packets[start:start + 200])
+            polled.append(runtime.poll_counters())
+        assert sum(c.pkts_in for c in polled) == \
+            runtime.cache.stats.pkts_in
+        assert sum(c.bytes_to_nic for c in polled) == \
+            runtime.link.bytes_out
+        assert sum(c.cells_processed for c in polled) == \
+            runtime.engine.stats.cells
+
+    def test_eviction_deltas_are_per_reason(self, packets):
+        runtime = SuperFERuntime(flow_policy())
+        runtime.set_aging_timeout(1_000)
+        runtime.process(packets[:300])
+        first = runtime.poll_counters()
+        runtime.process(packets[300:600])
+        second = runtime.poll_counters()
+        total = runtime.cache.stats.evictions
+        for reason in total:
+            assert first.evictions[reason] + second.evictions[reason] \
+                == total[reason]
+
+    def test_counters_sourced_from_link_stage(self, packets):
+        runtime = SuperFERuntime(flow_policy())
+        runtime.process(packets[:300])
+        runtime.drain()
+        snap = runtime.poll_counters()
+        assert snap.records_to_nic == runtime.link.records_out
+        assert snap.bytes_to_nic == runtime.link.bytes_out
+        assert snap.fg_syncs == runtime.link.syncs_out
+
+
 class TestHotSwap:
     def test_swap_emits_final_vectors_and_installs(self, packets):
         runtime = SuperFERuntime(flow_policy())
@@ -106,6 +146,32 @@ class TestHotSwap:
         assert runtime.poll_counters().pkts_in == 0
         vectors = runtime.process(packets[400:500])
         assert runtime.cache.stats.pkts_in == 100
+
+    def test_swap_drains_exactly_the_old_policy_vectors(self, packets):
+        """The swap's final vectors are the old deployment's complete
+        output: identical to a one-shot run of the old policy."""
+        runtime = SuperFERuntime(flow_policy())
+        for start in range(0, len(packets), 150):
+            runtime.process(packets[start:start + 150])
+        final = {tuple(v.key): v.values
+                 for v in runtime.hot_swap(pkt_policy())}
+        oneshot = SuperFE(flow_policy()).run(packets).by_key()
+        assert final.keys() == {tuple(k) for k in oneshot}
+        for key, values in oneshot.items():
+            assert np.array_equal(final[tuple(key)], values)
+
+    def test_counters_reset_across_swap(self, packets):
+        runtime = SuperFERuntime(flow_policy())
+        runtime.process(packets[:200])
+        runtime.hot_swap(pkt_policy())
+        fresh = runtime.poll_counters()
+        assert fresh.pkts_in == 0
+        assert fresh.bytes_to_nic == 0
+        assert fresh.vectors_emitted == 0
+        assert all(v == 0 for v in fresh.evictions.values())
+        runtime.process(packets[200:260])
+        after = runtime.poll_counters()
+        assert 0 < after.pkts_in <= 60
 
     def test_result_view(self, packets):
         runtime = SuperFERuntime(flow_policy())
