@@ -20,7 +20,8 @@ import csv
 import sys
 
 from repro.apps import APP_POLICIES, build_policy
-from repro.core.observe import render_counters
+from repro.core.faults import FaultPlan, FaultPlanError
+from repro.core.observe import degradation_report, render_counters
 from repro.core.pipeline import SuperFE
 from repro.core.software import SoftwareExtractor
 from repro.net.packet import int_to_ip
@@ -97,6 +98,17 @@ def _cmd_extract(args) -> int:
     if args.nics < 1:
         print(f"--nics must be >= 1, got {args.nics}", file=sys.stderr)
         return 2
+    if args.faults and args.software:
+        print("--faults needs the hardware path; drop --software",
+              file=sys.stderr)
+        return 2
+    fault_plan = None
+    if args.faults:
+        try:
+            fault_plan = FaultPlan.from_json(args.faults)
+        except (FaultPlanError, OSError) as exc:
+            print(f"bad fault plan: {exc}", file=sys.stderr)
+            return 2
     if args.pcap:
         packets = read_pcap(args.pcap)
     else:
@@ -104,8 +116,13 @@ def _cmd_extract(args) -> int:
                                  seed=args.seed)
     policy = build_policy(args.app)
     extractor = (SoftwareExtractor(policy) if args.software
-                 else SuperFE(policy, n_nics=args.nics))
-    result = extractor.run(packets)
+                 else SuperFE(policy, n_nics=args.nics,
+                              fault_plan=fault_plan))
+    try:
+        result = extractor.run(packets)
+    except FaultPlanError as exc:
+        print(f"bad fault plan: {exc}", file=sys.stderr)
+        return 2
 
     with open(args.out, "w", newline="") as fh:
         writer = csv.writer(fh)
@@ -119,7 +136,9 @@ def _cmd_extract(args) -> int:
                 writer.writerow(_key_columns(tuple(vec.key))
                                 + [f"{v:.6g}" for v in vec.values])
     mode = "software" if args.software else "SuperFE"
-    print(f"{mode}: {len(result.vectors)} vectors from "
+    degraded = sum(1 for v in result.vectors if v.degraded)
+    suffix = f" ({degraded} degraded)" if degraded else ""
+    print(f"{mode}: {len(result.vectors)} vectors{suffix} from "
           f"{len(packets)} packets -> {args.out}")
     if not args.software:
         # The switch->NIC link stage owns the Fig 12 byte accounting.
@@ -128,6 +147,10 @@ def _cmd_extract(args) -> int:
     if args.counters:
         print(render_counters(result.dataplane.counters(),
                               title="per-stage dataplane counters"))
+    if args.chaos_report:
+        print(render_counters(
+            degradation_report(result.dataplane.counters()),
+            title="chaos report (injected / recovered / degraded)"))
     return 0
 
 
@@ -196,6 +219,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="terminate in a hash-steered cluster of N NICs")
     p.add_argument("--counters", action="store_true",
                    help="print per-stage dataplane counters")
+    p.add_argument("--faults",
+                   help="JSON chaos schedule (FaultPlan) to inject")
+    p.add_argument("--chaos-report", action="store_true",
+                   help="print the injected/recovered/degraded ledger")
     p.set_defaults(func=_cmd_extract)
     return parser
 

@@ -90,6 +90,9 @@ class LinkConfig:
     drop_rate: float = 0.0              # injected loss probability
     drop_kind: str = "any"              # any | sync | record
     seed: int = 0
+    retransmit_retries: int = 0         # sync recovery attempts; 0 disables
+    retransmit_backoff_ns: float = 1000.0   # base backoff, doubles per retry
+    retransmit_request_bytes: int = 8   # NIC->switch request message size
 
     def __post_init__(self) -> None:
         if self.batch_records < 1:
@@ -100,6 +103,20 @@ class LinkConfig:
             raise ValueError(f"unknown drop_kind {self.drop_kind!r}")
         if self.bandwidth_gbps <= 0:
             raise ValueError("bandwidth must be positive")
+        if self.capacity_records is not None and self.capacity_records < 1:
+            raise ValueError(f"capacity_records must be >= 1 when set, "
+                             f"got {self.capacity_records}")
+        if self.seed < 0:
+            raise ValueError(f"seed must be >= 0, got {self.seed}")
+        if self.retransmit_retries < 0:
+            raise ValueError(f"retransmit_retries must be >= 0, "
+                             f"got {self.retransmit_retries}")
+        if self.retransmit_backoff_ns < 0:
+            raise ValueError(f"retransmit_backoff_ns must be >= 0, "
+                             f"got {self.retransmit_backoff_ns}")
+        if self.retransmit_request_bytes < 0:
+            raise ValueError(f"retransmit_request_bytes must be >= 0, "
+                             f"got {self.retransmit_request_bytes}")
 
 
 class SwitchNICLink:
@@ -111,6 +128,18 @@ class SwitchNICLink:
     FIFO.  The stage accounts wire bytes per record/sync plus per-batch
     framing, tracks channel busy time against the configured bandwidth,
     and owns the aggregation-ratio metrics of Fig 12.
+
+    Every message carries an implicit sequence number; a loss leaves a
+    gap the NIC detects at the next delivered message.  Because the
+    channel is strictly FIFO the synchronous simulator runs the
+    gap-triggered recovery at the drop point — equivalent timing-wise,
+    and it keeps the sync-before-cells ordering intact.  Recovery is
+    possible only for FG syncs (the switch's FG-key table still holds
+    the key, attached via :meth:`attach_fg_source`); an evicted record's
+    cells left switch SRAM with the eviction and cannot be re-fetched.
+    The retry loop is bounded (``retransmit_retries``) with exponential
+    backoff modeled in channel busy time; each retry re-crosses the same
+    lossy channel.
     """
 
     name = "link"
@@ -121,8 +150,16 @@ class SwitchNICLink:
         self.config = config or LinkConfig()
         self._rng = (np.random.default_rng(self.config.seed)
                      if self.config.drop_rate > 0 else None)
+        self._retry_rng = None
         self._queue: list = []
         self._traffic: CacheStats | None = None
+        self._fg_source = None
+        # Fault-injection overlay (scripted by repro.core.faults).
+        self._fault_rate = 0.0
+        self._fault_kind = "any"
+        self._fault_rng = None
+        self._capacity_clamp: int | None = None
+        self._pending_gap = 0
         self.records_in = 0
         self.syncs_in = 0
         self.records_out = 0
@@ -134,8 +171,17 @@ class SwitchNICLink:
         self.bytes_out = 0
         self.batches_out = 0
         self.drops_injected = 0
+        self.drops_fault = 0
         self.drops_backpressure = 0
         self.busy_ns = 0.0
+        self.seq_sent = 0
+        self.gaps_detected = 0
+        self.seqs_lost = 0
+        self.retransmit_requests = 0
+        self.retransmits_ok = 0
+        self.retransmits_exhausted = 0
+        self.retransmit_bytes = 0
+        self.retransmit_backoff_ns = 0.0
 
     # -- wiring ---------------------------------------------------------------
 
@@ -144,6 +190,36 @@ class SwitchNICLink:
         can express its load as the paper's aggregation ratios."""
         self._traffic = stats
 
+    def attach_fg_source(self, source) -> None:
+        """Attach the switch-side FG-key table (anything with
+        ``fg_entry(index)``) that lost syncs are re-fetched from."""
+        self._fg_source = source
+
+    # -- fault-injection overlay -----------------------------------------------
+
+    def set_fault_loss(self, rate: float, kind: str = "any",
+                       seed=0) -> None:
+        """Scripted loss burst on top of the configured channel loss
+        (applied by :class:`repro.core.faults.FaultInjector`)."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("fault loss rate must be in [0, 1]")
+        if kind not in ("any", "sync", "record"):
+            raise ValueError(f"unknown drop_kind {kind!r}")
+        self._fault_rate = rate
+        self._fault_kind = kind
+        self._fault_rng = np.random.default_rng(seed) if rate > 0 else None
+
+    def clear_fault_loss(self) -> None:
+        self._fault_rate = 0.0
+        self._fault_rng = None
+
+    def clamp_capacity(self, capacity: int | None) -> None:
+        """Scripted queue-capacity clamp (None restores the configured
+        bound)."""
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity clamp must be >= 1 or None")
+        self._capacity_clamp = capacity
+
     # -- stage protocol --------------------------------------------------------
 
     def consume(self, event) -> tuple:
@@ -151,10 +227,20 @@ class SwitchNICLink:
             self.syncs_in += 1
         else:
             self.records_in += 1
-        if self._dropped(event):
-            self.drops_injected += 1
-            return ()
+        self.seq_sent += 1
+        cause = self._dropped(event)
+        if cause is not None:
+            if cause == "fault":
+                self.drops_fault += 1
+            else:
+                self.drops_injected += 1
+            if not self._recover(event):
+                self._pending_gap += 1
+                return ()
         cap = self.config.capacity_records
+        if self._capacity_clamp is not None:
+            cap = (self._capacity_clamp if cap is None
+                   else min(cap, self._capacity_clamp))
         if cap is not None and len(self._queue) >= cap:
             # Backpressure with a full queue: the switch cannot stall the
             # line rate, so the newest message is lost.
@@ -181,26 +267,85 @@ class SwitchNICLink:
             "bytes_out": self.bytes_out,
             "batches_out": self.batches_out,
             "drops_injected": self.drops_injected,
+            "drops_fault": self.drops_fault,
             "drops_backpressure": self.drops_backpressure,
             "queue_depth": len(self._queue),
+            "seq_sent": self.seq_sent,
+            "gaps_detected": self.gaps_detected,
+            "seqs_lost": self.seqs_lost,
+            "retransmit_requests": self.retransmit_requests,
+            "retransmits_ok": self.retransmits_ok,
+            "retransmits_exhausted": self.retransmits_exhausted,
+            "retransmit_bytes": self.retransmit_bytes,
+            "retransmit_backoff_ns": self.retransmit_backoff_ns,
         }
 
     # -- channel model ---------------------------------------------------------
 
-    def _dropped(self, event) -> bool:
-        if self._rng is None:
+    def _kind_matches(self, kind: str, event) -> bool:
+        if kind == "sync":
+            return isinstance(event, FGSync)
+        if kind == "record":
+            return isinstance(event, MGPVRecord)
+        return True
+
+    def _dropped(self, event) -> str | None:
+        """Which loss process (if any) claims this transmission."""
+        if self._rng is not None \
+                and self._kind_matches(self.config.drop_kind, event) \
+                and self._rng.random() < self.config.drop_rate:
+            return "config"
+        if self._fault_rng is not None \
+                and self._kind_matches(self._fault_kind, event) \
+                and self._fault_rng.random() < self._fault_rate:
+            return "fault"
+        return None
+
+    def _retry_lost(self, event) -> bool:
+        """One retransmission crossing the same lossy channel."""
+        if self._rng is not None \
+                and self._kind_matches(self.config.drop_kind, event) \
+                and self._retry_rng.random() < self.config.drop_rate:
+            return True
+        if self._fault_rng is not None \
+                and self._kind_matches(self._fault_kind, event) \
+                and self._retry_rng.random() < self._fault_rate:
+            return True
+        return False
+
+    def _recover(self, event) -> bool:
+        """Bounded retransmit-request loop for a lost FG sync.  The NIC
+        requests the FG-table slot again; the switch re-reads its FG-key
+        table and resends.  True when a retry got through."""
+        cfg = self.config
+        if cfg.retransmit_retries < 1 or not isinstance(event, FGSync):
             return False
-        kind = self.config.drop_kind
-        if kind == "sync" and not isinstance(event, FGSync):
+        if self._fg_source is None \
+                or self._fg_source.fg_entry(event.index) != event.key:
             return False
-        if kind == "record" and not isinstance(event, MGPVRecord):
-            return False
-        return bool(self._rng.random() < self.config.drop_rate)
+        if self._retry_rng is None:
+            self._retry_rng = np.random.default_rng(cfg.seed + 0x5FE1)
+        for attempt in range(cfg.retransmit_retries):
+            backoff = cfg.retransmit_backoff_ns * (2 ** attempt)
+            self.retransmit_requests += 1
+            self.retransmit_bytes += cfg.retransmit_request_bytes
+            self.retransmit_backoff_ns += backoff
+            self.busy_ns += backoff
+            if not self._retry_lost(event):
+                self.retransmits_ok += 1
+                return True
+        self.retransmits_exhausted += 1
+        return False
 
     def _transmit(self) -> tuple:
         batch, self._queue = self._queue, []
         if not batch:
             return ()
+        if self._pending_gap:
+            # The receiver sees the sequence jump on this delivery.
+            self.gaps_detected += 1
+            self.seqs_lost += self._pending_gap
+            self._pending_gap = 0
         self.batches_out += 1
         batch_bytes = self.config.batch_header_bytes
         self.batch_overhead_bytes += self.config.batch_header_bytes
@@ -259,7 +404,14 @@ class PerfectSwitch:
         self.compiled = compiled
         self.stats = CacheStats()
         self._fg_indices: dict[tuple, int] = {}
+        self._fg_keys_by_index: list[tuple] = []
         self._now = 0
+
+    def fg_entry(self, index: int) -> tuple | None:
+        """Current key of FG slot ``index`` (retransmission source)."""
+        if 0 <= index < len(self._fg_keys_by_index):
+            return self._fg_keys_by_index[index]
+        return None
 
     def consume(self, pkt: Packet) -> tuple:
         self._now = max(self._now, pkt.tstamp)
@@ -271,6 +423,7 @@ class PerfectSwitch:
         if idx is None:
             idx = len(self._fg_indices)
             self._fg_indices[fg_key] = idx
+            self._fg_keys_by_index.append(fg_key)
             events.append(FGSync(idx, fg_key))
         cell = (idx, tuple(pkt.field(f)
                            for f in self.compiled.metadata_fields))
@@ -433,7 +586,15 @@ class Dataplane:
         self.sink = sink
         self.compiled = compiled
         self.trace = trace
+        self.faults = None          # FaultInjector, via attach_faults()
+        self._pkt_index = 0
         self.stages: list[Stage] = [filter_stage, switch, link, sink]
+
+    def attach_faults(self, plan) -> None:
+        """Attach a scripted :class:`repro.core.faults.FaultPlan`; its
+        injector ticks once per processed packet."""
+        from repro.core.faults import FaultInjector
+        self.faults = FaultInjector(plan, self)
 
     @classmethod
     def build(cls, compiled: CompiledPolicy, *,
@@ -446,13 +607,16 @@ class Dataplane:
               link_config: LinkConfig | None = None,
               software: bool = False,
               compute: bool = True,
-              trace: Trace | None = None) -> "Dataplane":
+              trace: Trace | None = None,
+              fault_plan=None) -> "Dataplane":
         """Wire the Fig 1 graph for a compiled policy.
 
         ``software`` swaps the MGPV cache for the baseline's
         :class:`PerfectSwitch`; ``n_nics > 1`` terminates in a
         hash-steered :class:`NICCluster`; ``compute=False`` terminates
-        in a :class:`NullSink` for switch-side-only measurements.
+        in a :class:`NullSink` for switch-side-only measurements;
+        ``fault_plan`` attaches a scripted chaos schedule
+        (:class:`repro.core.faults.FaultPlan`).
         """
         if n_nics < 1:
             raise ValueError(f"n_nics must be >= 1, got {n_nics}")
@@ -465,6 +629,7 @@ class Dataplane:
                                compiled.metadata_fields)
         link = SwitchNICLink(wire, link_config)
         link.attach_traffic(switch.stats)
+        link.attach_fg_source(switch)
         engine_kwargs = dict(ctx=ctx, placement=placement,
                              table_indices=table_indices,
                              table_width=table_width)
@@ -475,8 +640,11 @@ class Dataplane:
                                           **engine_kwargs))
         else:
             sink = EngineSink(FeatureEngine(compiled, **engine_kwargs))
-        return cls(filter_stage, switch, link, sink, compiled,
-                   trace=trace)
+        dataplane = cls(filter_stage, switch, link, sink, compiled,
+                        trace=trace)
+        if fault_plan is not None:
+            dataplane.attach_faults(fault_plan)
+        return dataplane
 
     # -- convenience views ----------------------------------------------------
 
@@ -525,6 +693,9 @@ class Dataplane:
         per-packet vectors the batch produced (empty for per-group
         policies, which emit at :meth:`snapshot` / :meth:`flush`)."""
         for pkt in packets:
+            if self.faults is not None:
+                self.faults.on_packet(self._pkt_index)
+            self._pkt_index += 1
             self._push(pkt)
         # Keep the NIC clock moving even for policies whose cells carry
         # no timestamp (idle eviction relies on it).
@@ -549,5 +720,9 @@ class Dataplane:
     # -- observability ---------------------------------------------------------
 
     def counters(self) -> dict:
-        """Uniform per-stage counters, keyed by stage name."""
-        return {stage.name: stage.counters() for stage in self.stages}
+        """Uniform per-stage counters, keyed by stage name (plus the
+        fault injector's, when a chaos schedule is attached)."""
+        counters = {stage.name: stage.counters() for stage in self.stages}
+        if self.faults is not None:
+            counters[self.faults.name] = self.faults.counters()
+        return counters

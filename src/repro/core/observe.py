@@ -77,6 +77,40 @@ class DeltaPoller:
         self._last = {}
 
 
+def degradation_report(counters: Mapping[str, Counters]) -> dict:
+    """Collapse ``Dataplane.counters()`` into the chaos ledger: what was
+    injected, what the recovery machinery got back, and what degraded —
+    keyed by cause, ready for :func:`render_counters`.
+
+    Every fault taxonomy entry maps to one recovery path and one counter
+    group here: link loss → retransmission (``recovered``), NIC death →
+    failover/resync (``recovered`` + ``degraded.demoted_vectors``),
+    unrecovered sync loss → coarse demotion (``degraded``).
+    """
+    def pick(stage: Counters, names: tuple[str, ...]) -> dict:
+        return {n: stage[n] for n in names if n in stage}
+
+    link = counters.get("link", {})
+    sink = counters.get("engine") or counters.get("cluster") or {}
+    report: dict = {
+        "injected": pick(link, ("drops_injected", "drops_fault",
+                                "drops_backpressure", "gaps_detected",
+                                "seqs_lost")),
+        "recovered": {
+            **pick(link, ("retransmit_requests", "retransmits_ok",
+                          "retransmits_exhausted")),
+            **pick(sink, ("fg_resyncs", "rerouted_events", "failovers",
+                          "restarts")),
+        },
+        "degraded": pick(sink, ("orphan_cells", "degraded_cells",
+                                "unrecoverable_cells", "degraded_groups",
+                                "demoted_vectors", "residual_vectors")),
+    }
+    if "faults" in counters:
+        report["faults"] = dict(counters["faults"])
+    return report
+
+
 def render_counters(counters: Mapping[str, Counters],
                     title: str = "dataplane counters") -> str:
     """Render per-stage counters as an indented text block."""

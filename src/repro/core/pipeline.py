@@ -80,7 +80,8 @@ class SuperFE:
                  table_indices: int = 4096,
                  table_width: int = 4,
                  n_nics: int = 1,
-                 link_config: LinkConfig | None = None) -> None:
+                 link_config: LinkConfig | None = None,
+                 fault_plan=None) -> None:
         self.policy = policy
         self.compiled = PolicyCompiler().compile(policy)
         self.mgpv_config = self.compiled.sized_mgpv_config(mgpv_config)
@@ -97,6 +98,7 @@ class SuperFE:
         self._table_width = table_width
         self.n_nics = n_nics
         self.link_config = link_config
+        self.fault_plan = fault_plan
 
     def dataplane(self) -> Dataplane:
         """Wire a fresh dataplane graph for this deployment."""
@@ -108,7 +110,8 @@ class SuperFE:
             table_indices=self._table_indices,
             table_width=self._table_width,
             n_nics=self.n_nics,
-            link_config=self.link_config)
+            link_config=self.link_config,
+            fault_plan=self.fault_plan)
 
     def run(self, packets) -> ExtractionResult:
         """Extract feature vectors from a packet stream."""

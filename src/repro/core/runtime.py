@@ -50,6 +50,9 @@ class CounterSnapshot:
     cells_processed: int
     vectors_emitted: int
     filter_misses: int
+    orphan_cells: int
+    degraded_cells: int
+    link_retransmits: int
 
 
 class SuperFERuntime:
@@ -60,11 +63,13 @@ class SuperFERuntime:
                  division_free: bool = True,
                  table_indices: int = 4096,
                  table_width: int = 4,
-                 link_config: LinkConfig | None = None) -> None:
+                 link_config: LinkConfig | None = None,
+                 fault_plan=None) -> None:
         self._division_free = division_free
         self._table_indices = table_indices
         self._table_width = table_width
         self._link_config = link_config
+        self._fault_plan = fault_plan
         self._poller = DeltaPoller(self._absolute_counters)
         self._install(policy, mgpv_config)
 
@@ -81,7 +86,8 @@ class SuperFERuntime:
             ctx=ExecContext(division_free=self._division_free),
             table_indices=self._table_indices,
             table_width=self._table_width,
-            link_config=self._link_config)
+            link_config=self._link_config,
+            fault_plan=self._fault_plan)
 
     # -- dataplane views ------------------------------------------------------
 
@@ -142,6 +148,9 @@ class SuperFERuntime:
             "cells_processed": engine["cells"],
             "vectors_emitted": engine["vectors_emitted"],
             "filter_misses": self.filter_stage.misses,
+            "orphan_cells": engine["orphan_cells"],
+            "degraded_cells": engine["degraded_cells"],
+            "link_retransmits": link["retransmits_ok"],
         }
 
     def poll_counters(self) -> CounterSnapshot:

@@ -14,6 +14,7 @@ resolution pcap (magic 0xA1B23C4D) so packet timestamps survive exactly.
 from __future__ import annotations
 
 import struct
+import warnings
 from typing import BinaryIO, Iterator
 
 from repro.net.packet import (
@@ -30,6 +31,11 @@ _ETHERTYPE_IPV4 = 0x0800
 
 _GLOBAL_HDR = struct.Struct("<IHHiIII")
 _RECORD_HDR = struct.Struct("<IIII")
+
+
+class TruncatedPcapWarning(UserWarning):
+    """The capture ended mid-record (killed tcpdump, full disk); the
+    packets before the cut are returned."""
 
 #: Synthetic MACs: the low bit of the first dest-MAC byte encodes packet
 #: direction so it survives a pcap round trip (02:.. egress, 03:.. ingress).
@@ -97,15 +103,27 @@ def _parse_frame(data: bytes, tstamp: int, orig_len: int) -> Packet | None:
                   proto, tcp_flags, direction)
 
 
-def _iter_records(fh: BinaryIO, ns_resolution: bool
+def _iter_records(fh: BinaryIO, ns_resolution: bool, path: str = ""
                   ) -> Iterator[tuple[int, bytes, int]]:
     while True:
         hdr = fh.read(_RECORD_HDR.size)
+        if not hdr:
+            return
         if len(hdr) < _RECORD_HDR.size:
+            # A cut mid-header: everything before it is intact, so keep
+            # what was read instead of failing the whole replay.
+            warnings.warn(
+                f"{path}: truncated record header at end of capture "
+                f"({len(hdr)} of {_RECORD_HDR.size} bytes); stopping",
+                TruncatedPcapWarning, stacklevel=3)
             return
         sec, frac, incl_len, orig_len = _RECORD_HDR.unpack(hdr)
         data = fh.read(incl_len)
         if len(data) < incl_len:
+            warnings.warn(
+                f"{path}: final packet record truncated ({len(data)} of "
+                f"{incl_len} captured bytes); stopping",
+                TruncatedPcapWarning, stacklevel=3)
             return
         nsec = frac if ns_resolution else frac * 1000
         yield sec * 1_000_000_000 + nsec, data, orig_len
@@ -126,7 +144,8 @@ def read_pcap(path: str) -> list[Packet]:
             raise ValueError(f"{path}: not a pcap file "
                              f"(magic {magic:#010x})")
         packets = []
-        for tstamp, data, orig_len in _iter_records(fh, ns_resolution):
+        for tstamp, data, orig_len in _iter_records(fh, ns_resolution,
+                                                    path):
             pkt = _parse_frame(data, tstamp, orig_len)
             if pkt is not None:
                 packets.append(pkt)

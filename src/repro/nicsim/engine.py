@@ -39,11 +39,18 @@ from repro.switchsim.mgpv import Event, FGSync, MGPVRecord
 
 @dataclass
 class FeatureVector:
-    """One output vector: the emitting unit's key, feature names, values."""
+    """One output vector: the emitting unit's key, feature names, values.
+
+    ``degraded`` marks vectors produced under faults with bounded error:
+    the group lost finer-granularity attribution (orphaned cells demoted
+    to its coarse section) or part of its state to a NIC failure.
+    Fault-free runs never set it.
+    """
 
     key: tuple
     names: tuple[str, ...]
     values: np.ndarray
+    degraded: bool = False
 
 
 class MemberView:
@@ -94,6 +101,8 @@ class EngineStats:
     cells: int = 0
     syncs: int = 0
     orphan_cells: int = 0
+    degraded_cells: int = 0         # orphans recovered at CG granularity
+    unrecoverable_cells: int = 0    # orphans with no CG section to demote to
     skipped_updates: int = 0
     vectors_emitted: int = 0
     extra: dict = dc_field(default_factory=dict)
@@ -114,6 +123,7 @@ class FeatureEngine:
         self._fg_mirror: dict[int, tuple] = {}
         self._synth_cache: dict = {}
         self._pkt_vectors: list[FeatureVector] = []
+        self._degraded_cg_keys: set[tuple] = set()
         self._validate_collect_unit()
 
         self._tables: list[tuple[Section, GroupTable]] = []
@@ -188,17 +198,36 @@ class FeatureEngine:
         fields_order = self.compiled.metadata_fields
         for fg_idx, meta in record.cells:
             self.stats.cells += 1
+            fields = dict(zip(fields_order, meta))
             fg_key = self._fg_mirror.get(fg_idx)
             if fg_key is None:
+                # The FG sync never arrived (lost and unrecovered): the
+                # cell keeps its record's CG key, so demote it to the
+                # coarse section instead of dropping it (§graceful
+                # degradation) and flag the group.
                 self.stats.orphan_cells += 1
+                self._demote_cell(record.cg_key, fields)
                 continue
-            fields = dict(zip(fields_order, meta))
             self._process_cell(fg_key, fields)
 
     def advance_clock(self, now_ns: int) -> None:
         """Advance the engine's notion of time; cells carrying a
         ``tstamp`` field advance it automatically."""
         self._clock = max(self._clock, now_ns)
+
+    def _update_section(self, state: _GroupState, fields: dict) -> None:
+        state.last_update = self._clock
+        view = MemberView(fields)
+        for dst, src, fn in state.map_fns:
+            src_value = view.get(src) if src is not None else None
+            value = fn.apply(view, src_value)
+            if value is not None:
+                view.set(dst, value)
+        for feat, reducer in state.reducers:
+            if not view.has(feat.src):
+                self.stats.skipped_updates += 1
+                continue
+            reducer.update(view.get(feat.src), view)
 
     def _process_cell(self, fg_key: tuple, fields: dict) -> None:
         tstamp = fields.get("tstamp")
@@ -207,20 +236,33 @@ class FeatureEngine:
         for section, table in self._tables:
             key = section.granularity.project(fg_key)
             state, _ = table.lookup_or_insert(key)
-            state.last_update = self._clock
-            view = MemberView(fields)
-            for dst, src, fn in state.map_fns:
-                src_value = view.get(src) if src is not None else None
-                value = fn.apply(view, src_value)
-                if value is not None:
-                    view.set(dst, value)
-            for feat, reducer in state.reducers:
-                if not view.has(feat.src):
-                    self.stats.skipped_updates += 1
-                    continue
-                reducer.update(view.get(feat.src), view)
+            self._update_section(state, fields)
         if self.compiled.collect_unit == "pkt":
             self._emit_packet_vector(fg_key)
+
+    def _demote_cell(self, cg_key: tuple, fields: dict) -> None:
+        """Graceful degradation for an orphaned cell: its FG key is
+        unknown, but the record's CG key still attributes it to the
+        coarsest section.  Update that section only and mark the CG
+        group degraded, so its vectors carry the flag instead of the
+        cell silently vanishing.  Per-packet emission is skipped — a
+        CG-only snapshot would have a different width."""
+        tstamp = fields.get("tstamp")
+        if tstamp is not None:
+            self._clock = max(self._clock, tstamp)
+        cg_name = self.compiled.cg.name
+        updated = False
+        for section, table in self._tables:
+            if section.granularity.name != cg_name:
+                continue
+            state, _ = table.lookup_or_insert(cg_key)
+            self._update_section(state, fields)
+            updated = True
+        if updated:
+            self.stats.degraded_cells += 1
+            self._degraded_cg_keys.add(cg_key)
+        else:
+            self.stats.unrecoverable_cells += 1
 
     # -- output --------------------------------------------------------------
 
@@ -249,7 +291,15 @@ class FeatureEngine:
             self.stats.vectors_emitted += 1
             self._pkt_vectors.append(FeatureVector(
                 key=fg_key, names=tuple(names),
-                values=np.concatenate(parts)))
+                values=np.concatenate(parts),
+                degraded=self._vector_degraded(fg_key)))
+
+    def _vector_degraded(self, key: tuple) -> bool:
+        """True when the key's CG group absorbed demoted orphan cells —
+        its coarse-section features carry bounded error."""
+        if not self._degraded_cg_keys:
+            return False
+        return self.compiled.cg.project(key) in self._degraded_cg_keys
 
     @property
     def packet_vectors(self) -> list[FeatureVector]:
@@ -337,7 +387,38 @@ class FeatureEngine:
         if not parts:
             return None
         return FeatureVector(key=key, names=tuple(names),
-                             values=np.concatenate(parts))
+                             values=np.concatenate(parts),
+                             degraded=self._vector_degraded(key))
+
+    # -- failure handling -------------------------------------------------------
+
+    def fg_mirror_items(self) -> tuple:
+        """Snapshot of the synchronized FG mirror (index, key) pairs —
+        what a control plane replays to survivors on failover."""
+        return tuple(self._fg_mirror.items())
+
+    def crash(self) -> list[FeatureVector]:
+        """Simulate losing this device: demote the resident per-group
+        state to final vectors flagged ``degraded`` (they are missing
+        whatever cells were still en route) and clear every table and
+        the FG mirror, as a restart would.  Already-emitted per-packet
+        vectors and cumulative stats survive — they left the device."""
+        residual: list[FeatureVector] = []
+        if self.compiled.collect_unit != "pkt":
+            unit = self.compiled.collect_unit
+            unit_section, unit_table = next(
+                (sec, tbl) for sec, tbl in self._tables
+                if sec.granularity.name == unit)
+            for key, _state in unit_table.items():
+                vec = self._group_vector(key, unit_section)
+                if vec is not None:
+                    vec.degraded = True
+                    residual.append(vec)
+        for _, table in self._tables:
+            table.clear()
+        self._fg_mirror.clear()
+        self._degraded_cg_keys.clear()
+        return residual
 
     # -- accounting ----------------------------------------------------------
 
@@ -349,6 +430,9 @@ class FeatureEngine:
             "cells": s.cells,
             "syncs": s.syncs,
             "orphan_cells": s.orphan_cells,
+            "degraded_cells": s.degraded_cells,
+            "unrecoverable_cells": s.unrecoverable_cells,
+            "degraded_groups": len(self._degraded_cg_keys),
             "skipped_updates": s.skipped_updates,
             "vectors_emitted": s.vectors_emitted,
         }

@@ -112,6 +112,12 @@ class GroupTable:
             return True
         return False
 
+    def clear(self) -> None:
+        """Drop every resident group (device restart); stats survive."""
+        for bucket in self._buckets:
+            bucket.clear()
+        self._overflow.clear()
+
     def __len__(self) -> int:
         return (sum(len(b) for b in self._buckets) + len(self._overflow))
 

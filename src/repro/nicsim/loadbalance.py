@@ -1,4 +1,4 @@
-"""Multi-SmartNIC load balancing (§8.5).
+"""Multi-SmartNIC load balancing (§8.5) and NIC failover.
 
 "We can also add more SmartNICs to scale up FE-NIC further, with a
 simple load-balance mechanism implemented on the switch to distribute
@@ -7,6 +7,14 @@ mechanism: the switch routes every MGPV record to a NIC by the CG-key
 hash it already computed, and each FG-sync message follows its owner CG
 group — so all state for one group lands on one NIC and no cross-NIC
 coordination is needed.
+
+Failover extends the steering for NIC death (fault-injected or real):
+a dead NIC's shard re-routes consistently to the survivors (same hash,
+modulo the live set), the control plane replays the dead NIC's FG
+mirror to the new owners so their cells keep fine-granularity
+attribution, and the dead NIC's in-flight per-group state is demoted to
+``degraded`` residual vectors reconciled at drain — a flow never
+silently disappears.
 """
 
 from __future__ import annotations
@@ -31,9 +39,24 @@ class NICCluster:
         self.n_nics = n_nics
         self.engines = [FeatureEngine(compiled, ctx=ctx, **engine_kwargs)
                         for _ in range(n_nics)]
+        self.alive = [True] * n_nics
+        self.failovers = 0
+        self.restarts = 0
+        self.rerouted_events = 0
+        self.fg_resyncs = 0
+        self.demoted_vectors = 0
+        self._residual: list[FeatureVector] = []
 
     def _route_key(self, cg_key: tuple) -> int:
-        return hash_key(cg_key) % self.n_nics
+        nic = hash_key(cg_key) % self.n_nics
+        if self.alive[nic]:
+            return nic
+        # Consistent failover: the dead NIC's shard maps onto the live
+        # set by the same hash, so every event of one group picks the
+        # same survivor (while the live set is stable).
+        survivors = [i for i, up in enumerate(self.alive) if up]
+        self.rerouted_events += 1
+        return survivors[hash_key(cg_key) % len(survivors)]
 
     def consume(self, event: Event) -> None:
         if isinstance(event, FGSync):
@@ -51,10 +74,64 @@ class NICCluster:
             self.consume(event)
         return self
 
+    # -- failover --------------------------------------------------------------
+
+    def fail_nic(self, nic: int) -> None:
+        """Kill one NIC: its shard re-routes to survivors, its FG mirror
+        is replayed to the new owners (reconciliation), and its resident
+        per-group state is demoted to degraded residual vectors held for
+        the drain."""
+        self._check_nic(nic)
+        if not self.alive[nic]:
+            raise ValueError(f"NIC {nic} is already dead")
+        if sum(self.alive) == 1:
+            raise ValueError("cannot fail the last live NIC")
+        self.alive[nic] = False
+        self.failovers += 1
+        engine = self.engines[nic]
+        mirror = engine.fg_mirror_items()
+        self._residual.extend(engine.crash())
+        for index, key in mirror:
+            cg_key = self.compiled.cg.project(key)
+            self.engines[self._route_key(cg_key)].consume(
+                FGSync(index, key))
+            self.fg_resyncs += 1
+
+    def restore_nic(self, nic: int) -> None:
+        """Bring a dead NIC back (restarted empty: :meth:`fail_nic`
+        wiped its state); its shard routes to it again."""
+        self._check_nic(nic)
+        if self.alive[nic]:
+            raise ValueError(f"NIC {nic} is already alive")
+        self.alive[nic] = True
+        self.restarts += 1
+
+    def _check_nic(self, nic: int) -> None:
+        if not 0 <= nic < self.n_nics:
+            raise ValueError(f"no NIC {nic} in a cluster of "
+                             f"{self.n_nics}")
+
     def finalize(self) -> list[FeatureVector]:
         vectors = []
         for engine in self.engines:
             vectors.extend(engine.finalize())
+        if self._residual:
+            # Reconcile residual state from dead NICs: a shard rebuilt
+            # on a survivor keeps the survivor's (post-failover) vector,
+            # flagged degraded because the pre-failure cells are gone;
+            # groups that never re-appeared emit their residual vector.
+            residual_keys = {tuple(v.key) for v in self._residual}
+            for vec in vectors:
+                if tuple(vec.key) in residual_keys:
+                    vec.degraded = True
+            live_keys = {tuple(v.key) for v in vectors}
+            demoted = 0
+            for vec in self._residual:
+                if tuple(vec.key) in live_keys:
+                    demoted += 1
+                else:
+                    vectors.append(vec)
+            self.demoted_vectors = demoted
         return vectors
 
     def advance_clock(self, now_ns: int) -> None:
@@ -78,22 +155,34 @@ class NICCluster:
             total.cells += s.cells
             total.syncs += s.syncs
             total.orphan_cells += s.orphan_cells
+            total.degraded_cells += s.degraded_cells
+            total.unrecoverable_cells += s.unrecoverable_cells
             total.skipped_updates += s.skipped_updates
             total.vectors_emitted += s.vectors_emitted
         return total
 
     def counters(self) -> dict:
         """Uniform stage counters (observe convention), including the
-        per-NIC cell distribution the evenness checks read."""
+        per-NIC cell distribution the evenness checks read and the
+        failover ledger."""
         s = self.stats
         return {
             "n_nics": self.n_nics,
+            "live_nics": sum(self.alive),
             "records": s.records,
             "cells": s.cells,
             "syncs": s.syncs,
             "orphan_cells": s.orphan_cells,
+            "degraded_cells": s.degraded_cells,
+            "unrecoverable_cells": s.unrecoverable_cells,
             "skipped_updates": s.skipped_updates,
             "vectors_emitted": s.vectors_emitted,
+            "failovers": self.failovers,
+            "restarts": self.restarts,
+            "rerouted_events": self.rerouted_events,
+            "fg_resyncs": self.fg_resyncs,
+            "demoted_vectors": self.demoted_vectors,
+            "residual_vectors": len(self._residual),
             "cells_per_nic": {str(i): c
                               for i, c in enumerate(self.cells_per_nic())},
         }

@@ -186,6 +186,7 @@ class MGPVCache:
         self._fg_owner_slot: list[int | None] = (
             [None] * self.config.fg_table_size)
         self._aging_cursor = 0
+        self._long_allowed: int | None = None   # fault-injected squeeze
         self._now = 0
         # Occupancy-time integrals for buffer-efficiency reporting (Fig 14).
         self._occ_samples = 0
@@ -288,6 +289,26 @@ class MGPVCache:
         """Configured SRAM footprint (Fig 13's memory axis)."""
         return self.config.sram_bytes
 
+    def fg_entry(self, index: int) -> tuple | None:
+        """Current key of FG-table slot ``index`` — the authoritative
+        copy a lost sync is re-fetched from (link retransmission)."""
+        if 0 <= index < self.config.fg_table_size:
+            return self._fg_keys[index]
+        return None
+
+    def squeeze_long_buffers(self, keep_fraction: float) -> None:
+        """Fault injection: clamp the usable long-buffer pool to
+        ``keep_fraction`` of the configured count.  Buffers already in
+        use stay valid; new allocations fail while usage is at or above
+        the clamp, raising buffer-fill-up pressure."""
+        if not 0.0 <= keep_fraction <= 1.0:
+            raise ValueError("keep_fraction must be in [0, 1]")
+        self._long_allowed = int(self.config.n_long * keep_fraction)
+
+    def release_long_buffers(self) -> None:
+        """Lift a :meth:`squeeze_long_buffers` clamp."""
+        self._long_allowed = None
+
     # -- internals -----------------------------------------------------------
 
     def _resolve_fg(self, fg_key: tuple, inserting_slot: int
@@ -329,7 +350,9 @@ class MGPVCache:
             return events
         entry.short.append(cell)
         if len(entry.short) >= cfg.short_size:
-            if self._long_stack:
+            allowed = (self._long_allowed is None
+                       or self.long_buffers_in_use < self._long_allowed)
+            if self._long_stack and allowed:
                 entry.long_idx = self._long_stack.pop()
                 self.stats.long_allocs += 1
             else:

@@ -1,0 +1,56 @@
+"""Chaos-suite fixtures.
+
+Every test module here carries ``pytestmark = pytest.mark.chaos`` so CI
+can run the fault-injection suite as its own job.  When that job sets
+``CHAOS_DUMP_DIR``, tests dump their counter ledgers there via the
+:func:`chaos_dump` fixture — the job uploads the directory as an
+artifact on failure, so a red chaos run ships its evidence.
+"""
+
+import os
+
+import pytest
+
+from repro import pktstream
+from repro.core.compiler import PolicyCompiler
+from repro.core.observe import render_counters
+from repro.switchsim.mgpv import MGPVConfig
+
+
+@pytest.fixture()
+def chaos_dump(request):
+    """Callable ``dump(counters, name=None)`` writing a render_counters
+    ledger into $CHAOS_DUMP_DIR (no-op when the variable is unset).
+    Call it right after driving the dataplane, before asserting, so a
+    failing test still leaves its dump behind."""
+    def dump(counters, name=None):
+        out_dir = os.environ.get("CHAOS_DUMP_DIR")
+        if not out_dir:
+            return
+        os.makedirs(out_dir, exist_ok=True)
+        fname = (name or request.node.name) + ".txt"
+        with open(os.path.join(out_dir, fname), "w") as fh:
+            fh.write(render_counters(counters))
+            fh.write("\n")
+    return dump
+
+
+@pytest.fixture()
+def flow_policy():
+    """Per-flow sum/max: single granularity, so a demoted orphan keeps
+    its flow key and vector equality against a clean run is exact."""
+    return (pktstream().groupby("flow")
+            .reduce("size", ["f_sum", "f_max"]).collect("flow"))
+
+
+@pytest.fixture()
+def compiled_flow_policy(flow_policy):
+    return PolicyCompiler().compile(flow_policy)
+
+
+@pytest.fixture()
+def small_mgpv():
+    """A tiny cache: buffer pressure forces mid-stream evictions, so
+    the NICs hold per-group state when a mid-trace fault hits (with the
+    default sizing most records only cross the link at flush)."""
+    return MGPVConfig(n_short=32, n_long=16)

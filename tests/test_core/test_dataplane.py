@@ -181,6 +181,16 @@ class TestSwitchNICLink:
             LinkConfig(drop_kind="bursty")
         with pytest.raises(ValueError):
             LinkConfig(bandwidth_gbps=0)
+        with pytest.raises(ValueError, match="capacity_records"):
+            LinkConfig(capacity_records=0)
+        with pytest.raises(ValueError, match="seed"):
+            LinkConfig(seed=-1)
+        with pytest.raises(ValueError, match="retransmit_retries"):
+            LinkConfig(retransmit_retries=-1)
+        with pytest.raises(ValueError, match="retransmit_backoff_ns"):
+            LinkConfig(retransmit_backoff_ns=-1.0)
+        with pytest.raises(ValueError, match="retransmit_request_bytes"):
+            LinkConfig(retransmit_request_bytes=-1)
 
     def test_unattached_link_reports_zero_ratio(self):
         link = SwitchNICLink(SuperFE(flow_policy()).mgpv_config)

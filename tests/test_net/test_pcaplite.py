@@ -5,7 +5,11 @@ import struct
 import pytest
 
 from repro.net.packet import PROTO_ICMP, PROTO_TCP, PROTO_UDP, Packet
-from repro.net.pcaplite import read_pcap, write_pcap
+from repro.net.pcaplite import (
+    TruncatedPcapWarning,
+    read_pcap,
+    write_pcap,
+)
 from repro.net.trace import generate_trace
 
 
@@ -69,13 +73,35 @@ def test_truncated_header(tmp_path):
         read_pcap(str(path))
 
 
-def test_truncated_record_is_dropped(tmp_path):
-    pkts = [Packet(1, 100, 1, 2, 1, 2, PROTO_TCP)]
+def test_truncated_record_warns_and_keeps_prefix(tmp_path):
+    """A cut mid-data drops only the final record, with a warning."""
+    pkts = [Packet(1, 100, 1, 2, 1, 2, PROTO_TCP),
+            Packet(2, 100, 3, 4, 5, 6, PROTO_TCP)]
     path = tmp_path / "trunc.pcap"
     write_pcap(str(path), pkts)
     data = path.read_bytes()
     path.write_bytes(data[:-5])
-    assert read_pcap(str(path)) == []
+    with pytest.warns(TruncatedPcapWarning, match="captured bytes"):
+        back = read_pcap(str(path))
+    assert len(back) == 1
+    assert back[0].src_ip == 1
+
+
+def test_truncated_record_header_warns_and_keeps_prefix(tmp_path):
+    """A cut mid-record-header keeps the complete records before it."""
+    pkts = [Packet(1, 100, 1, 2, 1, 2, PROTO_TCP),
+            Packet(2, 100, 3, 4, 5, 6, PROTO_TCP)]
+    path = tmp_path / "trunc_hdr.pcap"
+    write_pcap(str(path), pkts)
+    data = path.read_bytes()
+    # Cut inside the second record's 16-byte header: keep the global
+    # header, the full first record, and 7 stray header bytes.
+    first_record_end = 24 + 16 + (len(data) - 24 - 2 * 16) // 2
+    path.write_bytes(data[:first_record_end + 7])
+    with pytest.warns(TruncatedPcapWarning, match="record header"):
+        back = read_pcap(str(path))
+    assert len(back) == 1
+    assert back[0].src_ip == 1
 
 
 def test_microsecond_pcap_read(tmp_path):

@@ -49,11 +49,16 @@ class TestConsumption:
         assert len(vectors) == 1
         assert vectors[0].values.tolist() == [150.0, 100.0]
 
-    def test_orphan_cells_counted_not_crashed(self):
+    def test_orphan_cells_demoted_to_degraded_cg_vector(self):
         engine = FeatureEngine(flow_policy())
         engine.consume(record((1, 2, 10, 20, 6), [(42, (100, 0))]))
         assert engine.stats.orphan_cells == 1
-        assert engine.finalize() == []
+        assert engine.stats.degraded_cells == 1
+        vectors = engine.finalize()
+        assert len(vectors) == 1
+        assert vectors[0].degraded
+        assert vectors[0].key == (1, 2, 10, 20, 6)
+        assert vectors[0].values.tolist() == [100.0, 100.0]
 
     def test_unknown_event_type(self):
         with pytest.raises(TypeError):
