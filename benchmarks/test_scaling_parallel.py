@@ -1,0 +1,60 @@
+"""Scaling benchmark of the shard-parallel extraction executor.
+
+Two claims:
+
+1. **Equivalence** — the parallel backends are bit-identical
+   (order-normalized) to the serial NIC cluster at every worker count.
+   Asserted unconditionally: it holds regardless of host parallelism.
+2. **Speedup** — the process backend reaches >= 2x serial packets/sec at
+   4 workers.  Only meaningful with real cores underneath, so the
+   assertion is gated on ``os.cpu_count() >= 4`` (the CI runners
+   qualify); the measured numbers are recorded either way.
+
+The run also rewrites ``BENCH_parallel.json`` at the repo root — the
+committed baseline artifact the CI bench job uploads.
+"""
+
+import json
+import os
+import pathlib
+
+from conftest import run_once
+
+from repro.bench.parallel import run_scaling
+from repro.bench.tables import Table
+
+BENCH_JSON = pathlib.Path(__file__).parent.parent / "BENCH_parallel.json"
+
+
+def test_parallel_scaling(benchmark, report):
+    record = run_once(benchmark, lambda: run_scaling(
+        n_flows=400, n_nics=4, worker_counts=(1, 2, 4),
+        backend="process"))
+
+    table = Table(
+        "Shard-parallel executor — packets/sec vs workers "
+        f"(cpu_count={record['cpu_count']})",
+        ["Workers", "pps", "Speedup", "Equivalent"])
+    table.add_row("serial", record["serial"]["pps"], 1.0, True)
+    for run in record["runs"]:
+        table.add_row(str(run["workers"]), run["pps"], run["speedup"],
+                      run["equivalent"])
+    report("scaling_parallel", table.render())
+    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+
+    assert record["equivalent"], (
+        "parallel vectors diverged from the serial baseline: "
+        f"{[r for r in record['runs'] if not r['equivalent']]}")
+    assert record["n_vectors"] > 0
+
+    if (os.cpu_count() or 1) >= 4:
+        at4 = next(r for r in record["runs"] if r["workers"] == 4)
+        assert at4["speedup"] >= 2.0, (
+            f"expected >= 2x at 4 workers on a "
+            f"{os.cpu_count()}-core host, got {at4['speedup']:.2f}x")
+
+
+def test_thread_backend_equivalence(benchmark):
+    record = run_once(benchmark, lambda: run_scaling(
+        n_flows=150, n_nics=3, worker_counts=(2,), backend="thread"))
+    assert record["equivalent"]

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.apps import build_policy
 from repro.apps.detectors import Autoencoder, DecisionTree, roc_auc
-from repro.core.pipeline import SuperFE
+import repro.api as api
 from repro.net.scenarios import p2p_botnet_scenario
 
 
@@ -26,7 +26,7 @@ def main() -> None:
 
     # --- PeerShark: per-channel conversation features + decision tree.
     peershark = build_policy("PeerShark")
-    result = SuperFE(peershark).run(scenario.packets)
+    result = api.compile(peershark).run(scenario.packets)
     x, y = [], []
     for vec in result.vectors:
         src, dst = vec.key
@@ -43,7 +43,7 @@ def main() -> None:
 
     # --- N-BaIoT: per-packet damped features + autoencoder RMSE.
     nbaiot = build_policy("N-BaIoT")
-    res2 = SuperFE(nbaiot).run(scenario.packets)
+    res2 = api.compile(nbaiot).run(scenario.packets)
     vec_by_key: dict = {}
     for vec in res2.vectors:
         vec_by_key.setdefault(tuple(vec.key), []).append(vec.values)

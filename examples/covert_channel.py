@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.apps import build_policy
 from repro.apps.detectors import DecisionTree, precision_recall_f1
-from repro.core.pipeline import SuperFE
+import repro.api as api
 from repro.net.scenarios import covert_channel_scenario
 
 
@@ -31,7 +31,7 @@ def main() -> None:
         flow_label[key] = max(flow_label.get(key, 0), int(lab))
 
     policy = build_policy("NPOD")
-    result = SuperFE(policy).run(scenario.packets)
+    result = api.compile(policy).run(scenario.packets)
     x, y = [], []
     for vec in result.vectors:
         key = tuple(vec.key)

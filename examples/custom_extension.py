@@ -9,7 +9,8 @@ Micro-C programs the policy engine generates.
 Run:  python examples/custom_extension.py
 """
 
-from repro import SuperFE, pktstream
+import repro.api as api
+from repro import pktstream
 from repro.codegen import generate_microc, generate_p4
 from repro.core.functions import REDUCE_FNS, register_reduce_fn
 from repro.net.trace import generate_trace
@@ -54,7 +55,7 @@ def main() -> None:
     )
     print(policy.pretty())
 
-    fe = SuperFE(policy)
+    fe = api.compile(policy)
     result = fe.run(generate_trace("CAMPUS", n_flows=200, seed=4))
     mat = result.to_matrix()
     print(f"\n{mat.shape[0]} vectors, features: "

@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.apps import build_policy
 from repro.apps.detectors import KitNET, precision_recall_f1, roc_auc
-from repro.core.pipeline import SuperFE
+import repro.api as api
 from repro.net.scenarios import mirai_scenario
 
 
@@ -23,7 +23,7 @@ def packet_vectors_in_order(policy, packets) -> np.ndarray:
     packets by matching each packet's socket key to its group's k-th
     emitted vector.
     """
-    result = SuperFE(policy).run(packets)
+    result = api.compile(policy).run(packets)
     by_key: dict = {}
     for vec in result.vectors:
         by_key.setdefault(tuple(vec.key), []).append(vec.values)

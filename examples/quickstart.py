@@ -6,8 +6,8 @@ computation), and inspect the results.
 Run:  python examples/quickstart.py
 """
 
-from repro import SuperFE, pktstream
-from repro.core.software import SoftwareExtractor
+import repro.api as api
+from repro import pktstream
 from repro.net.trace import generate_trace, trace_stats
 
 
@@ -35,8 +35,8 @@ def main() -> None:
     print(f"\nTrace: {stats.n_packets} packets, {stats.n_flows} flows, "
           f"{stats.mean_pkt_size:.0f} B/pkt")
 
-    # 3. Run the full pipeline.
-    fe = SuperFE(policy)
+    # 3. Compile and run the full pipeline.
+    fe = api.compile(policy)
     result = fe.run(packets)
     matrix = result.to_matrix()
     print(f"\nExtracted {len(result)} feature vectors of dimension "
@@ -47,7 +47,7 @@ def main() -> None:
           f"({1 - result.switch_stats.aggregation_ratio_bytes:.1%} saved)")
 
     # 4. Cross-check against the unbatched software reference.
-    reference = SoftwareExtractor(policy).run(packets)
+    reference = fe.baseline().run(packets)
     hw, sw = result.by_key(), reference.by_key()
     common = sorted(set(hw) & set(sw))
     worst = max(

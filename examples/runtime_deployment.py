@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Operating SuperFE as a long-running service (the control plane, §7).
 
-Feeds traffic in batches to a :class:`SuperFERuntime`, polls data-plane
+Feeds traffic in batches to a deployed runtime, polls data-plane
 counters between batches, retunes the aging timeout live, collects
 vectors of completed (idle) flows, installs a filter rule at runtime,
 and hot-swaps the policy without losing in-flight metadata.
@@ -9,13 +9,13 @@ and hot-swaps the policy without losing in-flight metadata.
 Run:  python examples/runtime_deployment.py
 """
 
+import repro.api as api
 from repro.apps import build_policy
-from repro.core.runtime import SuperFERuntime
 from repro.net.trace import generate_trace
 
 
 def main() -> None:
-    runtime = SuperFERuntime(build_policy("NPOD"))
+    runtime = api.compile(build_policy("NPOD")).deploy()
     packets = generate_trace("ENTERPRISE", n_flows=600, seed=13)
     batches = [packets[i:i + 2000] for i in range(0, len(packets), 2000)]
     print(f"Deployment: NPOD policy, {len(packets)} packets in "

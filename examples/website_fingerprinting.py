@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.apps import build_policy
 from repro.apps.detectors import EmbeddingClassifier, KNNClassifier
-from repro.core.pipeline import SuperFE
+import repro.api as api
 from repro.net.scenarios import website_traces
 
 
@@ -22,7 +22,7 @@ def extract_per_visit(policy, visits):
     canonical 5-tuple keys the vector."""
     features, labels = [], []
     all_packets = [p for visit in visits for p in visit.packets]
-    result = SuperFE(policy).run(all_packets)
+    result = api.compile(policy).run(all_packets)
     by_key = {tuple(v.key): v.values for v in result.vectors}
     for visit in visits:
         ft = visit.packets[0].flow_key

@@ -14,7 +14,8 @@ The public API mirrors the paper's architecture:
 
 Quickstart::
 
-    from repro import pktstream, SuperFE
+    import repro.api as api
+    from repro import pktstream
     from repro.net.trace import generate_trace
 
     policy = (
@@ -26,16 +27,22 @@ Quickstart::
         .reduce("size", ["f_mean", "f_var", "f_min", "f_max"])
         .collect("flow")
     )
-    fe = SuperFE(policy)
-    vectors = fe.run(generate_trace("ENTERPRISE", n_flows=200, seed=1))
+    ex = api.compile(policy)
+    result = ex.run(generate_trace("ENTERPRISE", n_flows=200, seed=1))
 """
 
-from repro.core.policy import Policy, pktstream
+from repro import api
+from repro.api import Extractor
+from repro.core.policy import Policy, PolicyError, pktstream
 from repro.core.pipeline import SuperFE, ExtractionResult
-from repro.core.compiler import PolicyCompiler, CompiledPolicy, PolicyError
+from repro.core.compiler import PolicyCompiler, CompiledPolicy
 from repro.core.dataplane import Dataplane, LinkConfig
+from repro.core.parallel import ExecutionConfig
 
 __all__ = [
+    "api",
+    "Extractor",
+    "ExecutionConfig",
     "Policy",
     "pktstream",
     "SuperFE",
@@ -47,4 +54,4 @@ __all__ = [
     "LinkConfig",
 ]
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

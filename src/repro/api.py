@@ -1,0 +1,228 @@
+"""The single entry point for building SuperFE extractors.
+
+Every deployment — hardware pipeline, NIC cluster, shard-parallel
+executor, software baseline — is built the same way::
+
+    import repro.api as api
+
+    ex = api.compile(policy, n_nics=4, workers=4, backend="process")
+    result = ex.run(packets)          # one-shot extraction
+    for vectors in ex.stream(live):   # incremental extraction
+        consume(vectors)
+
+    ref = ex.baseline().run(packets)  # the software oracle, same policy
+
+:func:`compile` resolves the deployment shape once and returns an
+:class:`Extractor`; the underlying :class:`~repro.core.pipeline.SuperFE`
+/ :class:`~repro.core.software.SoftwareExtractor` /
+:class:`~repro.core.runtime.SuperFERuntime` classes are implementation
+detail (direct construction is deprecated).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.core.parallel import BACKENDS, ExecutionConfig
+from repro.core.pipeline import ExtractionResult, SuperFE
+from repro.core.policy import Policy
+from repro.core.software import SoftwareExtractor
+from repro.nicsim.engine import FeatureVector
+
+__all__ = ["Extractor", "compile"]
+
+
+def _resolve_execution(execution, backend, workers) -> ExecutionConfig | None:
+    """One ExecutionConfig from whichever spelling the caller used."""
+    if execution is not None:
+        if backend is not None or workers is not None:
+            raise ValueError(
+                "pass either execution= or backend=/workers=, not both")
+        return execution
+    if backend is None and workers is None:
+        return None                     # Dataplane.build falls back to env
+    if backend is None:
+        backend = "process" if (workers or 1) > 1 else "serial"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r} (have {', '.join(BACKENDS)})")
+    return ExecutionConfig(workers=workers if workers is not None else 1,
+                           backend=backend)
+
+
+def compile(policy: Policy, *,
+            software: bool = False,
+            n_nics: int = 1,
+            workers: int | None = None,
+            backend: str | None = None,
+            execution: ExecutionConfig | None = None,
+            division_free: bool | None = None,
+            mgpv_config=None,
+            link_config=None,
+            fault_plan=None,
+            use_placement: bool = True,
+            table_indices: int | None = None,
+            table_width: int | None = None) -> "Extractor":
+    """Compile a policy into a ready-to-run :class:`Extractor`.
+
+    ``software=True`` selects the unbatched full-precision baseline
+    path (ignores the hardware-only knobs).  ``n_nics > 1`` terminates
+    the graph in the hash-steered NIC cluster; adding ``workers`` /
+    ``backend`` (or a full :class:`ExecutionConfig`) runs the cluster
+    shards on the parallel executor.  ``division_free`` defaults to the
+    path's native arithmetic (integer on hardware, float in software).
+    """
+    if not isinstance(policy, Policy):
+        raise TypeError(f"policy must be a Policy, got "
+                        f"{type(policy).__name__}")
+    exec_cfg = _resolve_execution(execution, backend, workers)
+    if software:
+        if n_nics != 1:
+            raise ValueError("software=True is the single-host baseline "
+                             "— it has no NIC cluster (n_nics must be 1)")
+        if exec_cfg is not None and exec_cfg.is_parallel:
+            raise ValueError("software=True has no shard-parallel "
+                             "executor (drop workers=/backend=)")
+        impl = SoftwareExtractor(
+            policy,
+            division_free=(False if division_free is None
+                           else division_free),
+            table_indices=(65536 if table_indices is None
+                           else table_indices),
+            table_width=64 if table_width is None else table_width,
+            _internal=True)
+    else:
+        impl = SuperFE(
+            policy,
+            mgpv_config=mgpv_config,
+            division_free=(True if division_free is None
+                           else division_free),
+            use_placement=use_placement,
+            table_indices=(4096 if table_indices is None
+                           else table_indices),
+            table_width=4 if table_width is None else table_width,
+            n_nics=n_nics,
+            link_config=link_config,
+            fault_plan=fault_plan,
+            execution=exec_cfg,
+            _internal=True)
+    return Extractor(impl, policy, software=software)
+
+
+class Extractor:
+    """A compiled, deployable feature extractor.
+
+    Built by :func:`compile`; wraps whichever pipeline the configuration
+    selected and exposes one uniform surface:
+
+    - :meth:`run` — one-shot batch extraction;
+    - :meth:`stream` — incremental extraction over a (possibly endless)
+      packet source;
+    - :meth:`baseline` — the software oracle for the same policy;
+    - :meth:`deploy` — a continuously running control-plane runtime;
+    - :meth:`manifests` / :meth:`dataplane` — introspection.
+    """
+
+    def __init__(self, impl, policy: Policy, *, software: bool) -> None:
+        self._impl = impl
+        self.policy = policy
+        self.software = software
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def compiled(self):
+        return self._impl.compiled
+
+    @property
+    def feature_names(self) -> list[str]:
+        return self._impl.compiled.feature_names
+
+    @property
+    def mgpv_config(self):
+        """The sized MGPV cache configuration (None on the software
+        path, which has no switch cache)."""
+        return getattr(self._impl, "mgpv_config", None)
+
+    def manifests(self) -> tuple[str, str]:
+        """The generated FE-Switch / FE-NIC program summaries."""
+        return (self._impl.compiled.switch_manifest(),
+                self._impl.compiled.nic_manifest())
+
+    def dataplane(self):
+        """Wire (and return) a fresh dataplane graph for this
+        deployment; callers own its lifecycle (call ``close()``)."""
+        return self._impl.dataplane()
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, trace) -> ExtractionResult:
+        """Extract feature vectors from a packet trace, one shot."""
+        return self._impl.run(trace)
+
+    def stream(self, packets: Iterable,
+               batch_size: int = 1024) -> Iterator[list[FeatureVector]]:
+        """Incrementally extract from a packet source.
+
+        Feeds ``packets`` through a live dataplane in ``batch_size``
+        chunks, yielding the vectors each chunk completed (per-packet
+        policies emit as they go; per-group policies emit everything in
+        the final flush).  The dataplane is closed when the generator
+        finishes or is dropped.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        dataplane = self._impl.dataplane()
+        try:
+            chunk: list = []
+            for pkt in packets:
+                chunk.append(pkt)
+                if len(chunk) >= batch_size:
+                    out = dataplane.process(chunk)
+                    chunk = []
+                    if out:
+                        yield out
+            if chunk:
+                out = dataplane.process(chunk)
+                if out:
+                    yield out
+            final = dataplane.flush()
+            if final:
+                yield final
+        finally:
+            dataplane.close()
+
+    # -- derived deployments ----------------------------------------------
+
+    def baseline(self) -> "Extractor":
+        """The software-path oracle for the same policy (Fig 9/10
+        comparisons): unbatched, full floating-point precision."""
+        if self.software:
+            return self
+        return compile(self.policy, software=True)
+
+    def deploy(self, **overrides):
+        """A continuously running deployment (control-plane verbs:
+        ``process`` / ``poll_counters`` / ``hot_swap`` ...).  Hardware
+        path only; the runtime is single-engine, so the cluster and
+        executor knobs do not carry over."""
+        if self.software:
+            raise ValueError("software baseline has no runtime "
+                             "deployment")
+        from repro.core.runtime import SuperFERuntime
+        impl = self._impl
+        kwargs = dict(
+            mgpv_config=impl.mgpv_config,
+            division_free=impl.ctx.division_free,
+            table_indices=impl._table_indices,
+            table_width=impl._table_width,
+            link_config=impl.link_config,
+            fault_plan=impl.fault_plan,
+        )
+        kwargs.update(overrides)
+        return SuperFERuntime(self.policy, _internal=True, **kwargs)
+
+    def __repr__(self) -> str:
+        kind = "software" if self.software else "superfe"
+        return (f"Extractor({kind}, "
+                f"features={len(self.feature_names)})")

@@ -186,8 +186,10 @@ def extract_three_ways(packets: list[Packet]) -> tuple[dict, dict, dict]:
     returns (standard, superfe, original) per-group vector sequences."""
     policy = kitsune_policy()
     standard = _vectors_by_key(
-        SoftwareExtractor(policy, division_free=False).run(packets).vectors)
-    superfe = _vectors_by_key(SuperFE(policy).run(packets).vectors)
+        SoftwareExtractor(policy, division_free=False, _internal=True)
+        .run(packets).vectors)
+    superfe = _vectors_by_key(
+        SuperFE(policy, _internal=True).run(packets).vectors)
     original = OriginalKitsuneExtractor().run(packets)
     return standard, superfe, original
 

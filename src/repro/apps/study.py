@@ -42,10 +42,10 @@ def extract_aligned_features(policy: Policy, packets: list[Packet],
     small number of cells).
     """
     if extractor == "superfe":
-        fe = SuperFE(policy, n_nics=n_nics)
+        fe = SuperFE(policy, n_nics=n_nics, _internal=True)
     elif extractor == "software":
         from repro.core.software import SoftwareExtractor
-        fe = SoftwareExtractor(policy)
+        fe = SoftwareExtractor(policy, _internal=True)
     else:
         raise ValueError(f"unknown extractor {extractor!r}")
     result = fe.run(packets)

@@ -3,6 +3,7 @@ paper's presentation, and sweep drivers shared by the benchmarks/."""
 
 from repro.bench.tables import Table, format_series
 from repro.bench.runner import app_pipeline_metrics, PipelineMetrics
+from repro.bench.parallel import run_scaling, vectors_checksum
 
 __all__ = ["Table", "format_series", "app_pipeline_metrics",
-           "PipelineMetrics"]
+           "PipelineMetrics", "run_scaling", "vectors_checksum"]

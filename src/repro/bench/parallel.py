@@ -1,0 +1,115 @@
+"""Shard-parallel executor scaling benchmark.
+
+Measures end-to-end extraction throughput (packets/sec) of one
+compute-heavy policy over an ENTERPRISE trace, first on the classic
+serial NIC cluster and then on the parallel executor at increasing
+worker counts, and checks the parallel runs are bit-identical
+(order-normalized) to the serial baseline via a vector checksum.
+
+The result dict is what ``python -m repro bench-parallel`` serializes to
+``BENCH_parallel.json``; ``benchmarks/test_scaling_parallel.py`` asserts
+over the same dict.  Speedup numbers are meaningful only on multi-core
+hosts, so ``cpu_count`` is recorded alongside.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+
+import repro.api as api
+from repro.core.policy import Policy, pktstream
+from repro.net.trace import generate_trace
+
+
+def scaling_policy() -> Policy:
+    """A reduce-heavy flow policy: enough per-event arithmetic that the
+    NIC engines, not the switch stage, dominate the run."""
+    return (
+        pktstream()
+        .filter("tcp.exist")
+        .groupby("flow")
+        .map("one", None, "f_one")
+        .map("ipt", "tstamp", "f_ipt")
+        .reduce("one", ["f_sum"])
+        .reduce("size", ["f_mean", "f_var", "f_min", "f_max"])
+        .reduce("ipt", ["f_mean", "f_var", "f_min", "f_max"])
+        .collect("flow")
+    )
+
+
+def vectors_checksum(vectors) -> str:
+    """Order-normalized digest of a vector set: identical iff the two
+    runs produced the same keys, values (bitwise), and degraded flags."""
+    digest = hashlib.sha256()
+    rows = sorted(
+        (repr(tuple(v.key)).encode(), v.values.tobytes(),
+         b"d" if v.degraded else b"-")
+        for v in vectors)
+    for key, values, flag in rows:
+        digest.update(key)
+        digest.update(values)
+        digest.update(flag)
+    return digest.hexdigest()
+
+
+def _timed_run(extractor, packets) -> tuple[float, str, int]:
+    start = time.perf_counter()
+    result = extractor.run(packets)
+    elapsed = time.perf_counter() - start
+    return elapsed, vectors_checksum(result.vectors), len(result.vectors)
+
+
+def run_scaling(n_flows: int = 400,
+                n_nics: int = 4,
+                worker_counts=(1, 2, 4),
+                backend: str = "process",
+                trace_profile: str = "ENTERPRISE",
+                seed: int = 17) -> dict:
+    """Serial baseline + one parallel run per worker count.
+
+    Returns the benchmark record: per-run seconds / packets-per-second /
+    checksum, speedups relative to serial, and the overall
+    ``equivalent`` verdict (every parallel checksum equals serial's).
+    """
+    policy = scaling_policy()
+    packets = generate_trace(trace_profile, n_flows=n_flows, seed=seed)
+    n_packets = len(packets)
+
+    serial_s, serial_sum, n_vectors = _timed_run(
+        api.compile(policy, n_nics=n_nics), packets)
+
+    runs = []
+    for workers in worker_counts:
+        elapsed, checksum, _ = _timed_run(
+            api.compile(policy, n_nics=n_nics, workers=workers,
+                        backend=backend),
+            packets)
+        runs.append({
+            "workers": workers,
+            "seconds": round(elapsed, 4),
+            "pps": round(n_packets / elapsed, 1),
+            "speedup": round(serial_s / elapsed, 3),
+            "checksum": checksum,
+            "equivalent": checksum == serial_sum,
+        })
+
+    return {
+        "bench": "parallel_scaling",
+        "cpu_count": os.cpu_count(),
+        "trace": trace_profile,
+        "n_flows": n_flows,
+        "n_packets": n_packets,
+        "n_vectors": n_vectors,
+        "n_nics": n_nics,
+        "backend": backend,
+        "serial": {
+            "seconds": round(serial_s, 4),
+            "pps": round(n_packets / serial_s, 1),
+            "checksum": serial_sum,
+        },
+        "runs": runs,
+        "equivalent": all(r["equivalent"] for r in runs),
+        "max_speedup": max((r["speedup"] for r in runs), default=0.0),
+    }

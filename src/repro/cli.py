@@ -8,6 +8,9 @@ Subcommands::
     python -m repro extract --app NPOD --pcap t.pcap --out features.csv
     python -m repro extract --app NPOD --trace ENTERPRISE --flows 300 \
         --out features.csv --software
+    python -m repro extract --app NPOD --trace ENTERPRISE \
+        --out features.csv --nics 4 --workers 4 --exec-backend process
+    python -m repro bench-parallel --out BENCH_parallel.json
 
 ``extract`` writes one CSV row per feature vector: the group key columns
 followed by the feature values (header included).
@@ -19,11 +22,11 @@ import argparse
 import csv
 import sys
 
+import repro.api as api
 from repro.apps import APP_POLICIES, build_policy
 from repro.core.faults import FaultPlan, FaultPlanError
 from repro.core.observe import degradation_report, render_counters
-from repro.core.pipeline import SuperFE
-from repro.core.software import SoftwareExtractor
+from repro.core.parallel import BACKENDS
 from repro.net.packet import int_to_ip
 from repro.net.pcaplite import read_pcap, write_pcap
 from repro.net.trace import TRACE_PROFILES, generate_trace
@@ -39,8 +42,8 @@ def _cmd_apps(args) -> int:
 
 
 def _cmd_manifest(args) -> int:
-    fe = SuperFE(build_policy(args.app))
-    switch, nic = fe.manifests()
+    ex = api.compile(build_policy(args.app))
+    switch, nic = ex.manifests()
     print(switch)
     print()
     print(nic)
@@ -49,11 +52,11 @@ def _cmd_manifest(args) -> int:
 
 def _cmd_codegen(args) -> int:
     from repro.codegen import generate_microc, generate_p4
-    fe = SuperFE(build_policy(args.app))
+    ex = api.compile(build_policy(args.app))
     if args.target == "p4":
-        source = generate_p4(fe.compiled, fe.mgpv_config)
+        source = generate_p4(ex.compiled, ex.mgpv_config)
     else:
-        source = generate_microc(fe.compiled)
+        source = generate_microc(ex.compiled)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(source)
@@ -102,6 +105,14 @@ def _cmd_extract(args) -> int:
         print("--faults needs the hardware path; drop --software",
               file=sys.stderr)
         return 2
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 2
+    if args.software and (args.workers > 1 or args.exec_backend):
+        print("--workers/--exec-backend need the hardware path; drop "
+              "--software", file=sys.stderr)
+        return 2
     fault_plan = None
     if args.faults:
         try:
@@ -115,9 +126,13 @@ def _cmd_extract(args) -> int:
         packets = generate_trace(args.trace, n_flows=args.flows,
                                  seed=args.seed)
     policy = build_policy(args.app)
-    extractor = (SoftwareExtractor(policy) if args.software
-                 else SuperFE(policy, n_nics=args.nics,
-                              fault_plan=fault_plan))
+    if args.software:
+        extractor = api.compile(policy, software=True)
+    else:
+        extractor = api.compile(
+            policy, n_nics=args.nics, fault_plan=fault_plan,
+            workers=args.workers if args.workers > 1 else None,
+            backend=args.exec_backend)
     try:
         result = extractor.run(packets)
     except FaultPlanError as exc:
@@ -152,6 +167,32 @@ def _cmd_extract(args) -> int:
             degradation_report(result.dataplane.counters()),
             title="chaos report (injected / recovered / degraded)"))
     return 0
+
+
+def _cmd_bench_parallel(args) -> int:
+    import json
+
+    from repro.bench.parallel import run_scaling
+    workers = sorted({int(w) for w in args.workers.split(",")})
+    if any(w < 1 for w in workers):
+        print(f"--workers must all be >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 2
+    record = run_scaling(n_flows=args.flows, n_nics=args.nics,
+                         worker_counts=workers,
+                         backend=args.exec_backend,
+                         trace_profile=args.trace, seed=args.seed)
+    with open(args.out, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(f"serial: {record['serial']['pps']:,.0f} pps over "
+          f"{record['n_packets']} packets / {record['n_nics']} NICs")
+    for run in record["runs"]:
+        marker = "==" if run["equivalent"] else "!="
+        print(f"{run['workers']} workers: {run['pps']:,.0f} pps "
+              f"({run['speedup']:.2f}x, checksum {marker} serial)")
+    print(f"wrote {args.out} (cpu_count={record['cpu_count']})")
+    return 0 if record["equivalent"] else 1
 
 
 def _cmd_report(args) -> int:
@@ -199,6 +240,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True)
     p.set_defaults(func=_cmd_gen_trace)
 
+    p = sub.add_parser("bench-parallel",
+                       help="scaling benchmark of the shard-parallel "
+                            "executor (writes a JSON record)")
+    p.add_argument("--flows", type=int, default=400)
+    p.add_argument("--nics", type=int, default=4)
+    p.add_argument("--workers", default="1,2,4",
+                   help="comma-separated worker counts (default 1,2,4)")
+    p.add_argument("--exec-backend", choices=("thread", "process"),
+                   default="process")
+    p.add_argument("--trace", default="ENTERPRISE")
+    p.add_argument("--seed", type=int, default=17)
+    p.add_argument("--out", default="BENCH_parallel.json")
+    p.set_defaults(func=_cmd_bench_parallel)
+
     p = sub.add_parser("report",
                        help="assemble benchmark results into one report")
     p.add_argument("--results", help="results directory "
@@ -217,6 +272,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="use the unbatched software path")
     p.add_argument("--nics", type=int, default=1,
                    help="terminate in a hash-steered cluster of N NICs")
+    p.add_argument("--workers", type=int, default=1,
+                   help="run cluster shards on N parallel workers")
+    p.add_argument("--exec-backend", choices=BACKENDS, default=None,
+                   help="shard executor backend (default: process when "
+                        "--workers > 1)")
     p.add_argument("--counters", action="store_true",
                    help="print per-stage dataplane counters")
     p.add_argument("--faults",

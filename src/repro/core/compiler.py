@@ -41,6 +41,7 @@ from repro.core.policy import (
     GroupByOp,
     MapOp,
     Policy,
+    PolicyError,
     Predicate,
     ReduceOp,
     SynthesizeOp,
@@ -63,10 +64,6 @@ PACKET_FIELD_BYTES = {
 #: Pseudo-fields resolvable by the switch parser in filter predicates.
 FILTERABLE_FIELDS = set(PACKET_FIELD_BYTES) | {"tcp.exist", "udp.exist"}
 
-
-
-class PolicyError(ValueError):
-    """A policy failed validation or cannot be partitioned."""
 
 
 @dataclass(frozen=True)

@@ -35,6 +35,7 @@ import numpy as np
 from repro.core.compiler import CompiledPolicy
 from repro.core.functions import ExecContext
 from repro.core.observe import Trace
+from repro.core.parallel import ExecutionConfig, ParallelSink, ShardedCluster
 from repro.net.packet import Packet
 from repro.nicsim.engine import FeatureEngine, FeatureVector
 from repro.nicsim.loadbalance import NICCluster
@@ -577,7 +578,7 @@ class Dataplane:
     def __init__(self, filter_stage: FilterStage,
                  switch: MGPVCache | PerfectSwitch,
                  link: SwitchNICLink,
-                 sink: EngineSink | ClusterSink | NullSink,
+                 sink: EngineSink | ClusterSink | ParallelSink | NullSink,
                  compiled: CompiledPolicy,
                  trace: Trace | None = None) -> None:
         self.filter = filter_stage
@@ -608,7 +609,8 @@ class Dataplane:
               software: bool = False,
               compute: bool = True,
               trace: Trace | None = None,
-              fault_plan=None) -> "Dataplane":
+              fault_plan=None,
+              execution: ExecutionConfig | None = None) -> "Dataplane":
         """Wire the Fig 1 graph for a compiled policy.
 
         ``software`` swaps the MGPV cache for the baseline's
@@ -616,10 +618,19 @@ class Dataplane:
         hash-steered :class:`NICCluster`; ``compute=False`` terminates
         in a :class:`NullSink` for switch-side-only measurements;
         ``fault_plan`` attaches a scripted chaos schedule
-        (:class:`repro.core.faults.FaultPlan`).
+        (:class:`repro.core.faults.FaultPlan`); ``execution`` selects
+        how NIC shards run (:class:`repro.core.parallel.
+        ExecutionConfig`) — a thread/process backend with ``n_nics > 1``
+        terminates in the shard-parallel cluster instead of the serial
+        one (a single shard has no parallelism and always runs inline).
+        When ``execution`` is None it is read from the
+        ``SUPERFE_EXEC_BACKEND`` / ``SUPERFE_EXEC_WORKERS`` environment
+        (the CI matrix hook).
         """
         if n_nics < 1:
             raise ValueError(f"n_nics must be >= 1, got {n_nics}")
+        if execution is None:
+            execution = ExecutionConfig.from_env()
         wire = compiled.sized_mgpv_config(mgpv_config)
         filter_stage = FilterStage(list(compiled.switch_filters))
         if software:
@@ -634,10 +645,15 @@ class Dataplane:
                              table_indices=table_indices,
                              table_width=table_width)
         if not compute:
-            sink: EngineSink | ClusterSink | NullSink = NullSink()
+            sink: EngineSink | ClusterSink | ParallelSink | NullSink = \
+                NullSink()
         elif n_nics > 1:
-            sink = ClusterSink(NICCluster(compiled, n_nics,
-                                          **engine_kwargs))
+            if execution is not None and execution.is_parallel:
+                sink = ParallelSink(ShardedCluster(
+                    compiled, n_nics, execution, **engine_kwargs))
+            else:
+                sink = ClusterSink(NICCluster(compiled, n_nics,
+                                              **engine_kwargs))
         else:
             sink = EngineSink(FeatureEngine(compiled, **engine_kwargs))
         dataplane = cls(filter_stage, switch, link, sink, compiled,
@@ -659,9 +675,10 @@ class Dataplane:
             else None
 
     @property
-    def cluster(self) -> NICCluster | None:
-        return self.sink.cluster if isinstance(self.sink, ClusterSink) \
-            else None
+    def cluster(self) -> NICCluster | ShardedCluster | None:
+        if isinstance(self.sink, (ClusterSink, ParallelSink)):
+            return self.sink.cluster
+        return None
 
     @property
     def aggregation_ratio_bytes(self) -> float:
@@ -716,6 +733,15 @@ class Dataplane:
         """Current vectors of all resident groups; does not disturb the
         data path."""
         return self.sink.finalize()
+
+    def close(self) -> None:
+        """Release execution resources (the parallel sink's worker
+        pool).  Serial graphs have none; calling this is always safe.
+        A closed parallel sink keeps serving its last counters and
+        final vectors, so results stay readable after close."""
+        close = getattr(self.sink, "close", None)
+        if close is not None:
+            close()
 
     # -- observability ---------------------------------------------------------
 

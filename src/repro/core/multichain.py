@@ -91,7 +91,7 @@ class MultiChainSuperFE:
     def __init__(self, policy: Policy, **superfe_kwargs) -> None:
         self.policy = policy
         self.sub_policies = partition_policy(policy)
-        self.pipelines = [SuperFE(p, **superfe_kwargs)
+        self.pipelines = [SuperFE(p, _internal=True, **superfe_kwargs)
                           for p in self.sub_policies]
 
     def run(self, packets) -> MultiChainResult:

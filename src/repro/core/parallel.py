@@ -1,0 +1,570 @@
+"""Shard-parallel execution of the NIC cluster (§6, Fig 16).
+
+The paper's scalability story is that feature computation — not the
+switch — is the bottleneck, and that SuperFE buys throughput by sharding
+vector computation across SmartNIC compute units.  This module is that
+substrate for the simulator: the hash-steered shards of
+:class:`~repro.nicsim.loadbalance.NICCluster` are partitioned across a
+worker pool, and the switch→NIC event stream is dispatched to them in
+amortized batches.
+
+Topology::
+
+    coordinator (routing, FG-mirror ledger, failover, merge)
+        │  per-worker FIFO queue, batches of (shard, event)
+        ├── worker 0: FeatureEngine for shards {0, k, 2k, ...}
+        ├── worker 1: FeatureEngine for shards {1, k+1, ...}
+        └── ...
+
+Equivalence argument (the bit-identical guarantee): the serial
+:class:`NICCluster` routes every event to exactly one engine and engines
+share no state.  The coordinator reuses the *same* routing function
+(:func:`~repro.nicsim.loadbalance.route_shard`), each shard is owned by
+exactly one worker, and each worker's queue is strictly FIFO — so every
+engine consumes exactly the event sequence it would have seen serially,
+in the same order.  Merging at drain walks shards in index order, which
+is the serial emission order; residual reconciliation after a failover
+reuses :func:`~repro.nicsim.loadbalance.reconcile_residual`.  The only
+permitted difference is wall-clock interleaving *between* shards, which
+no engine can observe.
+
+Backends:
+
+- ``process`` — a ``multiprocessing`` pool (fork start method: engines
+  and the compiled policy are inherited, never pickled; only events and
+  results cross the queues).
+- ``thread``  — same protocol over ``queue``/``threading``; no speedup
+  under the GIL but exercises the full dispatch machinery cheaply.
+- ``serial``  — inline execution of the same message protocol, for
+  determinism checks of the machinery itself.  (``Dataplane.build``
+  maps ``backend="serial"`` to the classic in-process ``NICCluster``;
+  an inline :class:`ShardedCluster` is only built directly.)
+
+Failover (``fail_nic``) needs no barrier: the crash request rides the
+owner's FIFO queue behind every event routed before the kill, so the
+residual snapshot is exactly the serial one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+import threading
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.compiler import CompiledPolicy
+from repro.core.functions import ExecContext
+from repro.nicsim.engine import EngineStats, FeatureEngine, FeatureVector
+from repro.nicsim.loadbalance import reconcile_residual, route_shard
+from repro.switchsim.mgpv import Event, FGSync, MGPVRecord
+
+BACKENDS = ("serial", "thread", "process")
+
+#: Batches a process worker's inbox may hold before the coordinator's
+#: ``put`` blocks — the dispatch backpressure bound.
+_QUEUE_DEPTH = 128
+_REPLY_TIMEOUT_S = 300.0
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How a dataplane executes its NIC shards.
+
+    ``workers`` is an upper bound — a cluster never spawns more workers
+    than it has shards.  ``dispatch_batch`` is the amortization unit:
+    events accumulate coordinator-side and cross the worker queue in
+    chunks (one pickling round per chunk on the process backend).
+    """
+
+    workers: int = 1
+    backend: str = "serial"
+    dispatch_batch: int = 256
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown execution backend "
+                             f"{self.backend!r}; have {BACKENDS}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.dispatch_batch < 1:
+            raise ValueError(f"dispatch_batch must be >= 1, "
+                             f"got {self.dispatch_batch}")
+
+    @property
+    def is_parallel(self) -> bool:
+        return self.backend != "serial"
+
+    @classmethod
+    def from_env(cls, env=None) -> "ExecutionConfig | None":
+        """Build from ``SUPERFE_EXEC_BACKEND`` / ``SUPERFE_EXEC_WORKERS``
+        (the CI matrix hook); None when the backend variable is unset."""
+        env = os.environ if env is None else env
+        backend = (env.get("SUPERFE_EXEC_BACKEND") or "").strip().lower()
+        if not backend:
+            return None
+        workers = int(env.get("SUPERFE_EXEC_WORKERS") or 0)
+        if workers < 1:
+            workers = os.cpu_count() or 1
+        return cls(workers=workers, backend=backend)
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+class _ShardDriver:
+    """Executes the coordinator's messages against this worker's
+    engines.  One instance per worker; shared verbatim by every backend
+    so the three run identical code."""
+
+    def __init__(self, compiled: CompiledPolicy, ctx: ExecContext | None,
+                 engine_kwargs: dict, shards: tuple[int, ...]) -> None:
+        self.engines = {s: FeatureEngine(compiled, ctx=ctx, **engine_kwargs)
+                        for s in shards}
+        self._pv_cursors = {s: 0 for s in shards}
+
+    def handle(self, msg: tuple) -> tuple[bool, object]:
+        """Returns ``(replied, payload)``; async messages reply False."""
+        kind = msg[0]
+        if kind == "batch":
+            for shard, event in msg[1]:
+                self.engines[shard].consume(event)
+            return False, None
+        if kind == "clock":
+            for engine in self.engines.values():
+                engine.advance_clock(msg[1])
+            return False, None
+        if kind == "crash":
+            return True, self.engines[msg[1]].crash()
+        if kind == "stats":
+            return True, {s: e.stats for s, e in self.engines.items()}
+        if kind == "take_pkt":
+            out = {}
+            for s, e in self.engines.items():
+                vectors = e.packet_vectors
+                out[s] = list(vectors[self._pv_cursors[s]:])
+                self._pv_cursors[s] = len(vectors)
+            return True, out
+        if kind == "finalize":
+            return True, {s: e.finalize() for s, e in self.engines.items()}
+        if kind == "barrier":
+            return True, None
+        raise RuntimeError(f"unknown worker message {kind!r}")
+
+
+def _worker_loop(compiled, ctx, engine_kwargs, shards, inbox, outbox):
+    """Thread/process entry point: drain the FIFO inbox until ``stop``.
+    Errors are reported on the outbox, where the coordinator's next
+    synchronous request surfaces them."""
+    driver = _ShardDriver(compiled, ctx, engine_kwargs, shards)
+    while True:
+        msg = inbox.get()
+        if msg[0] == "stop":
+            break
+        try:
+            replied, payload = driver.handle(msg)
+        except Exception:
+            outbox.put(("error", traceback.format_exc()))
+            continue
+        if replied:
+            outbox.put(("ok", payload))
+
+
+class _InlineWorker:
+    """The serial backend: the same message protocol, executed in the
+    calling thread (determinism checks of the dispatch machinery)."""
+
+    def __init__(self, compiled, ctx, engine_kwargs, shards) -> None:
+        self.shards = shards
+        self._driver = _ShardDriver(compiled, ctx, engine_kwargs, shards)
+        self._replies: deque = deque()
+
+    def post(self, msg: tuple) -> None:
+        replied, payload = self._driver.handle(msg)
+        if replied:
+            self._replies.append(payload)
+
+    def reply(self):
+        return self._replies.popleft()
+
+    def request(self, msg: tuple):
+        self.post(msg)
+        return self.reply()
+
+    def stop(self) -> None:
+        pass
+
+
+class _QueueWorker:
+    """A thread or forked-process worker behind a FIFO message queue."""
+
+    def __init__(self, backend: str, compiled, ctx, engine_kwargs,
+                 shards, index: int) -> None:
+        self.shards = shards
+        self.backend = backend
+        self.name = f"shard-worker-{index}"
+        args = (compiled, ctx, engine_kwargs, shards)
+        if backend == "thread":
+            self.inbox: object = queue_mod.SimpleQueue()
+            self.outbox: object = queue_mod.SimpleQueue()
+            self._handle: object = threading.Thread(
+                target=_worker_loop, args=(*args, self.inbox, self.outbox),
+                name=self.name, daemon=True)
+        else:
+            mp_ctx = _fork_context()
+            self.inbox = mp_ctx.Queue(maxsize=_QUEUE_DEPTH)
+            self.outbox = mp_ctx.Queue()
+            self._handle = mp_ctx.Process(
+                target=_worker_loop, args=(*args, self.inbox, self.outbox),
+                name=self.name, daemon=True)
+        self._handle.start()
+
+    def post(self, msg: tuple) -> None:
+        self.inbox.put(msg)
+
+    def reply(self):
+        deadline = time.monotonic() + _REPLY_TIMEOUT_S
+        while True:
+            try:
+                status, payload = self.outbox.get(timeout=1.0)
+            except queue_mod.Empty:
+                if not self._handle.is_alive():
+                    raise RuntimeError(
+                        f"{self.name} died without replying") from None
+                if time.monotonic() > deadline:
+                    raise RuntimeError(
+                        f"timed out waiting for {self.name}")
+                continue
+            if status == "error":
+                raise RuntimeError(
+                    f"{self.name} failed:\n{payload}")
+            return payload
+
+    def request(self, msg: tuple):
+        self.post(msg)
+        return self.reply()
+
+    def stop(self) -> None:
+        try:
+            self.inbox.put(("stop",))
+        except Exception:
+            pass
+        self._handle.join(timeout=10.0)
+
+
+def _fork_context():
+    """The process backend inherits engines/compiled policy via fork —
+    spawn would have to pickle granularity lambdas, which cannot work."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        raise RuntimeError(
+            "the process execution backend needs the fork start method "
+            "(Linux); use backend='thread' here") from None
+
+
+# ---------------------------------------------------------------------------
+# Coordinator side
+# ---------------------------------------------------------------------------
+
+class _ShardEngineProxy:
+    """Read-only stand-in for ``cluster.engines[i]``: the engine itself
+    lives in a worker, so stat reads quiesce the dispatch path first."""
+
+    def __init__(self, cluster: "ShardedCluster", shard: int) -> None:
+        self._cluster = cluster
+        self.shard = shard
+
+    @property
+    def stats(self) -> EngineStats:
+        return self._cluster._fetch_stats()[self.shard]
+
+    def __repr__(self) -> str:
+        return (f"<_ShardEngineProxy shard={self.shard} "
+                f"of {self._cluster!r}>")
+
+
+class ShardedCluster:
+    """A :class:`~repro.nicsim.loadbalance.NICCluster` whose engines run
+    on a worker pool.  API-compatible with the serial cluster (routing,
+    failover ledger, counters, ``engines[i].stats``), bit-identical in
+    its outputs; see the module docstring for the argument."""
+
+    name = "cluster"
+
+    def __init__(self, compiled: CompiledPolicy, n_nics: int,
+                 execution: ExecutionConfig,
+                 ctx: ExecContext | None = None,
+                 **engine_kwargs) -> None:
+        # Imported lazily: core.batch pulls in core.pipeline, which is
+        # still mid-import when dataplane loads this module.
+        from repro.core.batch import Batcher
+        if n_nics < 1:
+            raise ValueError("need at least one NIC")
+        self.compiled = compiled
+        self.n_nics = n_nics
+        self.execution = execution
+        self.alive = [True] * n_nics
+        self.failovers = 0
+        self.restarts = 0
+        self.rerouted_events = 0
+        self.fg_resyncs = 0
+        self.demoted_vectors = 0
+        self._residual: list[FeatureVector] = []
+        # Coordinator-side replica of each engine's FG mirror: what the
+        # control plane replays to survivors on failover (the engine's
+        # own mirror dies with its worker on the process backend).
+        self._mirrors: list[dict[int, tuple]] = [{} for _ in range(n_nics)]
+        self.n_workers = max(1, min(execution.workers, n_nics))
+        self._owner = [shard % self.n_workers for shard in range(n_nics)]
+        shards_of = [tuple(s for s in range(n_nics)
+                           if s % self.n_workers == w)
+                     for w in range(self.n_workers)]
+        if execution.backend == "serial":
+            self._workers: list = [
+                _InlineWorker(compiled, ctx, engine_kwargs, shards)
+                for shards in shards_of]
+        else:
+            self._workers = [
+                _QueueWorker(execution.backend, compiled, ctx,
+                             engine_kwargs, shards, w)
+                for w, shards in enumerate(shards_of)]
+        self._batchers = [Batcher(execution.dispatch_batch)
+                          for _ in range(self.n_workers)]
+        self.batches_dispatched = 0
+        self.events_dispatched = 0
+        self._stats_cache = {s: EngineStats() for s in range(n_nics)}
+        self._final_vectors: list[FeatureVector] | None = None
+        self._closed = False
+
+    # -- routing & dispatch ---------------------------------------------------
+
+    def _route(self, cg_key: tuple) -> int:
+        shard, rerouted = route_shard(cg_key, self.alive)
+        if rerouted:
+            self.rerouted_events += 1
+        return shard
+
+    def consume(self, event: Event) -> None:
+        if self._closed:
+            raise RuntimeError("cluster is closed")
+        if isinstance(event, FGSync):
+            cg_key = self.compiled.cg.project(event.key)
+            shard = self._route(cg_key)
+            self._mirrors[shard][event.index] = event.key
+        elif isinstance(event, MGPVRecord):
+            shard = self._route(event.cg_key)
+        else:
+            raise TypeError(f"unknown event {event!r}")
+        worker = self._owner[shard]
+        chunk = self._batchers[worker].add((shard, event))
+        if chunk is not None:
+            self._dispatch(worker, chunk)
+
+    def run(self, events) -> "ShardedCluster":
+        for event in events:
+            self.consume(event)
+        return self
+
+    def _dispatch(self, worker: int, chunk: list) -> None:
+        self._workers[worker].post(("batch", chunk))
+        self.batches_dispatched += 1
+        self.events_dispatched += len(chunk)
+
+    def _flush_dispatch(self) -> None:
+        for worker, batcher in enumerate(self._batchers):
+            if len(batcher):
+                self._dispatch(worker, batcher.drain())
+
+    def _broadcast(self, msg: tuple) -> list:
+        """Synchronous request to every worker, pipelined: all requests
+        go out before any reply is awaited."""
+        self._flush_dispatch()
+        for worker in self._workers:
+            worker.post(msg)
+        return [worker.reply() for worker in self._workers]
+
+    def _gather(self, msg: tuple) -> dict:
+        """Broadcast a request whose replies are per-shard dicts."""
+        by_shard: dict = {}
+        for part in self._broadcast(msg):
+            by_shard.update(part)
+        return by_shard
+
+    # -- failover (serial-cluster semantics) ---------------------------------
+
+    def fail_nic(self, nic: int) -> None:
+        """Kill one shard's engine: in-flight dispatch drains first (the
+        crash request rides the same FIFO), the residual vectors come
+        back to the coordinator, and the coordinator's mirror replica
+        replays to the survivors through the normal routing path."""
+        self._check_nic(nic)
+        if not self.alive[nic]:
+            raise ValueError(f"NIC {nic} is already dead")
+        if sum(self.alive) == 1:
+            raise ValueError("cannot fail the last live NIC")
+        self._flush_dispatch()
+        self.alive[nic] = False
+        self.failovers += 1
+        residual = self._workers[self._owner[nic]].request(("crash", nic))
+        self._residual.extend(residual)
+        mirror = list(self._mirrors[nic].items())
+        self._mirrors[nic].clear()
+        for index, key in mirror:
+            self.consume(FGSync(index, key))
+            self.fg_resyncs += 1
+
+    def restore_nic(self, nic: int) -> None:
+        self._check_nic(nic)
+        if self.alive[nic]:
+            raise ValueError(f"NIC {nic} is already alive")
+        self.alive[nic] = True
+        self.restarts += 1
+
+    def _check_nic(self, nic: int) -> None:
+        if not 0 <= nic < self.n_nics:
+            raise ValueError(f"no NIC {nic} in a cluster of "
+                             f"{self.n_nics}")
+
+    # -- drain / merge --------------------------------------------------------
+
+    def finalize(self) -> list[FeatureVector]:
+        if self._closed:
+            return list(self._final_vectors or [])
+        by_shard = self._gather(("finalize",))
+        vectors: list[FeatureVector] = []
+        for shard in range(self.n_nics):
+            vectors.extend(by_shard.get(shard, []))
+        vectors, self.demoted_vectors = reconcile_residual(
+            vectors, self._residual)
+        self._final_vectors = vectors
+        return vectors
+
+    def take_packet_vectors(self) -> list[FeatureVector]:
+        if self._closed:
+            return []
+        by_shard = self._gather(("take_pkt",))
+        new: list[FeatureVector] = []
+        for shard in range(self.n_nics):
+            new.extend(by_shard.get(shard, []))
+        return new
+
+    def advance_clock(self, now_ns: int) -> None:
+        if self._closed:
+            return
+        # Flush first so the clock lands after every event already
+        # routed, exactly as the serial process()/advance_clock() order.
+        self._flush_dispatch()
+        for worker in self._workers:
+            worker.post(("clock", now_ns))
+
+    def close(self) -> None:
+        """Stop the pool.  Terminal: stats/counters/finalize keep
+        serving the last fetched state; consume raises."""
+        if self._closed:
+            return
+        self._fetch_stats()
+        for worker in self._workers:
+            worker.stop()
+        self._closed = True
+
+    # -- observability --------------------------------------------------------
+
+    def _fetch_stats(self) -> dict[int, EngineStats]:
+        if not self._closed:
+            self._stats_cache = self._gather(("stats",))
+        return self._stats_cache
+
+    @property
+    def engines(self) -> list[_ShardEngineProxy]:
+        return [_ShardEngineProxy(self, shard)
+                for shard in range(self.n_nics)]
+
+    def cells_per_nic(self) -> list[int]:
+        stats = self._fetch_stats()
+        return [stats[s].cells for s in range(self.n_nics)]
+
+    def orphan_cells(self) -> int:
+        return sum(s.orphan_cells for s in self._fetch_stats().values())
+
+    @property
+    def stats(self) -> EngineStats:
+        total = EngineStats()
+        for s in self._fetch_stats().values():
+            total.records += s.records
+            total.cells += s.cells
+            total.syncs += s.syncs
+            total.orphan_cells += s.orphan_cells
+            total.degraded_cells += s.degraded_cells
+            total.unrecoverable_cells += s.unrecoverable_cells
+            total.skipped_updates += s.skipped_updates
+            total.vectors_emitted += s.vectors_emitted
+        return total
+
+    def counters(self) -> dict:
+        """The serial cluster's counter schema, plus a ``dispatch``
+        sub-ledger for the execution engine itself."""
+        s = self.stats
+        return {
+            "n_nics": self.n_nics,
+            "live_nics": sum(self.alive),
+            "records": s.records,
+            "cells": s.cells,
+            "syncs": s.syncs,
+            "orphan_cells": s.orphan_cells,
+            "degraded_cells": s.degraded_cells,
+            "unrecoverable_cells": s.unrecoverable_cells,
+            "skipped_updates": s.skipped_updates,
+            "vectors_emitted": s.vectors_emitted,
+            "failovers": self.failovers,
+            "restarts": self.restarts,
+            "rerouted_events": self.rerouted_events,
+            "fg_resyncs": self.fg_resyncs,
+            "demoted_vectors": self.demoted_vectors,
+            "residual_vectors": len(self._residual),
+            "cells_per_nic": {str(i): c
+                              for i, c in enumerate(self.cells_per_nic())},
+            "dispatch": {
+                "backend": self.execution.backend,
+                "workers": self.n_workers,
+                "batch_size": self.execution.dispatch_batch,
+                "batches": self.batches_dispatched,
+                "events": self.events_dispatched,
+            },
+        }
+
+
+class ParallelSink:
+    """Terminal dataplane stage over a :class:`ShardedCluster` — the
+    parallel twin of :class:`~repro.core.dataplane.ClusterSink`."""
+
+    name = "cluster"
+
+    def __init__(self, cluster: ShardedCluster) -> None:
+        self.cluster = cluster
+
+    def consume(self, event) -> tuple:
+        self.cluster.consume(event)
+        return ()
+
+    def flush(self) -> tuple:
+        return ()
+
+    def counters(self) -> dict:
+        return self.cluster.counters()
+
+    def finalize(self) -> list[FeatureVector]:
+        return self.cluster.finalize()
+
+    def advance_clock(self, now_ns: int) -> None:
+        self.cluster.advance_clock(now_ns)
+
+    def take_packet_vectors(self) -> list[FeatureVector]:
+        return self.cluster.take_packet_vectors()
+
+    def close(self) -> None:
+        self.cluster.close()

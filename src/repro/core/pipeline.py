@@ -21,6 +21,7 @@ single engine.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -28,6 +29,7 @@ import numpy as np
 from repro.core.compiler import CompiledPolicy, PolicyCompiler
 from repro.core.dataplane import Dataplane, LinkConfig
 from repro.core.functions import ExecContext
+from repro.core.parallel import ExecutionConfig
 from repro.core.policy import Policy
 from repro.nicsim.engine import FeatureVector
 from repro.nicsim.placement import (
@@ -81,7 +83,14 @@ class SuperFE:
                  table_width: int = 4,
                  n_nics: int = 1,
                  link_config: LinkConfig | None = None,
-                 fault_plan=None) -> None:
+                 fault_plan=None,
+                 execution: ExecutionConfig | None = None,
+                 _internal: bool = False) -> None:
+        if not _internal:
+            warnings.warn(
+                "Direct construction of SuperFE is deprecated; use "
+                "repro.api.compile(policy, ...) instead",
+                DeprecationWarning, stacklevel=2)
         self.policy = policy
         self.compiled = PolicyCompiler().compile(policy)
         self.mgpv_config = self.compiled.sized_mgpv_config(mgpv_config)
@@ -99,6 +108,7 @@ class SuperFE:
         self.n_nics = n_nics
         self.link_config = link_config
         self.fault_plan = fault_plan
+        self.execution = execution
 
     def dataplane(self) -> Dataplane:
         """Wire a fresh dataplane graph for this deployment."""
@@ -111,7 +121,8 @@ class SuperFE:
             table_width=self._table_width,
             n_nics=self.n_nics,
             link_config=self.link_config,
-            fault_plan=self.fault_plan)
+            fault_plan=self.fault_plan,
+            execution=self.execution)
 
     def run(self, packets) -> ExtractionResult:
         """Extract feature vectors from a packet stream."""
@@ -120,6 +131,9 @@ class SuperFE:
         vectors = dataplane.flush()
         sink = (dataplane.cluster if dataplane.cluster is not None
                 else dataplane.engine)
+        # Release worker processes/threads; stats and counters stay
+        # readable from their cached last state.
+        dataplane.close()
         return ExtractionResult(
             vectors=vectors,
             feature_names=self.compiled.feature_names,

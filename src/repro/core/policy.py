@@ -34,14 +34,40 @@ rules: a bare boolean field (``"tcp.exist"``), a comparison
 
 from __future__ import annotations
 
+import difflib
 import operator
 import re
 from dataclasses import dataclass
 from typing import Callable, Sequence, Union
 
-from repro.core.functions import FnSpec, parse_fn_spec
-from repro.core.granularity import get_granularity
+from repro.core.functions import (
+    MAP_FNS,
+    REDUCE_FNS,
+    SYNTH_FNS,
+    FnSpec,
+    parse_fn_spec,
+)
+from repro.core.granularity import GRANULARITIES, get_granularity
 from repro.net.packet import Packet
+
+
+class PolicyError(ValueError):
+    """A policy failed validation or cannot be partitioned.
+
+    Raised *at construction* by the builder methods below for every
+    statically checkable misuse (unknown function or granularity names,
+    operators before the first ``groupby``, conflicting ``collect``
+    units, malformed predicates) and by the compiler for whole-chain
+    properties only it can see.  One error type: callers catch
+    ``PolicyError``, not an assortment of ``ValueError``/``KeyError``.
+    """
+
+
+def _suggest(name: str, candidates) -> str:
+    """A did-you-mean suffix from the registered names (empty when
+    nothing is close)."""
+    close = difflib.get_close_matches(name, list(candidates), n=1)
+    return f" — did you mean {close[0]!r}?" if close else ""
 
 _OPS = {
     "==": operator.eq, "!=": operator.ne,
@@ -83,8 +109,19 @@ class Predicate:
     @classmethod
     def parse(cls, text: str) -> "Predicate":
         conditions = []
-        for clause in text.split(" and "):
+        # Split on the conjunction keyword only at clause boundaries:
+        # whitespace-delimited ``and``, tolerant of tabs and runs of
+        # spaces.  A naive ``split(" and ")`` breaks on those and is a
+        # trap for any token that happens to embed the sequence.  The
+        # padding makes a leading/trailing ``and`` produce an empty
+        # clause, diagnosed below.
+        clauses = re.split(r"\s+and\s+", f" {text} ")
+        for clause in clauses:
             clause = clause.strip()
+            if not clause:
+                raise PolicyError(
+                    f"empty clause in predicate {text!r} (dangling "
+                    f"'and'?)")
             match = _COND_RE.match(clause)
             if match:
                 field, op, literal = match.groups()
@@ -99,7 +136,8 @@ class Predicate:
             elif re.fullmatch(r"[\w.]+", clause):
                 conditions.append(Condition(clause))
             else:
-                raise ValueError(f"cannot parse predicate clause {clause!r}")
+                raise PolicyError(
+                    f"cannot parse predicate clause {clause!r}")
         return cls(tuple(conditions))
 
     def matches(self, pkt: Packet) -> bool:
@@ -189,6 +227,24 @@ class Policy:
     def _extend(self, op: PolicyOp) -> "Policy":
         return Policy(self.ops + (op,))
 
+    def _require_groupby(self, opname: str) -> None:
+        if not any(isinstance(op, GroupByOp) for op in self.ops):
+            raise PolicyError(f"{opname} must follow a groupby — "
+                              f"start the chain with .groupby(g)")
+
+    @staticmethod
+    def _parse_spec(spec, kind: str, registry) -> FnSpec:
+        try:
+            parsed = parse_fn_spec(spec)
+        except ValueError as exc:
+            raise PolicyError(str(exc)) from None
+        if parsed.name not in registry:
+            raise PolicyError(
+                f"unknown {kind} function {parsed.name!r}"
+                f"{_suggest(parsed.name, registry)} "
+                f"(have {sorted(registry)})")
+        return parsed
+
     def filter(self, predicate: PredicateLike) -> "Policy":
         if isinstance(predicate, str):
             predicate = Predicate.parse(predicate)
@@ -198,26 +254,59 @@ class Policy:
         return self._extend(FilterOp(predicate))
 
     def groupby(self, granularity: str) -> "Policy":
-        get_granularity(granularity)    # validate eagerly
+        if granularity not in GRANULARITIES:
+            raise PolicyError(
+                f"unknown granularity {granularity!r}"
+                f"{_suggest(granularity, GRANULARITIES)} "
+                f"(have {sorted(GRANULARITIES)})")
+        get_granularity(granularity)
         return self._extend(GroupByOp(granularity))
 
     def map(self, dst: str, src: str | None, mf) -> "Policy":
-        return self._extend(MapOp(dst, src, parse_fn_spec(mf)))
+        self._require_groupby("map")
+        return self._extend(
+            MapOp(dst, src, self._parse_spec(mf, "mapping", MAP_FNS)))
 
     def reduce(self, src: str, rfs: Sequence) -> "Policy":
+        self._require_groupby("reduce")
         if isinstance(rfs, (str, FnSpec)):
             rfs = [rfs]
         if not rfs:
-            raise ValueError("reduce needs at least one reducing function")
-        return self._extend(
-            ReduceOp(src, tuple(parse_fn_spec(rf) for rf in rfs)))
+            raise PolicyError("reduce needs at least one reducing "
+                              "function")
+        return self._extend(ReduceOp(src, tuple(
+            self._parse_spec(rf, "reducing", REDUCE_FNS) for rf in rfs)))
 
     def synthesize(self, sf, src: str | None = None) -> "Policy":
-        return self._extend(SynthesizeOp(parse_fn_spec(sf), src))
+        self._require_groupby("synthesize")
+        return self._extend(SynthesizeOp(
+            self._parse_spec(sf, "synthesizing", SYNTH_FNS), src))
 
     def collect(self, unit: str) -> "Policy":
-        if unit != "pkt":
-            get_granularity(unit)       # validate eagerly
+        self._require_groupby("collect")
+        if unit != "pkt" and unit not in GRANULARITIES:
+            raise PolicyError(
+                f"unknown collect unit {unit!r}"
+                f"{_suggest(unit, list(GRANULARITIES) + ['pkt'])} "
+                f"(have 'pkt' or {sorted(GRANULARITIES)})")
+        # Collect-unit conflicts are certain within one dependency
+        # chain (one MGPV pipeline has one output unit); collects in
+        # *different* chains are the §9 multi-chain form and legal.
+        unit_by_chain: dict[str, str] = {}
+        current_chain = None
+        for op in self.ops:
+            if isinstance(op, GroupByOp):
+                current_chain = get_granularity(op.granularity).chain
+            elif isinstance(op, CollectOp):
+                unit_by_chain[current_chain] = op.unit
+        last_gran = next(op.granularity for op in reversed(self.ops)
+                         if isinstance(op, GroupByOp))
+        chain = get_granularity(last_gran).chain
+        previous = unit_by_chain.get(chain)
+        if previous is not None and previous != unit:
+            raise PolicyError(
+                f"inconsistent collect units: {previous!r} vs {unit!r} "
+                f"— one granularity chain collects at one unit")
         return self._extend(CollectOp(unit))
 
     # -- introspection ------------------------------------------------------
@@ -237,7 +326,10 @@ class Policy:
         if not units:
             return None
         if len(units) > 1:
-            raise ValueError(f"policy collects at multiple units: {units}")
+            # Unreachable through the builders (collect() fails fast);
+            # still guards hand-assembled op tuples.
+            raise PolicyError(
+                f"policy collects at multiple units: {units}")
         return units.pop()
 
     def pretty(self) -> str:

@@ -25,6 +25,7 @@ the runtime only adds the control-plane verbs around it.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace as dc_replace
 
 from repro.core.compiler import PolicyCompiler, PolicyError
@@ -64,7 +65,13 @@ class SuperFERuntime:
                  table_indices: int = 4096,
                  table_width: int = 4,
                  link_config: LinkConfig | None = None,
-                 fault_plan=None) -> None:
+                 fault_plan=None,
+                 _internal: bool = False) -> None:
+        if not _internal:
+            warnings.warn(
+                "Direct construction of SuperFERuntime is deprecated; "
+                "use repro.api.compile(policy, ...).deploy() instead",
+                DeprecationWarning, stacklevel=2)
         self._division_free = division_free
         self._table_indices = table_indices
         self._table_width = table_width

@@ -14,6 +14,8 @@ the hardware path is tested against.
 
 from __future__ import annotations
 
+import warnings
+
 from repro.core.compiler import PolicyCompiler
 from repro.core.dataplane import Dataplane
 from repro.core.functions import ExecContext
@@ -25,7 +27,13 @@ class SoftwareExtractor:
     """Unbatched, full-precision execution of a SuperFE policy."""
 
     def __init__(self, policy: Policy, division_free: bool = False,
-                 table_indices: int = 65536, table_width: int = 64) -> None:
+                 table_indices: int = 65536, table_width: int = 64,
+                 _internal: bool = False) -> None:
+        if not _internal:
+            warnings.warn(
+                "Direct construction of SoftwareExtractor is deprecated;"
+                " use repro.api.compile(policy, software=True) instead",
+                DeprecationWarning, stacklevel=2)
         self.policy = policy
         self.compiled = PolicyCompiler().compile(policy)
         self.ctx = ExecContext(division_free=division_free)

@@ -26,6 +26,48 @@ from repro.streaming.hyperloglog import hash_key
 from repro.switchsim.mgpv import Event, FGSync, MGPVRecord
 
 
+def route_shard(cg_key: tuple, alive: list[bool]) -> tuple[int, bool]:
+    """The switch's steering function: ``(shard, rerouted)`` for a CG
+    key over a liveness map.  A dead home shard maps onto the live set
+    by the same hash, so every event of one group picks the same
+    survivor (while the live set is stable).
+
+    Shared by the serial :class:`NICCluster` and the coordinator of
+    :class:`~repro.core.parallel.ShardedCluster` — one routing function
+    is what makes the two paths bit-identical.
+    """
+    shard = hash_key(cg_key) % len(alive)
+    if alive[shard]:
+        return shard, False
+    survivors = [i for i, up in enumerate(alive) if up]
+    return survivors[hash_key(cg_key) % len(survivors)], True
+
+
+def reconcile_residual(vectors: list[FeatureVector],
+                       residual: list[FeatureVector]
+                       ) -> tuple[list[FeatureVector], int]:
+    """Merge a drain's vectors with the residual vectors of dead NICs:
+    a shard rebuilt on a survivor keeps the survivor's (post-failover)
+    vector, flagged degraded because the pre-failure cells are gone;
+    groups that never re-appeared emit their residual vector.  Returns
+    ``(vectors, demoted_count)``.
+    """
+    if not residual:
+        return vectors, 0
+    residual_keys = {tuple(v.key) for v in residual}
+    for vec in vectors:
+        if tuple(vec.key) in residual_keys:
+            vec.degraded = True
+    live_keys = {tuple(v.key) for v in vectors}
+    demoted = 0
+    for vec in residual:
+        if tuple(vec.key) in live_keys:
+            demoted += 1
+        else:
+            vectors.append(vec)
+    return vectors, demoted
+
+
 class NICCluster:
     """A bank of FE-NIC engines fed by hash-based switch steering."""
 
@@ -48,15 +90,10 @@ class NICCluster:
         self._residual: list[FeatureVector] = []
 
     def _route_key(self, cg_key: tuple) -> int:
-        nic = hash_key(cg_key) % self.n_nics
-        if self.alive[nic]:
-            return nic
-        # Consistent failover: the dead NIC's shard maps onto the live
-        # set by the same hash, so every event of one group picks the
-        # same survivor (while the live set is stable).
-        survivors = [i for i, up in enumerate(self.alive) if up]
-        self.rerouted_events += 1
-        return survivors[hash_key(cg_key) % len(survivors)]
+        nic, rerouted = route_shard(cg_key, self.alive)
+        if rerouted:
+            self.rerouted_events += 1
+        return nic
 
     def consume(self, event: Event) -> None:
         if isinstance(event, FGSync):
@@ -112,25 +149,11 @@ class NICCluster:
                              f"{self.n_nics}")
 
     def finalize(self) -> list[FeatureVector]:
-        vectors = []
+        vectors: list[FeatureVector] = []
         for engine in self.engines:
             vectors.extend(engine.finalize())
+        vectors, demoted = reconcile_residual(vectors, self._residual)
         if self._residual:
-            # Reconcile residual state from dead NICs: a shard rebuilt
-            # on a survivor keeps the survivor's (post-failover) vector,
-            # flagged degraded because the pre-failure cells are gone;
-            # groups that never re-appeared emit their residual vector.
-            residual_keys = {tuple(v.key) for v in self._residual}
-            for vec in vectors:
-                if tuple(vec.key) in residual_keys:
-                    vec.degraded = True
-            live_keys = {tuple(v.key) for v in vectors}
-            demoted = 0
-            for vec in self._residual:
-                if tuple(vec.key) in live_keys:
-                    demoted += 1
-                else:
-                    vectors.append(vec)
             self.demoted_vectors = demoted
         return vectors
 

@@ -1,0 +1,150 @@
+"""repro.api — the single entry point: compile() configuration
+resolution, the Extractor surface (run/stream/baseline/deploy), and the
+deprecation shims on the old direct-construction classes."""
+
+import numpy as np
+import pytest
+
+import repro.api as api
+from repro.core.parallel import ExecutionConfig
+from repro.core.pipeline import SuperFE
+from repro.core.runtime import SuperFERuntime
+from repro.core.software import SoftwareExtractor
+from repro.core.policy import pktstream
+from repro.net.trace import generate_trace
+
+
+@pytest.fixture(scope="module")
+def policy():
+    return (pktstream().filter("tcp.exist").groupby("flow")
+            .reduce("size", ["f_sum", "f_mean", "f_max"])
+            .collect("flow"))
+
+
+@pytest.fixture(scope="module")
+def packets():
+    return generate_trace("ENTERPRISE", n_flows=80, seed=5)
+
+
+class TestCompile:
+    def test_run_roundtrip(self, policy, packets):
+        result = api.compile(policy).run(packets)
+        assert len(result.vectors) > 0
+        assert result.feature_names == [
+            "f_sum(size)", "f_mean(size)", "f_max(size)"]
+
+    def test_requires_policy(self):
+        with pytest.raises(TypeError, match="must be a Policy"):
+            api.compile("groupby flow")
+
+    def test_software_path(self, policy, packets):
+        ex = api.compile(policy, software=True)
+        assert ex.software
+        assert len(ex.run(packets).vectors) > 0
+
+    def test_software_rejects_cluster(self, policy):
+        with pytest.raises(ValueError, match="n_nics"):
+            api.compile(policy, software=True, n_nics=4)
+        with pytest.raises(ValueError, match="shard-parallel"):
+            api.compile(policy, software=True, workers=4)
+
+    def test_workers_imply_process_backend(self, policy):
+        ex = api.compile(policy, n_nics=2, workers=2)
+        assert ex._impl.execution.backend == "process"
+
+    def test_explicit_execution_config(self, policy):
+        cfg = ExecutionConfig(workers=2, backend="thread")
+        ex = api.compile(policy, n_nics=2, execution=cfg)
+        assert ex._impl.execution is cfg
+
+    def test_execution_and_workers_conflict(self, policy):
+        with pytest.raises(ValueError, match="not both"):
+            api.compile(policy, execution=ExecutionConfig(), workers=2)
+
+    def test_unknown_backend(self, policy):
+        with pytest.raises(ValueError, match="unknown backend"):
+            api.compile(policy, backend="gpu")
+
+    def test_no_deprecation_warning_through_api(self, policy,
+                                                recwarn):
+        api.compile(policy)
+        api.compile(policy, software=True)
+        assert not [w for w in recwarn
+                    if issubclass(w.category, DeprecationWarning)]
+
+
+class TestExtractor:
+    def test_manifests(self, policy):
+        switch, nic = api.compile(policy).manifests()
+        assert "FE-Switch" in switch
+        assert "FE-NIC" in nic
+
+    def test_stream_matches_run(self, policy, packets):
+        ex = api.compile(policy)
+        streamed = [v for chunk in ex.stream(packets, batch_size=100)
+                    for v in chunk]
+        ran = ex.run(packets).vectors
+        assert (sorted((tuple(v.key), v.values.tobytes())
+                       for v in streamed)
+                == sorted((tuple(v.key), v.values.tobytes())
+                          for v in ran))
+
+    def test_stream_parallel_backend(self, policy, packets):
+        ex = api.compile(policy, n_nics=2, workers=2, backend="thread")
+        streamed = [v for chunk in ex.stream(packets, batch_size=64)
+                    for v in chunk]
+        assert len(streamed) == len(ex.run(packets).vectors)
+
+    def test_stream_validates_batch_size(self, policy, packets):
+        with pytest.raises(ValueError, match="batch_size"):
+            next(api.compile(policy).stream(packets, batch_size=0))
+
+    def test_baseline_is_software_oracle(self, policy, packets):
+        ex = api.compile(policy, division_free=False)
+        base = ex.baseline()
+        assert base.software
+        assert base.baseline() is base
+        hw = ex.run(packets).by_key()
+        sw = base.run(packets).by_key()
+        assert hw.keys() == sw.keys()
+        for key in sw:
+            assert np.allclose(hw[key], sw[key], rtol=1e-9, atol=1e-6)
+
+    def test_deploy_runtime(self, policy, packets):
+        runtime = api.compile(policy).deploy()
+        runtime.process(packets)
+        assert len(runtime.drain()) > 0
+
+    def test_software_has_no_deploy(self, policy):
+        with pytest.raises(ValueError, match="no runtime"):
+            api.compile(policy, software=True).deploy()
+
+    def test_dataplane_lifecycle(self, policy, packets):
+        dp = api.compile(policy, n_nics=2, workers=2,
+                         backend="thread").dataplane()
+        dp.process(packets)
+        assert len(dp.flush()) > 0
+        dp.close()
+
+    def test_repr(self, policy):
+        assert "superfe" in repr(api.compile(policy))
+        assert "software" in repr(api.compile(policy, software=True))
+
+
+class TestDeprecationShims:
+    def test_superfe_direct_construction_warns(self, policy):
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            SuperFE(policy)
+
+    def test_software_direct_construction_warns(self, policy):
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            SoftwareExtractor(policy)
+
+    def test_runtime_direct_construction_warns(self, policy):
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            SuperFERuntime(policy)
+
+    def test_deprecated_path_still_works(self, policy, packets):
+        with pytest.warns(DeprecationWarning):
+            fe = SuperFE(policy)
+        assert len(fe.run(packets).vectors) > 0

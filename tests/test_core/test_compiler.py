@@ -40,10 +40,11 @@ class TestValidation:
             compiler.compile(pktstream().filter("tcp.exist"))
 
     def test_map_before_groupby(self, compiler):
-        policy = (pktstream().map("one", None, "f_one").groupby("flow")
-                  .reduce("size", ["f_sum"]).collect("flow"))
+        # Fails fast at construction now, before the compiler ever
+        # sees the chain.
         with pytest.raises(PolicyError, match="follow a groupby"):
-            compiler.compile(policy)
+            (pktstream().map("one", None, "f_one").groupby("flow")
+             .reduce("size", ["f_sum"]).collect("flow"))
 
     def test_filter_after_groupby_rejected(self, compiler):
         policy = (pktstream().groupby("flow").filter("tcp.exist")
@@ -89,12 +90,14 @@ class TestValidation:
                              .reduce("size", ["f_sum"]))
 
     def test_inconsistent_collect_units(self, compiler):
-        policy = (pktstream().groupby("host")
-                  .reduce("size", ["f_sum"]).collect("pkt")
-                  .groupby("channel").reduce("size", ["f_sum"])
-                  .collect("channel"))
+        # Conflicting units within one dependency chain fail fast at
+        # construction; the compiler check still guards hand-assembled
+        # op tuples.
         with pytest.raises(PolicyError, match="inconsistent collect"):
-            compiler.compile(policy)
+            (pktstream().groupby("host")
+             .reduce("size", ["f_sum"]).collect("pkt")
+             .groupby("channel").reduce("size", ["f_sum"])
+             .collect("channel"))
 
     def test_unparseable_filter_field(self, compiler):
         with pytest.raises(PolicyError, match="not parseable"):

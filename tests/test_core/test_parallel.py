@@ -1,0 +1,160 @@
+"""Shard-parallel executor internals: ExecutionConfig validation and
+env resolution, the amortizing Batcher, and ShardedCluster mechanics
+(routing, dispatch ledger, failover guards, close semantics)."""
+
+import pytest
+
+from repro.core.batch import Batcher
+from repro.core.compiler import PolicyCompiler
+from repro.core.parallel import (
+    BACKENDS,
+    ExecutionConfig,
+    ShardedCluster,
+)
+from repro.core.policy import pktstream
+from repro.net.trace import generate_trace
+
+
+def flow_policy():
+    return (pktstream().groupby("flow")
+            .reduce("size", ["f_sum", "f_max"]).collect("flow"))
+
+
+def make_cluster(n_nics=3, workers=2, backend="thread"):
+    compiled = PolicyCompiler().compile(flow_policy())
+    return ShardedCluster(
+        compiled, n_nics,
+        ExecutionConfig(workers=workers, backend=backend,
+                        dispatch_batch=8))
+
+
+class TestExecutionConfig:
+    def test_defaults_serial(self):
+        cfg = ExecutionConfig()
+        assert cfg.workers == 1
+        assert cfg.backend == "serial"
+        assert not cfg.is_parallel
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_known_backends(self, backend):
+        cfg = ExecutionConfig(backend=backend, workers=2)
+        assert cfg.is_parallel == (backend != "serial")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            ExecutionConfig(backend="gpu")
+
+    def test_nonpositive_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            ExecutionConfig(workers=0)
+
+    def test_nonpositive_batch_rejected(self):
+        with pytest.raises(ValueError, match="dispatch_batch"):
+            ExecutionConfig(dispatch_batch=0)
+
+    def test_from_env_unset(self, monkeypatch):
+        monkeypatch.delenv("SUPERFE_EXEC_BACKEND", raising=False)
+        assert ExecutionConfig.from_env() is None
+
+    def test_from_env_backend_and_workers(self, monkeypatch):
+        monkeypatch.setenv("SUPERFE_EXEC_BACKEND", "thread")
+        monkeypatch.setenv("SUPERFE_EXEC_WORKERS", "3")
+        cfg = ExecutionConfig.from_env()
+        assert cfg.backend == "thread"
+        assert cfg.workers == 3
+
+    def test_from_env_serial(self, monkeypatch):
+        monkeypatch.setenv("SUPERFE_EXEC_BACKEND", "serial")
+        monkeypatch.delenv("SUPERFE_EXEC_WORKERS", raising=False)
+        cfg = ExecutionConfig.from_env()
+        assert cfg is not None and not cfg.is_parallel
+
+
+class TestBatcher:
+    def test_fills_and_resets(self):
+        b = Batcher(3)
+        assert b.add(1) is None
+        assert b.add(2) is None
+        assert b.add(3) == [1, 2, 3]
+        assert len(b) == 0
+
+    def test_drain_returns_partial(self):
+        b = Batcher(4)
+        b.add("x")
+        b.add("y")
+        assert b.drain() == ["x", "y"]
+        assert b.drain() == []
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Batcher(0)
+
+
+class TestShardedCluster:
+    def test_shard_ownership_partitions_workers(self):
+        cluster = make_cluster(n_nics=5, workers=2)
+        try:
+            owners = {cluster._owner[shard] for shard in range(5)}
+            assert owners == {0, 1}
+        finally:
+            cluster.close()
+
+    def test_workers_capped_at_shards(self):
+        cluster = make_cluster(n_nics=2, workers=8)
+        try:
+            assert cluster.n_workers == 2
+        finally:
+            cluster.close()
+
+    def test_dispatch_ledger_counts_batches(self):
+        cluster = make_cluster()
+        try:
+            from repro.switchsim.mgpv import MGPVRecord
+            packets = generate_trace("ENTERPRISE", n_flows=40, seed=3)
+            for i, pkt in enumerate(packets[:64]):
+                key = (i % 7,)
+                cluster.consume(MGPVRecord(
+                    cg_key=key, cg_hash32=hash(key) & 0xFFFFFFFF,
+                    cells=((0, (float(pkt.size),)),), reason="evict"))
+            cluster._flush_dispatch()
+            dispatch = cluster.counters()["dispatch"]
+            assert dispatch["events"] == 64
+            assert dispatch["batches"] >= 64 // 8
+            assert dispatch["backend"] == "thread"
+        finally:
+            cluster.close()
+
+    def test_fail_guard_messages(self):
+        cluster = make_cluster(n_nics=2)
+        try:
+            with pytest.raises(ValueError, match="no NIC 7"):
+                cluster.fail_nic(7)
+            cluster.fail_nic(0)
+            with pytest.raises(ValueError, match="already dead"):
+                cluster.fail_nic(0)
+            with pytest.raises(ValueError, match="last live NIC"):
+                cluster.fail_nic(1)
+        finally:
+            cluster.close()
+
+    def test_close_is_terminal_but_readable(self):
+        cluster = make_cluster()
+        cluster.finalize()
+        cluster.close()
+        # Cached state stays readable ...
+        assert cluster.counters()["vectors_emitted"] == 0
+        assert cluster.finalize() == []
+        # ... but the data path is gone.
+        from repro.switchsim.mgpv import FGSync
+        with pytest.raises(RuntimeError, match="closed"):
+            cluster.consume(FGSync(index=0, key=(1,)))
+
+    def test_spawn_only_platforms_rejected(self, monkeypatch):
+        import multiprocessing as mp
+
+        def no_fork(method):
+            raise ValueError(f"cannot find context for {method!r}")
+
+        monkeypatch.setattr(mp, "get_context", no_fork)
+        with pytest.raises(RuntimeError, match="fork"):
+            make_cluster(backend="process")

@@ -3,7 +3,7 @@ validation at construction time."""
 
 import pytest
 
-from repro.core.policy import Policy, Predicate, pktstream
+from repro.core.policy import Policy, PolicyError, Predicate, pktstream
 from repro.net.packet import PROTO_TCP, PROTO_UDP, Packet
 
 
@@ -43,6 +43,40 @@ class TestPredicate:
         with pytest.raises(ValueError):
             Predicate.parse("size !!! 5")
 
+    def test_parse_error_is_policy_error(self):
+        with pytest.raises(PolicyError, match="cannot parse"):
+            Predicate.parse("size !!! 5")
+
+    def test_and_inside_token_not_a_boundary(self):
+        # Fields/values embedding the letters "and" must not split the
+        # clause: only whitespace-delimited "and" is a conjunction.
+        p = Predicate.parse("operand == 5")
+        assert len(p.conditions) == 1
+        assert p.conditions[0].field == "operand"
+        p = Predicate.parse("band.exist and operand > 2")
+        assert [c.field for c in p.conditions] == ["band.exist",
+                                                   "operand"]
+
+    def test_whitespace_tolerant_conjunction(self):
+        for text in ("tcp.exist  and  size > 50",
+                     "tcp.exist\tand\tsize > 50",
+                     "  tcp.exist and size > 50  "):
+            p = Predicate.parse(text)
+            assert len(p.conditions) == 2, text
+            assert p.matches(pkt(size=60))
+            assert not p.matches(pkt(size=40))
+
+    def test_three_clause_precedence(self):
+        p = Predicate.parse("sandbox.exist and size > 1 and size < 9")
+        assert [str(c) for c in p.conditions] == [
+            "sandbox.exist", "size > 1", "size < 9"]
+
+    def test_dangling_and_rejected(self):
+        with pytest.raises(PolicyError, match="empty clause"):
+            Predicate.parse("tcp.exist and ")
+        with pytest.raises(PolicyError, match="empty clause"):
+            Predicate.parse("and size > 5")
+
     def test_str_round_trip(self):
         text = "tcp.exist and size > 50"
         assert str(Predicate.parse(text)) == text
@@ -56,10 +90,41 @@ class TestBuilder:
         assert len(extended.ops) == 1
 
     def test_unknown_granularity_rejected_eagerly(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(PolicyError, match="unknown granularity"):
             pktstream().groupby("nope")
-        with pytest.raises(KeyError):
+        with pytest.raises(PolicyError, match="unknown collect unit"):
             pktstream().groupby("flow").collect("nope")
+
+    def test_granularity_did_you_mean(self):
+        with pytest.raises(PolicyError, match="did you mean 'flow'"):
+            pktstream().groupby("flwo")
+
+    def test_unknown_reducer_did_you_mean(self):
+        with pytest.raises(PolicyError,
+                           match="reducing function.*did you mean "
+                                 "'f_sum'"):
+            pktstream().groupby("flow").reduce("size", ["f_sums"])
+
+    def test_unknown_map_fn_rejected_eagerly(self):
+        with pytest.raises(PolicyError, match="mapping function"):
+            pktstream().groupby("flow").map("x", None, "f_zzz")
+
+    def test_unknown_synth_fn_rejected_eagerly(self):
+        with pytest.raises(PolicyError, match="synthesizing function"):
+            (pktstream().groupby("flow").reduce("size", ["f_array"])
+             .synthesize("f_zzz"))
+
+    def test_reduce_before_groupby_rejected_eagerly(self):
+        with pytest.raises(PolicyError, match="must follow a groupby"):
+            pktstream().reduce("size", ["f_sum"])
+
+    def test_map_before_groupby_rejected_eagerly(self):
+        with pytest.raises(PolicyError, match="must follow a groupby"):
+            pktstream().map("one", None, "f_one")
+
+    def test_malformed_fn_spec_raises_policy_error(self):
+        with pytest.raises(PolicyError, match="malformed"):
+            pktstream().groupby("flow").reduce("size", ["f_sum{"])
 
     def test_collect_pkt_allowed(self):
         p = pktstream().groupby("host").collect("pkt")
@@ -87,10 +152,22 @@ class TestBuilder:
         assert p.granularities == ["host", "channel"]
 
     def test_collect_unit_conflict_detected(self):
-        p = (pktstream().groupby("flow").reduce("size", ["f_mean"])
+        with pytest.raises(PolicyError, match="inconsistent collect"):
+            (pktstream().groupby("flow").reduce("size", ["f_mean"])
              .collect("flow").collect("pkt"))
-        with pytest.raises(ValueError):
-            _ = p.collect_unit
+
+    def test_same_unit_collected_twice_allowed(self):
+        p = (pktstream().groupby("flow").reduce("size", ["f_mean"])
+             .collect("flow").reduce("size", ["f_max"]).collect("flow"))
+        assert p.collect_unit == "flow"
+
+    def test_cross_chain_collect_units_allowed(self):
+        # The §9 multi-chain form: each dependency chain has its own
+        # collect unit (split later by partition_policy).
+        p = (pktstream().groupby("flow").reduce("size", ["f_sum"])
+             .collect("flow")
+             .groupby("host").reduce("size", ["f_sum"]).collect("host"))
+        assert p.granularities == ["flow", "host"]
 
 
 class TestPretty:
