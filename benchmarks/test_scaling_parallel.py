@@ -7,8 +7,11 @@ Two claims:
    Asserted unconditionally: it holds regardless of host parallelism.
 2. **Speedup** — the process backend reaches >= 2x serial packets/sec at
    4 workers.  Only meaningful with real cores underneath, so the
-   assertion is gated on ``os.cpu_count() >= 4`` (the CI runners
-   qualify); the measured numbers are recorded either way.
+   assertion is gated on the record's own ``overhead_dominated`` flag
+   (``cpu_count`` smaller than the largest worker count): on a
+   single-core host the run *reports* the overhead-dominated numbers
+   instead of failing, and the flag is committed with the record so
+   downstream readers get the same honesty.
 
 The run also rewrites ``BENCH_parallel.json`` at the repo root — the
 committed baseline artifact the CI bench job uploads.
@@ -33,7 +36,9 @@ def test_parallel_scaling(benchmark, report):
 
     table = Table(
         "Shard-parallel executor — packets/sec vs workers "
-        f"(cpu_count={record['cpu_count']})",
+        f"(cpu_count={record['cpu_count']}"
+        + (", overhead-dominated" if record["overhead_dominated"] else "")
+        + ")",
         ["Workers", "pps", "Speedup", "Equivalent"])
     table.add_row("serial", record["serial"]["pps"], 1.0, True)
     for run in record["runs"]:
@@ -46,6 +51,16 @@ def test_parallel_scaling(benchmark, report):
         "parallel vectors diverged from the serial baseline: "
         f"{[r for r in record['runs'] if not r['equivalent']]}")
     assert record["n_vectors"] > 0
+
+    if record["overhead_dominated"]:
+        # Not enough cores for the requested worker counts: the speedup
+        # numbers measure dispatch overhead, so report them and return
+        # instead of asserting a scaling claim the host cannot support.
+        report("scaling_parallel_note",
+               f"host has {record['cpu_count']} core(s) for up to "
+               f"{max(r['workers'] for r in record['runs'])} workers — "
+               f"speedup gate skipped (overhead_dominated)")
+        return
 
     if (os.cpu_count() or 1) >= 4:
         at4 = next(r for r in record["runs"] if r["workers"] == 4)

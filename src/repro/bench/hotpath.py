@@ -1,0 +1,220 @@
+"""Hot-path micro-benchmark: per-stage throughput + profile attribution.
+
+The PR-4 optimization pass (compiled accessors, hash/key caching,
+batched cell processing) is gated on this harness.  It measures three
+slices of the pipeline on one reduce-heavy flow policy:
+
+- ``switch_only``  — FilterStage admission + MGPV cache inserts into a
+  reused event buffer (no NIC work).
+- ``engine_only``  — NIC cluster consuming a pre-computed event stream
+  (no switch work).
+- ``end_to_end``   — ``api.compile(policy).run(packets)``, the same
+  run()-only methodology as ``BENCH_parallel.json``'s serial baseline,
+  so the two records are directly comparable.
+
+Each slice is timed best-of-``repeats``.  A ``cProfile`` pass over one
+end-to-end run attributes cumulative self-time to pipeline layers by
+module prefix, so a regression shows *where* it landed, not just that
+it happened.
+
+Correctness is not assumed: the optimized end-to-end vectors are
+checksummed against a run of the pre-optimization oracle (the verbatim
+original insert/update paths kept behind ``SUPERFE_REFERENCE_PATH=1``)
+and the record carries the ``equivalent`` verdict.
+
+``python -m repro bench-hotpath`` serializes the record to
+``BENCH_hotpath.json``; the CI smoke job re-runs the harness and fails
+when serial end-to-end pps regresses more than 20% below the committed
+record.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import pstats
+import time
+
+import repro.api as api
+from repro.bench.parallel import scaling_policy, vectors_checksum
+from repro.core.compiler import PolicyCompiler
+from repro.net.trace import generate_trace
+from repro.nicsim.loadbalance import NICCluster
+from repro.switchsim.filter import FilterStage
+from repro.switchsim.mgpv import MGPVCache
+
+#: Serial end-to-end throughput of the pre-optimization pipeline on the
+#: reference trace (the ``serial.pps`` committed in BENCH_parallel.json
+#: before this pass).  ``speedup_vs_baseline`` is relative to this.
+PRE_OPTIMIZATION_PPS = 29539.6
+
+#: Module prefixes used to attribute profile self-time to a pipeline
+#: layer.  First match wins; anything else (stdlib, numpy, ...) counts
+#: as "other".
+_STAGE_PREFIXES = (
+    ("switch", "repro/switchsim/"),
+    ("nic", "repro/nicsim/"),
+    ("streaming", "repro/streaming/"),
+    ("core", "repro/core/"),
+    ("net", "repro/net/"),
+)
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Minimum wall-clock seconds of ``fn()`` over ``repeats`` runs."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def profile_attribution(fn) -> dict:
+    """Run ``fn()`` under cProfile and split self-time by pipeline layer.
+
+    Returns ``{"seconds": {layer: s, ...}, "fraction": {layer: f, ...}}``
+    with layers ordered hottest-first.  Profiling overhead inflates the
+    absolute seconds; the fractions are what to read.
+    """
+    prof = cProfile.Profile()
+    prof.enable()
+    fn()
+    prof.disable()
+    stats = pstats.Stats(prof)
+    seconds = {name: 0.0 for name, _ in _STAGE_PREFIXES}
+    seconds["other"] = 0.0
+    for (filename, _lineno, _func), row in stats.stats.items():
+        tottime = row[2]
+        path = filename.replace(os.sep, "/")
+        for name, prefix in _STAGE_PREFIXES:
+            if prefix in path:
+                seconds[name] += tottime
+                break
+        else:
+            seconds["other"] += tottime
+    total = sum(seconds.values()) or 1.0
+    ordered = sorted(seconds, key=seconds.get, reverse=True)
+    return {
+        "seconds": {k: round(seconds[k], 4) for k in ordered},
+        "fraction": {k: round(seconds[k] / total, 4) for k in ordered},
+    }
+
+
+def _reference_checksum(policy, packets, n_nics: int) -> str:
+    """Checksum of the pre-optimization oracle's vectors.
+
+    ``SUPERFE_REFERENCE_PATH`` is read when the pipeline stages are
+    constructed, which ``SuperFE.run`` does per call — so the
+    environment window must cover the run, not just ``api.compile``.
+    """
+    before = os.environ.get("SUPERFE_REFERENCE_PATH")
+    os.environ["SUPERFE_REFERENCE_PATH"] = "1"
+    try:
+        result = api.compile(policy, n_nics=n_nics).run(packets)
+    finally:
+        if before is None:
+            del os.environ["SUPERFE_REFERENCE_PATH"]
+        else:
+            os.environ["SUPERFE_REFERENCE_PATH"] = before
+    return vectors_checksum(result.vectors)
+
+
+def run_hotpath(n_flows: int = 400,
+                n_nics: int = 4,
+                trace_profile: str = "ENTERPRISE",
+                seed: int = 17,
+                repeats: int = 5,
+                profile: bool = True) -> dict:
+    """Measure the three pipeline slices and verify oracle equivalence.
+
+    Returns the benchmark record serialized to ``BENCH_hotpath.json``.
+    """
+    policy = scaling_policy()
+    packets = generate_trace(trace_profile, n_flows=n_flows, seed=seed)
+    n_packets = len(packets)
+    compiled = PolicyCompiler().compile(policy)
+
+    # End-to-end is timed first, before the stage slices allocate their
+    # long-lived scaffolding (event lists, profile tables) — the number
+    # must be comparable to a standalone run() loop.
+    extractor = api.compile(policy, n_nics=n_nics)
+    result = extractor.run(packets)
+    checksum = vectors_checksum(result.vectors)
+    n_vectors = len(result.vectors)
+    e2e_s = _best_of(lambda: extractor.run(packets), repeats)
+
+    def switch_only() -> None:
+        cache = MGPVCache(compiled.cg, compiled.fg,
+                          compiled.sized_mgpv_config(None),
+                          compiled.metadata_fields)
+        admit = FilterStage(list(compiled.switch_filters)).admit
+        insert = cache.insert
+        buf: list = []
+        for pkt in packets:
+            if admit(pkt):
+                buf.clear()
+                insert(pkt, buf)
+        cache.flush()
+
+    switch_s = _best_of(switch_only, repeats)
+
+    # Pre-compute the event stream once so engine_only times NIC work.
+    cache = MGPVCache(compiled.cg, compiled.fg,
+                      compiled.sized_mgpv_config(None),
+                      compiled.metadata_fields)
+    admit = FilterStage(list(compiled.switch_filters)).admit
+    events: list = []
+    for pkt in packets:
+        if admit(pkt):
+            events.extend(cache.insert(pkt))
+    events.extend(cache.flush())
+
+    def engine_only() -> None:
+        cluster = NICCluster(compiled, n_nics)
+        consume = cluster.consume
+        for event in events:
+            consume(event)
+        cluster.finalize()
+
+    engine_s = _best_of(engine_only, repeats)
+
+    attribution = (profile_attribution(lambda: extractor.run(packets))
+                   if profile else None)
+
+    reference_sum = _reference_checksum(policy, packets, n_nics)
+    e2e_pps = n_packets / e2e_s
+
+    return {
+        "bench": "hotpath",
+        "cpu_count": os.cpu_count(),
+        "trace": trace_profile,
+        "n_flows": n_flows,
+        "n_packets": n_packets,
+        "n_vectors": n_vectors,
+        "n_nics": n_nics,
+        "repeats": repeats,
+        "stages": {
+            "switch_only": {
+                "seconds": round(switch_s, 4),
+                "pps": round(n_packets / switch_s, 1),
+            },
+            "engine_only": {
+                "seconds": round(engine_s, 4),
+                "pps": round(n_packets / engine_s, 1),
+                "n_events": len(events),
+            },
+            "end_to_end": {
+                "seconds": round(e2e_s, 4),
+                "pps": round(e2e_pps, 1),
+                "checksum": checksum,
+            },
+        },
+        "baseline_pps": PRE_OPTIMIZATION_PPS,
+        "speedup_vs_baseline": round(e2e_pps / PRE_OPTIMIZATION_PPS, 3),
+        "profile": attribution,
+        "reference_checksum": reference_sum,
+        "equivalent": checksum == reference_sum,
+    }

@@ -195,6 +195,51 @@ def _cmd_bench_parallel(args) -> int:
     return 0 if record["equivalent"] else 1
 
 
+def _cmd_bench_hotpath(args) -> int:
+    import json
+
+    from repro.bench.hotpath import run_hotpath
+    record = run_hotpath(n_flows=args.flows, n_nics=args.nics,
+                         trace_profile=args.trace, seed=args.seed,
+                         repeats=args.repeats,
+                         profile=not args.no_profile)
+    with open(args.out, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    for stage, row in record["stages"].items():
+        print(f"{stage:12s}: {row['pps']:>12,.0f} pps "
+              f"({row['seconds']:.4f}s)")
+    marker = "==" if record["equivalent"] else "!="
+    print(f"checksum {marker} reference oracle; "
+          f"{record['speedup_vs_baseline']:.2f}x vs "
+          f"{record['baseline_pps']:,.1f} pps pre-optimization baseline")
+    print(f"wrote {args.out} (cpu_count={record['cpu_count']})")
+    if not record["equivalent"]:
+        print("FAIL: optimized vectors diverge from the reference "
+              "oracle", file=sys.stderr)
+        return 1
+    if args.check_against:
+        try:
+            with open(args.check_against) as fh:
+                committed = json.load(fh)
+        except FileNotFoundError:
+            print(f"no committed record at {args.check_against}; "
+                  f"skipping regression gate")
+            return 0
+        floor = committed["stages"]["end_to_end"]["pps"] * (
+            1.0 - args.max_regression)
+        measured = record["stages"]["end_to_end"]["pps"]
+        if measured < floor:
+            print(f"FAIL: serial end-to-end {measured:,.0f} pps is "
+                  f">{args.max_regression:.0%} below the committed "
+                  f"{committed['stages']['end_to_end']['pps']:,.0f} pps",
+                  file=sys.stderr)
+            return 1
+        print(f"regression gate passed: {measured:,.0f} pps >= "
+              f"{floor:,.0f} pps floor")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.bench.report import build_report
     try:
@@ -253,6 +298,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=17)
     p.add_argument("--out", default="BENCH_parallel.json")
     p.set_defaults(func=_cmd_bench_parallel)
+
+    p = sub.add_parser("bench-hotpath",
+                       help="per-stage hot-path micro-benchmark with "
+                            "profile attribution and oracle checksums")
+    p.add_argument("--flows", type=int, default=400)
+    p.add_argument("--nics", type=int, default=4)
+    p.add_argument("--trace", default="ENTERPRISE")
+    p.add_argument("--seed", type=int, default=17)
+    p.add_argument("--repeats", type=int, default=5)
+    p.add_argument("--no-profile", action="store_true",
+                   help="skip the cProfile attribution pass")
+    p.add_argument("--out", default="BENCH_hotpath.json")
+    p.add_argument("--check-against",
+                   help="committed record to gate against: fail when "
+                        "end-to-end pps regresses more than "
+                        "--max-regression below it")
+    p.add_argument("--max-regression", type=float, default=0.20,
+                   help="allowed fractional pps regression for "
+                        "--check-against (default 0.20)")
+    p.set_defaults(func=_cmd_bench_hotpath)
 
     p = sub.add_parser("report",
                        help="assemble benchmark results into one report")

@@ -69,6 +69,30 @@ class Batcher:
         return len(self._items)
 
 
+class AdaptiveBatcher(Batcher):
+    """Slow-start :class:`Batcher` for auto-sized dispatch: the first
+    chunks release quickly (low time-to-first-dispatch on short
+    streams), then the capacity doubles per released chunk up to
+    ``max_capacity`` so a long stream settles into one queue/pickling
+    round per large chunk without anyone picking a batch size."""
+
+    __slots__ = ("max_capacity",)
+
+    def __init__(self, capacity: int = 16,
+                 max_capacity: int = 1024) -> None:
+        super().__init__(capacity)
+        if max_capacity < capacity:
+            raise ValueError(f"max_capacity must be >= capacity, got "
+                             f"{max_capacity} < {capacity}")
+        self.max_capacity = max_capacity
+
+    def add(self, item) -> list | None:
+        chunk = super().add(item)
+        if chunk is not None and self.capacity < self.max_capacity:
+            self.capacity = min(self.capacity * 2, self.max_capacity)
+        return chunk
+
+
 def _check_supported(compiled: CompiledPolicy) -> None:
     if compiled.collect_unit == "pkt":
         raise UnsupportedPolicy("per-packet collection is stateful; use "

@@ -36,7 +36,7 @@ from repro.core.compiler import CompiledPolicy
 from repro.core.functions import ExecContext
 from repro.core.observe import Trace
 from repro.core.parallel import ExecutionConfig, ParallelSink, ShardedCluster
-from repro.net.packet import Packet
+from repro.net.packet import Packet, compile_field_accessor
 from repro.nicsim.engine import FeatureEngine, FeatureVector
 from repro.nicsim.loadbalance import NICCluster
 from repro.nicsim.placement import PlacementResult
@@ -224,11 +224,35 @@ class SwitchNICLink:
     # -- stage protocol --------------------------------------------------------
 
     def consume(self, event) -> tuple:
-        if isinstance(event, FGSync):
+        is_sync = isinstance(event, FGSync)
+        if is_sync:
             self.syncs_in += 1
         else:
             self.records_in += 1
         self.seq_sent += 1
+        if (self._rng is None and self._fault_rng is None
+                and self.config.batch_records == 1
+                and self._capacity_clamp is None
+                and self.config.capacity_records is None
+                and not self._queue and not self._pending_gap):
+            # Lossless per-record channel (the default): the event is its
+            # own batch, so account and forward it without the queue
+            # round-trip — byte-for-byte the _transmit() accounting.
+            cfg = self.config
+            wire_bytes = event.wire_bytes(self.wire)
+            self.batches_out += 1
+            self.batch_overhead_bytes += cfg.batch_header_bytes
+            if is_sync:
+                self.syncs_out += 1
+                self.sync_bytes += wire_bytes
+            else:
+                self.records_out += 1
+                self.cells_out += len(event.cells)
+                self.record_bytes += wire_bytes
+            batch_bytes = cfg.batch_header_bytes + wire_bytes
+            self.bytes_out += batch_bytes
+            self.busy_ns += batch_bytes * 8 / cfg.bandwidth_gbps
+            return (event,)
         cause = self._dropped(event)
         if cause is not None:
             if cause == "fault":
@@ -404,8 +428,14 @@ class PerfectSwitch:
     def __init__(self, compiled: CompiledPolicy) -> None:
         self.compiled = compiled
         self.stats = CacheStats()
-        self._fg_indices: dict[tuple, int] = {}
+        # fg_key -> (index, cg_key, cg_hash32): index assignment plus the
+        # per-flow projection/hash, computed once per flow instead of per
+        # packet (the same interning the MGPV cache does).
+        self._fg_routes: dict[tuple, tuple[int, tuple, int]] = {}
         self._fg_keys_by_index: list[tuple] = []
+        self._fg_packet_key = compiled.fg.packet_key
+        self._meta_accessor = compile_field_accessor(
+            tuple(compiled.metadata_fields))
         self._now = 0
 
     def fg_entry(self, index: int) -> tuple | None:
@@ -414,27 +444,35 @@ class PerfectSwitch:
             return self._fg_keys_by_index[index]
         return None
 
-    def consume(self, pkt: Packet) -> tuple:
-        self._now = max(self._now, pkt.tstamp)
+    def insert(self, pkt: Packet, out: list | None = None) -> list:
+        """Process one packet, appending its events to ``out`` (fresh
+        list when not given); same buffer contract as
+        :meth:`MGPVCache.insert`."""
+        events: list = [] if out is None else out
+        if pkt.tstamp > self._now:
+            self._now = pkt.tstamp
         self.stats.pkts_in += 1
         self.stats.bytes_in += pkt.size
-        events: list = []
-        fg_key = self.compiled.fg.packet_key(pkt)
-        idx = self._fg_indices.get(fg_key)
-        if idx is None:
-            idx = len(self._fg_indices)
-            self._fg_indices[fg_key] = idx
+        fg_key = self._fg_packet_key(pkt)
+        route = self._fg_routes.get(fg_key)
+        if route is None:
+            idx = len(self._fg_routes)
+            cg_key = self.compiled.cg.project(fg_key)
+            route = (idx, cg_key, hash_key(cg_key))
+            self._fg_routes[fg_key] = route
             self._fg_keys_by_index.append(fg_key)
             events.append(FGSync(idx, fg_key))
-        cell = (idx, tuple(pkt.field(f)
-                           for f in self.compiled.metadata_fields))
-        cg_key = self.compiled.cg.project(fg_key)
+        idx, cg_key, cg_hash32 = route
+        cell = (idx, self._meta_accessor(pkt))
         events.append(MGPVRecord(
-            cg_key=cg_key, cg_hash32=hash_key(cg_key),
+            cg_key=cg_key, cg_hash32=cg_hash32,
             cells=(cell,), reason="software"))
         self.stats.records_out += 1
         self.stats.cells_out += 1
-        return tuple(events)
+        return events
+
+    def consume(self, pkt: Packet) -> tuple:
+        return tuple(self.insert(pkt))
 
     def flush(self) -> tuple:
         return ()
@@ -450,7 +488,7 @@ class PerfectSwitch:
             "bytes_in": s.bytes_in,
             "records_out": s.records_out,
             "cells_out": s.cells_out,
-            "fg_keys": len(self._fg_indices),
+            "fg_keys": len(self._fg_routes),
         }
 
 
@@ -709,11 +747,38 @@ class Dataplane:
         """Feed a batch of packets through the graph; returns the
         per-packet vectors the batch produced (empty for per-group
         policies, which emit at :meth:`snapshot` / :meth:`flush`)."""
-        for pkt in packets:
-            if self.faults is not None:
-                self.faults.on_packet(self._pkt_index)
-            self._pkt_index += 1
-            self._push(pkt)
+        if self.trace is not None:
+            # Observability path: the generic fan-out traces every event
+            # at every stage boundary.
+            for pkt in packets:
+                if self.faults is not None:
+                    self.faults.on_packet(self._pkt_index)
+                self._pkt_index += 1
+                self._push(pkt)
+        else:
+            # Hot path: the graph shape is static (filter -> switch ->
+            # link -> sink, with the sink absorbing), so run it as one
+            # inlined loop with bound methods and a reused switch event
+            # buffer instead of the generic per-event fan-out.  Fault
+            # actions mutate stage *state*, never the stage objects, so
+            # binding is safe.
+            faults = self.faults
+            admit = self.filter.admit
+            insert = self.switch.insert
+            link_consume = self.link.consume
+            sink_consume = self.sink.consume
+            buf: list = []
+            for pkt in packets:
+                if faults is not None:
+                    faults.on_packet(self._pkt_index)
+                self._pkt_index += 1
+                if not admit(pkt):
+                    continue
+                buf.clear()
+                insert(pkt, buf)
+                for event in buf:
+                    for delivered in link_consume(event):
+                        sink_consume(delivered)
         # Keep the NIC clock moving even for policies whose cells carry
         # no timestamp (idle eviction relies on it).
         self.sink.advance_clock(self.switch.now_ns)

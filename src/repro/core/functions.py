@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
@@ -107,12 +108,15 @@ class ExecContext:
 # --------------------------------------------------------------------------
 
 class _FOne:
+    __slots__ = ()
     def apply(self, member, src_value):
         return 1
 
 
 class _FIpt:
     """Inter-packet time within the group (ns); None for the first packet."""
+
+    __slots__ = ("_prev",)
 
     def __init__(self) -> None:
         self._prev = None
@@ -129,6 +133,8 @@ class _FSpeed:
     """Instantaneous throughput: src value (bytes) over the inter-packet
     gap, in bytes/second; None for the first packet."""
 
+    __slots__ = ("_prev",)
+
     def __init__(self) -> None:
         self._prev = None
 
@@ -143,6 +149,8 @@ class _FSpeed:
 class _FDirection:
     """Multiply the source value by the packet direction (+1/-1)."""
 
+    __slots__ = ()
+
     def apply(self, member, src_value):
         return src_value * member.get("direction")
 
@@ -150,6 +158,8 @@ class _FDirection:
 class _FBurst:
     """Burst identification: emits the ordinal of the burst (a maximal run
     of same-direction packets) the member belongs to."""
+
+    __slots__ = ("_prev_dir", "_burst")
 
     def __init__(self) -> None:
         self._prev_dir = None
@@ -164,6 +174,7 @@ class _FBurst:
 
 
 class _FIdentity:
+    __slots__ = ()
     def apply(self, member, src_value):
         return src_value
 
@@ -189,6 +200,14 @@ def register_map_fn(name: str, factory, override: bool = False,
         FN_IMPLICIT_FIELDS[name] = tuple(implicit_fields)
 
 
+#: Registered factory object -> cheaper constructor for the per-group
+#: instantiation path: the builtin factories ignore ``spec`` (and some
+#: ignore ``ctx``), so ``make_*_factory`` can hand groups the class (or
+#: a ctx-bound partial) directly instead of two nested lambda frames.
+#: Keyed by factory identity, so user re-registrations never match.
+_ZERO_ARG_FACTORIES: dict = {}
+_CTX_ARG_FACTORIES: dict = {}
+
 for _name, _cls, _fields in [
         ("f_one", _FOne, ()),
         ("f_ipt", _FIpt, ("tstamp",)),
@@ -196,8 +215,9 @@ for _name, _cls, _fields in [
         ("f_direction", _FDirection, ("direction",)),
         ("f_burst", _FBurst, ("direction",)),
         ("f_identity", _FIdentity, ())]:
-    register_map_fn(_name, (lambda cls: lambda spec, ctx: cls())(_cls),
-                    implicit_fields=_fields)
+    _factory = (lambda cls: lambda spec, ctx: cls())(_cls)
+    register_map_fn(_name, _factory, implicit_fields=_fields)
+    _ZERO_ARG_FACTORIES[_factory] = _cls
 
 
 def make_map_fn(spec, ctx: ExecContext | None = None):
@@ -211,6 +231,22 @@ def make_map_fn(spec, ctx: ExecContext | None = None):
     return factory(spec, ctx)
 
 
+def make_map_factory(spec, ctx: ExecContext | None = None):
+    """Resolve a mapping-fn spec once and return a zero-arg constructor
+    of fresh instances — the per-new-group path skips re-parsing."""
+    spec = parse_fn_spec(spec)
+    ctx = ctx or ExecContext()
+    try:
+        factory = MAP_FNS[spec.name]
+    except KeyError:
+        raise KeyError(f"unknown mapping function {spec.name!r} "
+                       f"(have {sorted(MAP_FNS)})") from None
+    cls = _ZERO_ARG_FACTORIES.get(factory)
+    if cls is not None:
+        return cls
+    return partial(factory, spec, ctx)
+
+
 # --------------------------------------------------------------------------
 # Reducing functions — stateful per group; update(value, member), then
 # finalize() returns a float or ndarray.  state_bytes reports retained
@@ -219,6 +255,8 @@ def make_map_fn(spec, ctx: ExecContext | None = None):
 
 class _ScalarReduce:
     """Base for sum/max/min: one state word, one op per update."""
+
+    __slots__ = ("value",)
 
     state_bytes = 8
 
@@ -230,16 +268,19 @@ class _ScalarReduce:
 
 
 class _FSum(_ScalarReduce):
+    __slots__ = ()
     def update(self, value, member) -> None:
         self.value = value if self.value is None else self.value + value
 
 
 class _FMax(_ScalarReduce):
+    __slots__ = ()
     def update(self, value, member) -> None:
         self.value = value if self.value is None else max(self.value, value)
 
 
 class _FMin(_ScalarReduce):
+    __slots__ = ()
     def update(self, value, member) -> None:
         self.value = value if self.value is None else min(self.value, value)
 
@@ -247,6 +288,8 @@ class _FMin(_ScalarReduce):
 class _WelfordReduce:
     """Shared base for mean/var/std over a Welford state; the context
     selects the division-free NFP variant."""
+
+    __slots__ = ("_w",)
 
     def __init__(self, ctx: ExecContext) -> None:
         self._w = WelfordDivisionFree() if ctx.division_free else Welford()
@@ -260,21 +303,25 @@ class _WelfordReduce:
 
 
 class _FMean(_WelfordReduce):
+    __slots__ = ()
     def finalize(self) -> float:
         return float(self._w.mean)
 
 
 class _FVar(_WelfordReduce):
+    __slots__ = ()
     def finalize(self) -> float:
         return float(self._w.variance)
 
 
 class _FStd(_WelfordReduce):
+    __slots__ = ()
     def finalize(self) -> float:
         return float(self._w.std)
 
 
 class _MomentsReduce:
+    __slots__ = ("_m",)
     state_bytes = StreamingMoments.state_bytes
 
     def __init__(self) -> None:
@@ -285,11 +332,13 @@ class _MomentsReduce:
 
 
 class _FSkew(_MomentsReduce):
+    __slots__ = ()
     def finalize(self) -> float:
         return self._m.skewness
 
 
 class _FKur(_MomentsReduce):
+    __slots__ = ()
     def finalize(self) -> float:
         return self._m.kurtosis
 
@@ -297,6 +346,8 @@ class _FKur(_MomentsReduce):
 class _BidirReduce:
     """Base for the 2D statistics: routes values into the two directional
     streams using the member's direction metadata."""
+
+    __slots__ = ("_b",)
 
     def __init__(self) -> None:
         self._b = BidirectionalStats()
@@ -310,26 +361,31 @@ class _BidirReduce:
 
 
 class _FMag(_BidirReduce):
+    __slots__ = ()
     def finalize(self) -> float:
         return self._b.magnitude
 
 
 class _FRadius(_BidirReduce):
+    __slots__ = ()
     def finalize(self) -> float:
         return self._b.radius
 
 
 class _FCov(_BidirReduce):
+    __slots__ = ()
     def finalize(self) -> float:
         return self._b.covariance
 
 
 class _FPcc(_BidirReduce):
+    __slots__ = ()
     def finalize(self) -> float:
         return self._b.pcc
 
 
 class _FCard:
+    __slots__ = ("_hll",)
     def __init__(self, k: int = 6) -> None:
         self._hll = HyperLogLog(k)
 
@@ -351,6 +407,8 @@ class _FArray:
     output with ``synthesize(ft_sample{n})``.
     """
 
+    __slots__ = ("values",)
+
     def __init__(self) -> None:
         self.values: list = []
 
@@ -366,6 +424,7 @@ class _FArray:
 
 
 class _HistReduce:
+    __slots__ = ("_h",)
     def __init__(self, width: float, n_bins: int, origin: float = 0.0
                  ) -> None:
         self._h = FixedWidthHistogram(width, n_bins, origin)
@@ -379,21 +438,25 @@ class _HistReduce:
 
 
 class _FtHist(_HistReduce):
+    __slots__ = ()
     def finalize(self) -> np.ndarray:
         return self._h.result().astype(np.float64)
 
 
 class _FPdf(_HistReduce):
+    __slots__ = ()
     def finalize(self) -> np.ndarray:
         return self._h.pdf()
 
 
 class _FCdf(_HistReduce):
+    __slots__ = ()
     def finalize(self) -> np.ndarray:
         return self._h.cdf()
 
 
 class _FtPercent(_HistReduce):
+    __slots__ = ("q",)
     def __init__(self, q: float, width: float, n_bins: int) -> None:
         super().__init__(width, n_bins)
         self.q = q
@@ -459,6 +522,16 @@ register_reduce_fn(
         *( (float(spec.args[1]), int(spec.args[2]))
            if len(spec.args) >= 3 else _DEFAULT_HIST )))
 
+for _name, _cls in (("f_sum", _FSum), ("f_max", _FMax), ("f_min", _FMin),
+                    ("f_skew", _FSkew), ("f_kur", _FKur),
+                    ("f_mag", _FMag), ("f_radius", _FRadius),
+                    ("f_cov", _FCov), ("f_pcc", _FPcc),
+                    ("f_array", _FArray)):
+    _ZERO_ARG_FACTORIES[REDUCE_FNS[_name]] = _cls
+for _name, _cls in (("f_mean", _FMean), ("f_var", _FVar),
+                    ("f_std", _FStd)):
+    _CTX_ARG_FACTORIES[REDUCE_FNS[_name]] = _cls
+
 
 def make_reduce_fn(spec, ctx: ExecContext | None = None):
     spec = parse_fn_spec(spec)
@@ -469,6 +542,84 @@ def make_reduce_fn(spec, ctx: ExecContext | None = None):
         raise KeyError(f"unknown reducing function {spec.name!r} "
                        f"(have {sorted(REDUCE_FNS)})") from None
     return factory(spec, ctx)
+
+
+def make_reduce_factory(spec, ctx: ExecContext | None = None):
+    """Resolve a reducing-fn spec once and return a zero-arg constructor
+    of fresh instances — the per-new-group path skips re-parsing."""
+    spec = parse_fn_spec(spec)
+    ctx = ctx or ExecContext()
+    try:
+        factory = REDUCE_FNS[spec.name]
+    except KeyError:
+        raise KeyError(f"unknown reducing function {spec.name!r} "
+                       f"(have {sorted(REDUCE_FNS)})") from None
+    cls = _ZERO_ARG_FACTORIES.get(factory)
+    if cls is not None:
+        return cls
+    cls = _CTX_ARG_FACTORIES.get(factory)
+    if cls is not None:
+        return partial(cls, ctx)
+    return partial(factory, spec, ctx)
+
+
+#: Builtin reducer families whose whole per-group state is one parameter-
+#: free streaming accumulator fed only by ``update(value)``: every member
+#: of a family over the same source key maintains a bit-identical copy,
+#: so one accumulator can serve them all.  Exact-type keyed — user
+#: registrations (which may override ``update``) never participate.
+_SHARED_STATE_ATTRS: dict[type, str] = {
+    _FMean: "_w", _FVar: "_w", _FStd: "_w",
+    _FSkew: "_m", _FKur: "_m",
+    _FMag: "_b", _FRadius: "_b", _FCov: "_b", _FPcc: "_b",
+}
+
+
+def share_reducer_states(reducers) -> set[int]:
+    """Deduplicate redundant streaming accumulators across reducers of
+    one group: given ``(src_key, reducer)`` pairs, rewire every family
+    follower (e.g. ``f_var`` after ``f_mean`` over the same source) onto
+    the leader's accumulator and return the follower ids.  Callers must
+    then drive ``update`` only on the leaders — the followers' finalize
+    reads the shared state.
+    """
+    pools: dict = {}
+    followers: set[int] = set()
+    for src, reducer in reducers:
+        attr = _SHARED_STATE_ATTRS.get(type(reducer))
+        if attr is None:
+            continue
+        inner = getattr(reducer, attr)
+        key = (src, attr, type(inner))
+        leader_state = pools.get(key)
+        if leader_state is None:
+            pools[key] = inner
+        else:
+            setattr(reducer, attr, leader_state)
+            followers.add(id(reducer))
+    return followers
+
+
+def reducer_share_plan(reducers) -> tuple:
+    """Index-based twin of :func:`share_reducer_states` for precompiled
+    section plans: probe one ``(src_key, reducer)`` instance list and
+    return ``((follower_idx, leader_idx, attr), ...)`` — valid for every
+    group built from the same factories, so per-group wiring is three
+    attribute operations per follower instead of a type-table walk."""
+    pools: dict = {}
+    plan = []
+    for i, (src, reducer) in enumerate(reducers):
+        attr = _SHARED_STATE_ATTRS.get(type(reducer))
+        if attr is None:
+            continue
+        inner = getattr(reducer, attr)
+        key = (src, attr, type(inner))
+        leader = pools.get(key)
+        if leader is None:
+            pools[key] = i
+        else:
+            plan.append((i, leader, attr))
+    return tuple(plan)
 
 
 # --------------------------------------------------------------------------

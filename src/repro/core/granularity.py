@@ -72,8 +72,13 @@ def _socket_key(pkt: Packet) -> tuple:
 
 
 def _flow_key(pkt: Packet) -> tuple:
-    ft = pkt.flow_key
-    return (ft.src_ip, ft.dst_ip, ft.src_port, ft.dst_port, ft.proto)
+    # Canonicalized inline (same ordering as FiveTuple.canonical) —
+    # the per-packet path skips the two FiveTuple allocations.
+    src_ip, dst_ip = pkt.src_ip, pkt.dst_ip
+    src_port, dst_port = pkt.src_port, pkt.dst_port
+    if (src_ip, src_port) <= (dst_ip, dst_port):
+        return (src_ip, dst_ip, src_port, dst_port, pkt.proto)
+    return (dst_ip, src_ip, dst_port, src_port, pkt.proto)
 
 
 #: Directed chain: host > channel > socket.  Projections take a socket key

@@ -77,12 +77,14 @@ class ExecutionConfig:
     ``workers`` is an upper bound — a cluster never spawns more workers
     than it has shards.  ``dispatch_batch`` is the amortization unit:
     events accumulate coordinator-side and cross the worker queue in
-    chunks (one pickling round per chunk on the process backend).
+    chunks (one pickling round per chunk on the process backend).  The
+    default (None) auto-sizes: a slow-start batcher releases small
+    chunks first and doubles up to 1024 as the stream proves long.
     """
 
     workers: int = 1
     backend: str = "serial"
-    dispatch_batch: int = 256
+    dispatch_batch: int | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -90,7 +92,7 @@ class ExecutionConfig:
                              f"{self.backend!r}; have {BACKENDS}")
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
-        if self.dispatch_batch < 1:
+        if self.dispatch_batch is not None and self.dispatch_batch < 1:
             raise ValueError(f"dispatch_batch must be >= 1, "
                              f"got {self.dispatch_batch}")
 
@@ -133,6 +135,20 @@ class _ShardDriver:
         if kind == "batch":
             for shard, event in msg[1]:
                 self.engines[shard].consume(event)
+            return False, None
+        if kind == "pbatch":
+            # Compact wire rows (process backend): events cross the
+            # queue as positional tuples instead of pickled dataclass
+            # instances, and are rebuilt here.  Tag 0 = MGPVRecord row
+            # (shard, 0, cg_key, cg_hash32, cells, reason); tag 1 =
+            # FGSync row (shard, 1, index, key).
+            engines = self.engines
+            for row in msg[1]:
+                if row[1] == 0:
+                    engines[row[0]].consume(
+                        MGPVRecord(row[2], row[3], row[4], row[5]))
+                else:
+                    engines[row[0]].consume(FGSync(row[2], row[3]))
             return False, None
         if kind == "clock":
             for engine in self.engines.values():
@@ -302,7 +318,7 @@ class ShardedCluster:
                  **engine_kwargs) -> None:
         # Imported lazily: core.batch pulls in core.pipeline, which is
         # still mid-import when dataplane loads this module.
-        from repro.core.batch import Batcher
+        from repro.core.batch import AdaptiveBatcher, Batcher
         if n_nics < 1:
             raise ValueError("need at least one NIC")
         self.compiled = compiled
@@ -333,18 +349,38 @@ class ShardedCluster:
                 _QueueWorker(execution.backend, compiled, ctx,
                              engine_kwargs, shards, w)
                 for w, shards in enumerate(shards_of)]
-        self._batchers = [Batcher(execution.dispatch_batch)
-                          for _ in range(self.n_workers)]
+        if execution.dispatch_batch is None:
+            self._batchers: list = [AdaptiveBatcher()
+                                    for _ in range(self.n_workers)]
+        else:
+            self._batchers = [Batcher(execution.dispatch_batch)
+                              for _ in range(self.n_workers)]
+        # The process backend ships compact positional rows (see the
+        # driver's "pbatch" handler) — tuples pickle far cheaper than
+        # frozen-dataclass events.  In-process backends keep the event
+        # objects: nothing crosses a pickling boundary there.
+        self._compact = execution.backend == "process"
         self.batches_dispatched = 0
         self.events_dispatched = 0
+        # Steering memo, as in the serial cluster: route_shard per key
+        # is fixed while the live set is stable; dropped on liveness
+        # changes (bounded, cleared on overflow).
+        self._route_cache: dict[tuple, tuple[int, bool]] = {}
         self._stats_cache = {s: EngineStats() for s in range(n_nics)}
         self._final_vectors: list[FeatureVector] | None = None
         self._closed = False
 
     # -- routing & dispatch ---------------------------------------------------
 
-    def _route(self, cg_key: tuple) -> int:
-        shard, rerouted = route_shard(cg_key, self.alive)
+    def _route(self, cg_key: tuple,
+               hash32: int | None = None) -> int:
+        cached = self._route_cache.get(cg_key)
+        if cached is None:
+            if len(self._route_cache) >= 1 << 17:
+                self._route_cache.clear()
+            cached = route_shard(cg_key, self.alive, hash32)
+            self._route_cache[cg_key] = cached
+        shard, rerouted = cached
         if rerouted:
             self.rerouted_events += 1
         return shard
@@ -356,12 +392,17 @@ class ShardedCluster:
             cg_key = self.compiled.cg.project(event.key)
             shard = self._route(cg_key)
             self._mirrors[shard][event.index] = event.key
+            row = ((shard, 1, event.index, event.key)
+                   if self._compact else (shard, event))
         elif isinstance(event, MGPVRecord):
-            shard = self._route(event.cg_key)
+            shard = self._route(event.cg_key, event.cg_hash32)
+            row = ((shard, 0, event.cg_key, event.cg_hash32,
+                    event.cells, event.reason)
+                   if self._compact else (shard, event))
         else:
             raise TypeError(f"unknown event {event!r}")
         worker = self._owner[shard]
-        chunk = self._batchers[worker].add((shard, event))
+        chunk = self._batchers[worker].add(row)
         if chunk is not None:
             self._dispatch(worker, chunk)
 
@@ -371,7 +412,8 @@ class ShardedCluster:
         return self
 
     def _dispatch(self, worker: int, chunk: list) -> None:
-        self._workers[worker].post(("batch", chunk))
+        self._workers[worker].post(
+            ("pbatch" if self._compact else "batch", chunk))
         self.batches_dispatched += 1
         self.events_dispatched += len(chunk)
 
@@ -409,6 +451,7 @@ class ShardedCluster:
             raise ValueError("cannot fail the last live NIC")
         self._flush_dispatch()
         self.alive[nic] = False
+        self._route_cache.clear()
         self.failovers += 1
         residual = self._workers[self._owner[nic]].request(("crash", nic))
         self._residual.extend(residual)
@@ -423,6 +466,7 @@ class ShardedCluster:
         if self.alive[nic]:
             raise ValueError(f"NIC {nic} is already alive")
         self.alive[nic] = True
+        self._route_cache.clear()
         self.restarts += 1
 
     def _check_nic(self, nic: int) -> None:
@@ -531,7 +575,9 @@ class ShardedCluster:
             "dispatch": {
                 "backend": self.execution.backend,
                 "workers": self.n_workers,
-                "batch_size": self.execution.dispatch_batch,
+                "batch_size": (self.execution.dispatch_batch
+                               if self.execution.dispatch_batch is not None
+                               else "auto"),
                 "batches": self.batches_dispatched,
                 "events": self.events_dispatched,
             },

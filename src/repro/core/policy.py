@@ -48,7 +48,7 @@ from repro.core.functions import (
     parse_fn_spec,
 )
 from repro.core.granularity import GRANULARITIES, get_granularity
-from repro.net.packet import Packet
+from repro.net.packet import PLAIN_FIELDS, PROTO_TCP, PROTO_UDP, Packet
 
 
 class PolicyError(ValueError):
@@ -93,6 +93,27 @@ class Condition:
         if self.op is None:
             return bool(actual)
         return _OPS[self.op](actual, self.value)
+
+    def compile(self) -> Callable[[Packet], bool]:
+        """A closure evaluating this condition with the field lookup and
+        operator dispatch resolved once instead of per packet."""
+        name = self.field
+        if name in PLAIN_FIELDS:
+            get = operator.attrgetter(name)
+        elif name == "tcp.exist":
+            def get(pkt):
+                return pkt.proto == PROTO_TCP
+        elif name == "udp.exist":
+            def get(pkt):
+                return pkt.proto == PROTO_UDP
+        else:
+            def get(pkt, _name=name):
+                return pkt.field(_name)
+        if self.op is None:
+            return lambda pkt: bool(get(pkt))
+        cmp = _OPS[self.op]
+        value = self.value
+        return lambda pkt: cmp(get(pkt), value)
 
     def __str__(self) -> str:
         if self.op is None:
@@ -142,6 +163,14 @@ class Predicate:
 
     def matches(self, pkt: Packet) -> bool:
         return all(c.matches(pkt) for c in self.conditions)
+
+    def compile(self) -> Callable[[Packet], bool]:
+        """One closure for the whole conjunction (see
+        :meth:`Condition.compile`)."""
+        tests = tuple(c.compile() for c in self.conditions)
+        if len(tests) == 1:
+            return tests[0]
+        return lambda pkt: all(t(pkt) for t in tests)
 
     def __str__(self) -> str:
         return " and ".join(str(c) for c in self.conditions)

@@ -13,8 +13,9 @@ IP addresses are stored as 32-bit integers for speed; :func:`ip_to_int` and
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass, field, replace
-from typing import Iterator
+from typing import Callable, Iterator
 
 PROTO_ICMP = 1
 PROTO_TCP = 6
@@ -149,6 +150,35 @@ class Packet:
 
     def with_direction(self, direction: int) -> "Packet":
         return replace(self, direction=direction)
+
+
+#: Fields resolvable as plain attributes (everything except the derived
+#: ``flow`` / ``tcp.exist`` / ``udp.exist`` pseudo keys).
+PLAIN_FIELDS = frozenset((
+    "tstamp", "size", "src_ip", "dst_ip", "src_port", "dst_port",
+    "proto", "tcp_flags", "direction"))
+
+
+def compile_field_accessor(fields: tuple[str, ...]
+                           ) -> Callable[[Packet], tuple]:
+    """Compile a field-name tuple into one closure returning the value
+    tuple for a packet.
+
+    :meth:`Packet.field` dispatches on the field *name* per call; the
+    per-packet stages (MGPV cell construction, the software baseline's
+    record channel) resolve the same names for every packet, so the
+    dispatch is hoisted here to policy-compile time.  Plain header and
+    metadata fields become a single :func:`operator.attrgetter`; any
+    derived pseudo field falls back to the generic dispatch.
+    """
+    if not fields:
+        return lambda pkt: ()
+    if all(f in PLAIN_FIELDS for f in fields):
+        if len(fields) == 1:
+            getter = operator.attrgetter(fields[0])
+            return lambda pkt: (getter(pkt),)
+        return operator.attrgetter(*fields)
+    return lambda pkt: tuple(pkt.field(f) for f in fields)
 
 
 def sort_by_time(packets: Iterator[Packet]) -> list[Packet]:

@@ -20,6 +20,7 @@ tables whose memory level comes from the ILP placement (§6.2).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field as dc_field
 
 import numpy as np
@@ -27,9 +28,10 @@ import numpy as np
 from repro.core.compiler import CompiledPolicy, PolicyError, Section
 from repro.core.functions import (
     ExecContext,
-    make_map_fn,
-    make_reduce_fn,
+    make_map_factory,
+    make_reduce_factory,
     make_synth_fn,
+    reducer_share_plan,
 )
 from repro.nicsim.grouptable import GroupTable
 from repro.nicsim.memory import EMEM, level_by_name
@@ -78,16 +80,141 @@ class MemberView:
         return key in self._mapped or key in self._fields
 
 
+class _CellView:
+    """A reusable member view over one *positional* metadata tuple.
+
+    The hot path rebinds one instance per cell instead of building a
+    ``dict(zip(...))`` plus a fresh :class:`MemberView` per section:
+    metadata keys resolve through a name->position index shared by every
+    cell, mapped keys through a per-section-scratch dict cleared between
+    section updates.  Interface-compatible with :class:`MemberView` (the
+    map/reduce functions only call ``get``/``set``/``has``).
+    """
+
+    __slots__ = ("_index", "_meta", "_mapped")
+
+    def __init__(self, index: dict) -> None:
+        self._index = index
+        self._meta: tuple = ()
+        self._mapped: dict = {}
+
+    def rebind(self, meta: tuple) -> None:
+        self._meta = meta
+        self._mapped.clear()
+
+    def reset_mapped(self) -> None:
+        self._mapped.clear()
+
+    def get(self, key: str):
+        if key in self._mapped:
+            return self._mapped[key]
+        pos = self._index.get(key)
+        if pos is None:
+            raise KeyError(f"member has no key {key!r}")
+        return self._meta[pos]
+
+    def set(self, key: str, value) -> None:
+        self._mapped[key] = value
+
+    def has(self, key: str) -> bool:
+        return key in self._mapped or key in self._index
+
+
+# Reducer-source dispatch kinds (see _SectionPlan) and the mapped-dict
+# miss sentinel of the hot update loop.
+_POS, _MAPPED_OR_POS, _MAPPED = 0, 1, 2
+_MISSING = object()
+
+
+class _SectionPlan:
+    """Precompiled per-section recipe shared by every group of the
+    section: fn specs are parsed and resolved to factories once, source
+    keys to their positions in the metadata tuple once — a new group
+    only instantiates fresh function objects.
+
+    Positional plan semantics: a source that is a metadata field no map
+    overwrites (declared ``dst``) reads straight from the cell tuple;
+    a map-written source checks the mapped dict and falls back to the
+    cell tuple when the field also exists there — the original member
+    resolution order.  Reducer entries carry the dispatch kind:
+    ``_POS`` (always present, positional), ``_MAPPED_OR_POS`` (mapped
+    else positional), ``_MAPPED`` (mapped else skip).
+    """
+
+    __slots__ = ("maps", "reds", "share_plan")
+
+    def __init__(self, section: Section, ctx: ExecContext,
+                 meta_index: dict | None = None,
+                 share_states: bool = False) -> None:
+        index = meta_index or {}
+        map_dsts: set = set()
+        maps = []
+        for m in section.maps:
+            src_pos = (index.get(m.src)
+                       if m.src is not None and m.src not in map_dsts
+                       else None)
+            maps.append((m.dst, m.src, src_pos,
+                         make_map_factory(m.fn, ctx)))
+            map_dsts.add(m.dst)
+        self.maps = tuple(maps)
+        reds = []
+        for feat in section.features:
+            pos = index.get(feat.src)
+            if pos is None:
+                kind = _MAPPED
+            elif feat.src in map_dsts:
+                kind = _MAPPED_OR_POS
+            else:
+                kind = _POS
+            reds.append((feat, kind, feat.src, pos,
+                         make_reduce_factory(feat.reduce_fn, ctx)))
+        # Family followers (f_var after f_mean over the same source, …)
+        # can share the leader's accumulator; the structure is fixed by
+        # the factories, so probe it once and replay the index-based
+        # wiring per group (reference mode keeps independent copies).
+        self.share_plan = (reducer_share_plan(
+            (feat.src, factory()) for feat, _k, _s, _p, factory in reds)
+            if share_states else ())
+        followers = frozenset(f for f, _l, _a in self.share_plan)
+        self.reds = tuple(
+            (feat, kind, src, pos, factory, i in followers)
+            for i, (feat, kind, src, pos, factory) in enumerate(reds))
+
+
 class _GroupState:
     """Per-group function instances for one section."""
 
-    __slots__ = ("map_fns", "reducers", "last_update")
+    __slots__ = ("map_fns", "map_plan", "reducers", "upd_reducers",
+                 "red_plan", "last_update")
 
-    def __init__(self, section: Section, ctx: ExecContext) -> None:
-        self.map_fns = [(m.dst, m.src, make_map_fn(m.fn, ctx))
-                        for m in section.maps]
-        self.reducers = [(feat, make_reduce_fn(feat.reduce_fn, ctx))
-                         for feat in section.features]
+    def __init__(self, plan: _SectionPlan) -> None:
+        map_plan = []
+        map_fns = []
+        for dst, src, src_pos, factory in plan.maps:
+            fn = factory()
+            map_plan.append((dst, src, src_pos, fn))
+            map_fns.append((dst, src, fn))
+        self.map_plan = tuple(map_plan)
+        self.map_fns = map_fns
+        # One pass: instantiate, and mark family followers with a None
+        # reducer in the update plans ("state already updated by the
+        # leader" — its finalize reads the shared accumulator, wired
+        # below from the plan's probe).
+        reducers = []
+        upd_reducers = []
+        red_plan = []
+        for feat, kind, src, src_pos, factory, follower in plan.reds:
+            reducer = factory()
+            reducers.append((feat, reducer))
+            lead = None if follower else reducer
+            upd_reducers.append((feat, lead))
+            red_plan.append((kind, src, src_pos, lead))
+        for f_idx, l_idx, attr in plan.share_plan:
+            setattr(reducers[f_idx][1], attr,
+                    getattr(reducers[l_idx][1], attr))
+        self.reducers = reducers
+        self.upd_reducers = tuple(upd_reducers)
+        self.red_plan = tuple(red_plan)
         self.last_update = 0
 
     def state_bytes(self) -> int:
@@ -126,15 +253,26 @@ class FeatureEngine:
         self._degraded_cg_keys: set[tuple] = set()
         self._validate_collect_unit()
 
+        # Hot-path precompilation (see _process_record): positional
+        # metadata resolution, one reusable cell view, and the clock
+        # field's position.  SUPERFE_REFERENCE_PATH=1 keeps the original
+        # dict-per-cell path as the equivalence oracle.
+        meta = compiled.metadata_fields
+        self._meta_index = {name: i for i, name in enumerate(meta)}
+        self._ts_idx = self._meta_index.get("tstamp")
+        self._view = _CellView(self._meta_index)
+        self._reference = os.environ.get("SUPERFE_REFERENCE_PATH") == "1"
+
         self._tables: list[tuple[Section, GroupTable]] = []
         for section in compiled.sections:
             level = self._section_level(section, placement)
-            entry_bytes = self._entry_bytes(section)
+            plan = _SectionPlan(section, self.ctx, self._meta_index,
+                                share_states=not self._reference)
+            entry_bytes = self._entry_bytes(section, plan)
             table = GroupTable(
                 n_indices=table_indices, width=table_width,
                 entry_bytes=entry_bytes, level=level,
-                state_factory=(lambda sec=section:
-                               _GroupState(sec, self.ctx)))
+                state_factory=(lambda p=plan: _GroupState(p)))
             self._tables.append((section, table))
 
     # -- setup helpers -------------------------------------------------------
@@ -168,8 +306,9 @@ class FeatureEngine:
         return max((level_by_name(n) for n in names),
                    key=lambda l: l.latency_cycles)
 
-    def _entry_bytes(self, section: Section) -> int:
-        probe = _GroupState(section, self.ctx)
+    def _entry_bytes(self, section: Section,
+                     plan: _SectionPlan | None = None) -> int:
+        probe = _GroupState(plan or _SectionPlan(section, self.ctx))
         return section.granularity.key_bytes + probe.state_bytes()
 
     def _synth(self, spec):
@@ -194,6 +333,101 @@ class FeatureEngine:
         return self
 
     def _process_record(self, record: MGPVRecord) -> None:
+        if self._reference:
+            return self._process_record_reference(record)
+        stats = self.stats
+        stats.records += 1
+        mirror = self._fg_mirror
+        tables = self._tables
+        ts_idx = self._ts_idx
+        view = self._view
+        pkt_mode = self.compiled.collect_unit == "pkt"
+        # One group lookup per (record, FG index, section): cells of the
+        # same group within a record reuse the memoized states, with the
+        # table accounting a located repeat hit instead of re-hashing.
+        # Nothing can evict or move a group mid-record, so the memo needs
+        # no invalidation; cells still process strictly in order (the
+        # clock / last_update sequence is observable via evict_idle).
+        mapped = view._mapped
+        skips = 0
+        memo: dict[int, list] = {}
+        for fg_idx, meta in record.cells:
+            stats.cells += 1
+            fg_key = mirror.get(fg_idx)
+            if fg_key is None:
+                # The FG sync never arrived (lost and unrecovered): the
+                # cell keeps its record's CG key, so demote it to the
+                # coarse section instead of dropping it (§graceful
+                # degradation) and flag the group.
+                stats.orphan_cells += 1
+                self._demote_cell(
+                    record.cg_key,
+                    dict(zip(self.compiled.metadata_fields, meta)))
+                continue
+            if ts_idx is not None:
+                ts = meta[ts_idx]
+                if ts > self._clock:
+                    self._clock = ts
+            states = memo.get(fg_idx)
+            if states is None:
+                states = []
+                cg_key = record.cg_key
+                cg_hash32 = record.cg_hash32
+                for section, table in tables:
+                    key = section.granularity.project(fg_key)
+                    state, _created, in_bucket = (
+                        table.lookup_or_insert_located(
+                            key,
+                            cg_hash32 if key == cg_key else None))
+                    states.append((state, table, in_bucket))
+                memo[fg_idx] = states
+            else:
+                for _state, table, in_bucket in states:
+                    table.account_hit(in_bucket)
+            # Per-state update, inlined from _update_section via the
+            # precompiled positional plans (see _SectionPlan).
+            view.rebind(meta)
+            clock = self._clock
+            first = True
+            for state, _table, _in_bucket in states:
+                if first:
+                    first = False      # rebind already cleared mapped
+                else:
+                    mapped.clear()
+                state.last_update = clock
+                for dst, src, src_pos, fn in state.map_plan:
+                    if src_pos is not None:
+                        src_value = meta[src_pos]
+                    else:
+                        src_value = (view.get(src) if src is not None
+                                     else None)
+                    value = fn.apply(view, src_value)
+                    if value is not None:
+                        mapped[dst] = value
+                for kind, src, src_pos, reducer in state.red_plan:
+                    if kind == _POS:
+                        if reducer is not None:
+                            reducer.update(meta[src_pos], view)
+                    elif kind == _MAPPED_OR_POS:
+                        value = mapped.get(src, _MISSING)
+                        if reducer is not None:
+                            reducer.update(
+                                meta[src_pos] if value is _MISSING
+                                else value, view)
+                    else:
+                        value = mapped.get(src, _MISSING)
+                        if value is _MISSING:
+                            skips += 1
+                        elif reducer is not None:
+                            reducer.update(value, view)
+            if pkt_mode:
+                self._emit_packet_vector(fg_key, states)
+        stats.skipped_updates += skips
+
+    def _process_record_reference(self, record: MGPVRecord) -> None:
+        """The pre-optimization per-cell path (``SUPERFE_REFERENCE_PATH=1``
+        oracle): a fields dict and fresh member views per cell, one table
+        lookup per cell per section."""
         self.stats.records += 1
         fields_order = self.compiled.metadata_fields
         for fg_idx, meta in record.cells:
@@ -201,10 +435,6 @@ class FeatureEngine:
             fields = dict(zip(fields_order, meta))
             fg_key = self._fg_mirror.get(fg_idx)
             if fg_key is None:
-                # The FG sync never arrived (lost and unrecovered): the
-                # cell keeps its record's CG key, so demote it to the
-                # coarse section instead of dropping it (§graceful
-                # degradation) and flag the group.
                 self.stats.orphan_cells += 1
                 self._demote_cell(record.cg_key, fields)
                 continue
@@ -223,11 +453,12 @@ class FeatureEngine:
             value = fn.apply(view, src_value)
             if value is not None:
                 view.set(dst, value)
-        for feat, reducer in state.reducers:
+        for feat, reducer in state.upd_reducers:
             if not view.has(feat.src):
                 self.stats.skipped_updates += 1
                 continue
-            reducer.update(view.get(feat.src), view)
+            if reducer is not None:
+                reducer.update(view.get(feat.src), view)
 
     def _process_cell(self, fg_key: tuple, fields: dict) -> None:
         tstamp = fields.get("tstamp")
@@ -270,16 +501,34 @@ class FeatureEngine:
         value = reducer.finalize()
         for spec in feat.synth_fns:
             value = self._synth(spec)(value)
-        return np.atleast_1d(np.asarray(value, dtype=np.float64))
+        return value
 
-    def _emit_packet_vector(self, fg_key: tuple) -> None:
+    @staticmethod
+    def _vector_values(parts: list) -> np.ndarray:
+        """Concatenate finalized feature values into one float64 vector;
+        the common all-scalar case builds the array in one shot instead
+        of wrapping every feature in a length-1 ndarray."""
+        for part in parts:
+            if isinstance(part, (np.ndarray, list, tuple)):
+                return np.concatenate(
+                    [np.atleast_1d(np.asarray(p, dtype=np.float64))
+                     for p in parts])
+        return np.array(parts, dtype=np.float64)
+
+    def _emit_packet_vector(self, fg_key: tuple,
+                            states: list | None = None) -> None:
         names: list[str] = []
         parts: list[np.ndarray] = []
-        for section, table in self._tables:
+        for pos, (section, table) in enumerate(self._tables):
             if not section.collected:
                 continue
-            key = section.granularity.project(fg_key)
-            state = table.get(key)
+            if states is not None:
+                # Hot path: the caller just updated these states — skip
+                # the per-section re-hash of table.get().
+                state = states[pos][0]
+            else:
+                key = section.granularity.project(fg_key)
+                state = table.get(key)
             if state is None:
                 continue
             collected = {f.name for f in section.collected}
@@ -291,7 +540,7 @@ class FeatureEngine:
             self.stats.vectors_emitted += 1
             self._pkt_vectors.append(FeatureVector(
                 key=fg_key, names=tuple(names),
-                values=np.concatenate(parts),
+                values=self._vector_values(parts),
                 degraded=self._vector_degraded(fg_key)))
 
     def _vector_degraded(self, key: tuple) -> bool:
@@ -387,7 +636,7 @@ class FeatureEngine:
         if not parts:
             return None
         return FeatureVector(key=key, names=tuple(names),
-                             values=np.concatenate(parts),
+                             values=self._vector_values(parts),
                              degraded=self._vector_degraded(key))
 
     # -- failure handling -------------------------------------------------------

@@ -54,9 +54,26 @@ class GroupTable:
         self.dram = dram
         self.state_factory = state_factory
         self.stats = GroupTableStats()
-        # buckets[i] maps key -> state, bounded to `width` entries.
-        self._buckets: list[dict] = [dict() for _ in range(n_indices)]
+        # Buckets map key -> state, bounded to `width` entries each;
+        # materialized lazily on first touch (a fresh table allocates no
+        # per-bucket storage), keyed by bucket index.
+        self._buckets: dict[int, dict] = {}
         self._overflow: dict = {}
+        # key -> bucket index memo: the index is a pure function of the
+        # key, so repeat accesses skip the murmur hash (bounded, cleared
+        # on overflow — correctness never depends on a hit).
+        self._idx_cache: dict = {}
+
+    def _bucket_idx(self, key, hash32: int | None = None) -> int:
+        idx = self._idx_cache.get(key)
+        if idx is None:
+            if len(self._idx_cache) >= 1 << 17:
+                self._idx_cache.clear()
+            if hash32 is None:
+                hash32 = hash_key(key)
+            idx = hash32 % self.n_indices
+            self._idx_cache[key] = idx
+        return idx
 
     @property
     def bucket_bytes(self) -> int:
@@ -68,44 +85,70 @@ class GroupTable:
         return self.bucket_bytes <= self.level.bus_width_bytes
 
     def lookup_or_insert(self, key) -> tuple[object, bool]:
+        state, created, _in_bucket = self.lookup_or_insert_located(key)
+        return state, created
+
+    def lookup_or_insert_located(self, key, hash32: int | None = None
+                                 ) -> tuple[object, bool, bool]:
+        """As :meth:`lookup_or_insert`, additionally reporting whether the
+        entry lives in its home bucket (False: DRAM overflow).  The
+        engine's per-record group memo uses the location to account
+        repeat accesses via :meth:`account_hit` without re-hashing.
+        ``hash32`` short-cuts the key hash when the caller already holds
+        it (records carry the CG hash the switch computed)."""
         self.stats.lookups += 1
-        idx = hash_key(key) % self.n_indices
-        bucket = self._buckets[idx]
+        idx = self._bucket_idx(key, hash32)
+        bucket = self._buckets.get(idx)
+        if bucket is None:
+            bucket = self._buckets[idx] = {}
         self.stats.access_cycles += self.level.latency_cycles
         if key in bucket:
             self.stats.bucket_hits += 1
-            return bucket[key], False
+            return bucket[key], False, True
         if key in self._overflow:
             self.stats.dram_hits += 1
             self.stats.access_cycles += self.dram.latency_cycles
-            return self._overflow[key], False
+            return self._overflow[key], False, False
         # New group.
         self.stats.inserts += 1
         state = self.state_factory()
         if len(bucket) < self.width:
             bucket[key] = state
+            return state, True, True
+        self._overflow[key] = state
+        self.stats.dram_hits += 1
+        self.stats.access_cycles += self.dram.latency_cycles
+        self.stats.dram_entries_peak = max(
+            self.stats.dram_entries_peak, len(self._overflow))
+        return state, True, False
+
+    def account_hit(self, in_bucket: bool) -> None:
+        """Account one repeat access to an entry whose location is already
+        known, with exactly the counters/cycles a fresh
+        :meth:`lookup_or_insert` hit would record."""
+        self.stats.lookups += 1
+        self.stats.access_cycles += self.level.latency_cycles
+        if in_bucket:
+            self.stats.bucket_hits += 1
         else:
-            self._overflow[key] = state
             self.stats.dram_hits += 1
             self.stats.access_cycles += self.dram.latency_cycles
-            self.stats.dram_entries_peak = max(
-                self.stats.dram_entries_peak, len(self._overflow))
-        return state, True
 
     def get(self, key):
-        idx = hash_key(key) % self.n_indices
-        return self._buckets[idx].get(key) or self._overflow.get(key)
+        bucket = self._buckets.get(self._bucket_idx(key))
+        return ((bucket.get(key) if bucket is not None else None)
+                or self._overflow.get(key))
 
     def items(self):
-        for bucket in self._buckets:
-            yield from bucket.items()
+        for idx in sorted(self._buckets):
+            yield from self._buckets[idx].items()
         yield from self._overflow.items()
 
     def remove(self, key) -> bool:
         """Free a group's entry (NIC-side aging); True if it existed."""
-        idx = hash_key(key) % self.n_indices
-        if key in self._buckets[idx]:
-            del self._buckets[idx][key]
+        bucket = self._buckets.get(self._bucket_idx(key))
+        if bucket is not None and key in bucket:
+            del bucket[key]
             return True
         if key in self._overflow:
             del self._overflow[key]
@@ -114,12 +157,12 @@ class GroupTable:
 
     def clear(self) -> None:
         """Drop every resident group (device restart); stats survive."""
-        for bucket in self._buckets:
-            bucket.clear()
+        self._buckets.clear()
         self._overflow.clear()
 
     def __len__(self) -> int:
-        return (sum(len(b) for b in self._buckets) + len(self._overflow))
+        return (sum(len(b) for b in self._buckets.values())
+                + len(self._overflow))
 
     def memory_bytes(self) -> int:
         """Bytes resident in this table's on-chip level."""

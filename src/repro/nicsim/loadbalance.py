@@ -26,7 +26,8 @@ from repro.streaming.hyperloglog import hash_key
 from repro.switchsim.mgpv import Event, FGSync, MGPVRecord
 
 
-def route_shard(cg_key: tuple, alive: list[bool]) -> tuple[int, bool]:
+def route_shard(cg_key: tuple, alive: list[bool],
+                hash32: int | None = None) -> tuple[int, bool]:
     """The switch's steering function: ``(shard, rerouted)`` for a CG
     key over a liveness map.  A dead home shard maps onto the live set
     by the same hash, so every event of one group picks the same
@@ -34,13 +35,17 @@ def route_shard(cg_key: tuple, alive: list[bool]) -> tuple[int, bool]:
 
     Shared by the serial :class:`NICCluster` and the coordinator of
     :class:`~repro.core.parallel.ShardedCluster` — one routing function
-    is what makes the two paths bit-identical.
+    is what makes the two paths bit-identical.  ``hash32`` short-cuts
+    the key hash when the caller already holds it (MGPV records carry
+    the hash the switch computed).
     """
-    shard = hash_key(cg_key) % len(alive)
+    if hash32 is None:
+        hash32 = hash_key(cg_key)
+    shard = hash32 % len(alive)
     if alive[shard]:
         return shard, False
     survivors = [i for i, up in enumerate(alive) if up]
-    return survivors[hash_key(cg_key) % len(survivors)], True
+    return survivors[hash32 % len(survivors)], True
 
 
 def reconcile_residual(vectors: list[FeatureVector],
@@ -88,9 +93,20 @@ class NICCluster:
         self.fg_resyncs = 0
         self.demoted_vectors = 0
         self._residual: list[FeatureVector] = []
+        # Steering memo: route_shard hashes the CG key on every event;
+        # while the live set is stable the answer per key is fixed, so
+        # cache it and drop the memo whenever liveness changes.
+        self._route_cache: dict[tuple, tuple[int, bool]] = {}
 
-    def _route_key(self, cg_key: tuple) -> int:
-        nic, rerouted = route_shard(cg_key, self.alive)
+    def _route_key(self, cg_key: tuple,
+                   hash32: int | None = None) -> int:
+        cached = self._route_cache.get(cg_key)
+        if cached is None:
+            if len(self._route_cache) >= 1 << 17:
+                self._route_cache.clear()
+            cached = route_shard(cg_key, self.alive, hash32)
+            self._route_cache[cg_key] = cached
+        nic, rerouted = cached
         if rerouted:
             self.rerouted_events += 1
         return nic
@@ -102,7 +118,8 @@ class NICCluster:
             cg_key = self.compiled.cg.project(event.key)
             self.engines[self._route_key(cg_key)].consume(event)
         elif isinstance(event, MGPVRecord):
-            self.engines[self._route_key(event.cg_key)].consume(event)
+            self.engines[self._route_key(event.cg_key,
+                                         event.cg_hash32)].consume(event)
         else:
             raise TypeError(f"unknown event {event!r}")
 
@@ -124,6 +141,7 @@ class NICCluster:
         if sum(self.alive) == 1:
             raise ValueError("cannot fail the last live NIC")
         self.alive[nic] = False
+        self._route_cache.clear()
         self.failovers += 1
         engine = self.engines[nic]
         mirror = engine.fg_mirror_items()
@@ -141,6 +159,7 @@ class NICCluster:
         if self.alive[nic]:
             raise ValueError(f"NIC {nic} is already alive")
         self.alive[nic] = True
+        self._route_cache.clear()
         self.restarts += 1
 
     def _check_nic(self, nic: int) -> None:

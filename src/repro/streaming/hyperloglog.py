@@ -39,9 +39,26 @@ def hash_key(key) -> int:
     if isinstance(key, int):
         return fmix32(key)
     if isinstance(key, tuple):
+        # Flattened fmix32 rounds: group keys are small int tuples and
+        # this runs per packet on the switch, so the mixing below is the
+        # recursive definition with both calls inlined (identical bits).
         h = 0x9E3779B9
         for part in key:
-            h = fmix32(h ^ hash_key(part))
+            if isinstance(part, int):
+                p = part & 0xFFFFFFFF
+                p ^= p >> 16
+                p = (p * 0x85EBCA6B) & 0xFFFFFFFF
+                p ^= p >> 13
+                p = (p * 0xC2B2AE35) & 0xFFFFFFFF
+                p ^= p >> 16
+            else:
+                p = hash_key(part)
+            h ^= p
+            h ^= h >> 16
+            h = (h * 0x85EBCA6B) & 0xFFFFFFFF
+            h ^= h >> 13
+            h = (h * 0xC2B2AE35) & 0xFFFFFFFF
+            h ^= h >> 16
         return h
     if isinstance(key, str):
         h = 0x811C9DC5

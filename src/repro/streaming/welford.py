@@ -91,31 +91,35 @@ class WelfordDivisionFree:
         self._rem = 0
 
     def update(self, x: int) -> None:
-        self.n += 1
+        n = self.n + 1
         x = int(x)
-        delta = x - self.mean
-        old_mean = self.mean
+        mean = old_mean = self.mean
+        rem = self._rem
+        delta = x - mean
         mag = delta if delta >= 0 else -delta
-        if mag < self.n:
+        if mag < n:
             # Increment is 0; bank the remainder (signed).
-            self._rem += delta
-        elif mag < 2 * self.n:
+            rem += delta
+        elif mag < 2 * n:
             step = 1 if delta > 0 else -1
-            self.mean += step
-            self._rem += delta - step * self.n
+            mean += step
+            rem += delta - step * n
         else:
             # Rare slow path: the 1500-cycle soft division.
-            step = delta // self.n if delta >= 0 else -((-delta) // self.n)
-            self.mean += step
-            self._rem += delta - step * self.n
+            step = delta // n if delta >= 0 else -((-delta) // n)
+            mean += step
+            rem += delta - step * n
         # Drain the remainder bank by comparison.
-        while self._rem >= self.n:
-            self.mean += 1
-            self._rem -= self.n
-        while self._rem <= -self.n:
-            self.mean -= 1
-            self._rem += self.n
-        self.m2 += float(x - old_mean) * float(x - self.mean)
+        while rem >= n:
+            mean += 1
+            rem -= n
+        while rem <= -n:
+            mean -= 1
+            rem += n
+        self.n = n
+        self.mean = mean
+        self._rem = rem
+        self.m2 += float(x - old_mean) * float(x - mean)
 
     @property
     def variance(self) -> float:

@@ -23,14 +23,17 @@ class FilterStage:
     def __init__(self, predicates: list[Predicate | Callable[[Packet], bool]]
                  ) -> None:
         self.predicates = list(predicates)
+        # The match-action dispatch is resolved here, once: a Predicate
+        # compiles to a closure, a callable is used as-is.
+        self._tests = tuple(
+            pred.compile() if isinstance(pred, Predicate) else pred
+            for pred in self.predicates)
         self.hits = 0
         self.misses = 0
 
     def admit(self, pkt: Packet) -> bool:
-        for pred in self.predicates:
-            matched = (pred.matches(pkt) if isinstance(pred, Predicate)
-                       else pred(pkt))
-            if not matched:
+        for test in self._tests:
+            if not test(pkt):
                 self.misses += 1
                 return False
         self.hits += 1

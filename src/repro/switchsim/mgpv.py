@@ -26,12 +26,18 @@ of its FG entries.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Union
 
 from repro.core.granularity import Granularity
-from repro.net.packet import Packet
+from repro.net.packet import Packet, compile_field_accessor
 from repro.streaming.hyperloglog import hash_key
+
+#: Flows whose (cg_key, hash, slot, fg-slot) route is interned before the
+#: cache is wiped.  The route is a pure function of the FG key, so the
+#: cache never needs invalidation — the cap only bounds memory.
+_KEY_CACHE_CAP = 1 << 17
 
 
 @dataclass(frozen=True)
@@ -180,7 +186,18 @@ class MGPVCache:
         self.config = config or MGPVConfig()
         self.metadata_fields = metadata_fields
         self.stats = CacheStats()
+        # Hot-path precompilation: the metadata accessor replaces the
+        # per-packet string dispatch of Packet.field; the key cache
+        # interns per-flow routing so repeated packets of a flow skip key
+        # projection and hashing entirely.  SUPERFE_REFERENCE_PATH=1
+        # keeps the original per-packet code as an equivalence oracle.
+        self._meta_accessor = compile_field_accessor(tuple(metadata_fields))
+        self._fg_packet_key = fg.packet_key
+        self._cg_project = cg.project
+        self._key_cache: dict[tuple, tuple] = {}
+        self._reference = os.environ.get("SUPERFE_REFERENCE_PATH") == "1"
         self._slots: list[_Entry | None] = [None] * self.config.n_short
+        self._occupied: set[int] = set()    # indices of resident entries
         self._long_stack: list[int] = list(range(self.config.n_long))
         self._fg_keys: list[tuple | None] = [None] * self.config.fg_table_size
         self._fg_owner_slot: list[int | None] = (
@@ -195,15 +212,73 @@ class MGPVCache:
 
     # -- public API ----------------------------------------------------------
 
-    def insert(self, pkt: Packet) -> list[Event]:
-        """Process one packet; returns the switch->NIC events it caused."""
+    def insert(self, pkt: Packet, out: list[Event] | None = None
+               ) -> list[Event]:
+        """Process one packet, appending the switch->NIC events it caused
+        to ``out`` (a fresh list when not given) and returning that list.
+
+        Passing a reusable buffer lets per-packet callers (the dataplane
+        loop) avoid one list allocation per insert; the buffer is *not*
+        cleared here — clear it between packets.
+        """
+        if self._reference:
+            return self._insert_reference(pkt, out)
+        events: list[Event] = [] if out is None else out
         self._now = max(self._now, pkt.tstamp)
         self.stats.pkts_in += 1
         self.stats.bytes_in += pkt.size
-        events: list[Event] = []
 
         if self.config.aging_timeout_ns is not None:
-            events.extend(self._aging_scan())
+            self._aging_scan(events)
+
+        fg_key = self._fg_packet_key(pkt)
+        route = self._key_cache.get(fg_key)
+        if route is None:
+            route = self._compute_route(fg_key)
+        cg_key, hash32, slot_idx, fg_idx = route
+
+        slots = self._slots
+        entry = slots[slot_idx]
+        if entry is not None and entry.cg_key != cg_key:
+            # Case 1: hash collision — evict the older group (LRU-like).
+            events.append(self._evict(slot_idx, "collision"))
+            entry = None
+        if entry is None:
+            entry = _Entry(cg_key, hash32, pkt.tstamp)
+            slots[slot_idx] = entry
+            self._occupied.add(slot_idx)
+
+        if self._fg_keys[fg_idx] != fg_key:
+            self._resolve_fg(fg_key, fg_idx, slot_idx, events)
+            # The FG collision path may have evicted our own entry (when
+            # the displaced FG key belonged to this CG group); re-create.
+            entry = slots[slot_idx]
+            if entry is None or entry.cg_key != cg_key:
+                entry = _Entry(cg_key, hash32, pkt.tstamp)
+                slots[slot_idx] = entry
+                self._occupied.add(slot_idx)
+        entry.fg_indices.add(fg_idx)
+        entry.last_access = pkt.tstamp
+
+        cell = (fg_idx, self._meta_accessor(pkt))
+        self._append_cell(slot_idx, entry, cell, events)
+        if not self.stats.pkts_in % 64:    # stride guard inlined
+            self._sample_occupancy()
+        return events
+
+    def _insert_reference(self, pkt: Packet, out: list[Event] | None = None
+                          ) -> list[Event]:
+        """The pre-optimization per-packet path, kept verbatim as the
+        equivalence oracle behind ``SUPERFE_REFERENCE_PATH=1``: string
+        dispatch per metadata field, key projection and (double) hashing
+        on every packet, no interned routes."""
+        self._now = max(self._now, pkt.tstamp)
+        self.stats.pkts_in += 1
+        self.stats.bytes_in += pkt.size
+        events: list[Event] = [] if out is None else out
+
+        if self.config.aging_timeout_ns is not None:
+            self._aging_scan(events)
 
         fg_key = self.fg.packet_key(pkt)
         cg_key = self.cg.project(fg_key)
@@ -212,41 +287,45 @@ class MGPVCache:
 
         entry = self._slots[slot_idx]
         if entry is not None and entry.cg_key != cg_key:
-            # Case 1: hash collision — evict the older group (LRU-like).
             events.append(self._evict(slot_idx, "collision"))
             entry = None
         if entry is None:
             entry = _Entry(cg_key, hash32, pkt.tstamp)
             self._slots[slot_idx] = entry
+            self._occupied.add(slot_idx)
 
-        fg_idx, fg_events = self._resolve_fg(fg_key, slot_idx)
-        events.extend(fg_events)
-        # The FG collision path may have evicted our own entry (when the
-        # displaced FG key belonged to this CG group); re-create it.
-        entry = self._slots[slot_idx]
-        if entry is None or entry.cg_key != cg_key:
-            entry = _Entry(cg_key, hash32, pkt.tstamp)
-            self._slots[slot_idx] = entry
+        fg_idx = hash_key(fg_key) % self.config.fg_table_size
+        if self._fg_keys[fg_idx] != fg_key:
+            self._resolve_fg(fg_key, fg_idx, slot_idx, events)
+            entry = self._slots[slot_idx]
+            if entry is None or entry.cg_key != cg_key:
+                entry = _Entry(cg_key, hash32, pkt.tstamp)
+                self._slots[slot_idx] = entry
+                self._occupied.add(slot_idx)
         entry.fg_indices.add(fg_idx)
         entry.last_access = pkt.tstamp
 
         cell = (fg_idx, tuple(pkt.field(f) for f in self.metadata_fields))
-        events.extend(self._append_cell(slot_idx, entry, cell))
+        self._append_cell(slot_idx, entry, cell, events)
         self._sample_occupancy()
         return events
 
     def process(self, packets: Iterable[Packet],
                 flush_at_end: bool = True) -> Iterator[Event]:
         """Drive a whole trace through the cache."""
+        buf: list[Event] = []
         for pkt in packets:
-            yield from self.insert(pkt)
+            buf.clear()
+            self.insert(pkt, buf)
+            yield from buf
         if flush_at_end:
             yield from self.flush()
 
     def flush(self) -> list[Event]:
         """Drain every resident group (end of measurement)."""
         events = []
-        for idx, entry in enumerate(self._slots):
+        for idx in sorted(self._occupied):
+            entry = self._slots[idx]
             if entry is not None and (entry.short or entry.long):
                 events.append(self._evict(idx, "flush"))
             elif entry is not None:
@@ -271,7 +350,7 @@ class MGPVCache:
 
     @property
     def resident_groups(self) -> int:
-        return sum(1 for e in self._slots if e is not None)
+        return len(self._occupied)
 
     @property
     def long_buffers_in_use(self) -> int:
@@ -311,13 +390,35 @@ class MGPVCache:
 
     # -- internals -----------------------------------------------------------
 
-    def _resolve_fg(self, fg_key: tuple, inserting_slot: int
-                    ) -> tuple[int, list[Event]]:
-        events: list[Event] = []
-        fg_idx = hash_key(fg_key) % self.config.fg_table_size
+    def _compute_route(self, fg_key: tuple) -> tuple:
+        """Intern the per-flow routing tuple ``(cg_key, cg_hash32,
+        short-slot index, FG-table index)``.
+
+        Every element is a pure function of the FG key and the (fixed)
+        config, so the cache needs no invalidation.  When the CG and FG
+        keys coincide (single-granularity chains such as ``flow``) one
+        hash serves both tables — the switch would otherwise hash the
+        same bytes twice per packet.
+        """
+        cg_key = self._cg_project(fg_key)
+        hash32 = hash_key(cg_key)
+        if cg_key == fg_key:
+            fg_idx = hash32 % self.config.fg_table_size
+        else:
+            fg_idx = hash_key(fg_key) % self.config.fg_table_size
+        route = (cg_key, hash32, hash32 % self.config.n_short, fg_idx)
+        cache = self._key_cache
+        if len(cache) >= _KEY_CACHE_CAP:
+            cache.clear()
+        cache[fg_key] = route
+        return route
+
+    def _resolve_fg(self, fg_key: tuple, fg_idx: int, inserting_slot: int,
+                    events: list[Event]) -> None:
+        """Install ``fg_key`` into FG-table slot ``fg_idx`` (the caller
+        checked it is not already there), appending the sync — and any
+        collision eviction — to ``events``."""
         existing = self._fg_keys[fg_idx]
-        if existing == fg_key:
-            return fg_idx, events
         if existing is not None:
             # FG slot collision: the displaced key's owner group must be
             # flushed first — its resident cells reference this index.
@@ -331,11 +432,9 @@ class MGPVCache:
         events.append(sync)
         self.stats.syncs_out += 1
         self.stats.bytes_out += sync.wire_bytes(self.config)
-        return fg_idx, events
 
-    def _append_cell(self, slot_idx: int, entry: _Entry, cell
-                     ) -> list[Event]:
-        events: list[Event] = []
+    def _append_cell(self, slot_idx: int, entry: _Entry, cell,
+                     events: list[Event]) -> None:
         cfg = self.config
         if entry.long_idx is not None:
             entry.long.append(cell)
@@ -347,7 +446,7 @@ class MGPVCache:
                 entry.long_idx = None
                 entry.short = []
                 entry.long = []
-            return events
+            return
         entry.short.append(cell)
         if len(entry.short) >= cfg.short_size:
             allowed = (self._long_allowed is None
@@ -361,7 +460,6 @@ class MGPVCache:
                 self.stats.long_alloc_failures += 1
                 events.append(self._emit(entry, "short_full"))
                 entry.short = []
-        return events
 
     def _emit(self, entry: _Entry, reason: str) -> MGPVRecord:
         record = MGPVRecord(
@@ -391,14 +489,14 @@ class MGPVCache:
                 self._fg_keys[fg_idx] = None
                 self._fg_owner_slot[fg_idx] = None
         self._slots[slot_idx] = None
+        self._occupied.discard(slot_idx)
 
-    def _aging_scan(self) -> list[Event]:
+    def _aging_scan(self, events: list[Event]) -> None:
         """Model of the recirculated internal packets: each arriving packet
         advances the scan cursor over a few entries, evicting timed-out
         groups entirely in the data plane (§5.2)."""
         timeout = self.config.aging_timeout_ns
         assert timeout is not None
-        events: list[Event] = []
         for _ in range(self.config.aging_scan_per_pkt):
             idx = self._aging_cursor
             self._aging_cursor = (idx + 1) % self.config.n_short
@@ -410,17 +508,19 @@ class MGPVCache:
                     events.append(self._evict(idx, "aging"))
                 else:
                     self._remove(idx)
-        return events
 
     def _sample_occupancy(self, active_window_ns: int = 100_000_000,
                           stride: int = 64) -> None:
         # Sample every `stride` packets to keep accounting cheap.
         if self.stats.pkts_in % stride:
             return
-        for entry in self._slots:
-            if entry is None:
-                continue
-            self._occ_occupied += 1
-            if self._now - entry.last_access <= active_window_ns:
-                self._occ_active += 1
+        slots = self._slots
+        threshold = self._now - active_window_ns
+        occupied = len(self._occupied)
+        self._occ_occupied += occupied
+        active = 0
+        for idx in self._occupied:
+            if slots[idx].last_access >= threshold:
+                active += 1
+        self._occ_active += active
         self._occ_samples += 1

@@ -2,6 +2,8 @@
 preservation, eviction cases, FG-table consistency, long-buffer stack
 accounting, aging."""
 
+import os
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -159,6 +161,64 @@ class TestEvictionCases:
         assert cache.long_buffers_in_use == 0
         assert len(cache._long_stack) == cfg.n_long
         assert sorted(cache._long_stack) == list(range(cfg.n_long))
+
+
+@pytest.mark.skipif(
+    os.environ.get("SUPERFE_REFERENCE_PATH") == "1",
+    reason="the reference oracle intentionally hashes per packet")
+class TestHashInvocations:
+    """Regression tests for the per-flow hash budget: routes are
+    interned per FG key, and single-granularity chains (CG == FG) hash
+    the key once, not twice — the optimization of ``_compute_route``."""
+
+    def _counting(self, monkeypatch):
+        import repro.switchsim.mgpv as mgpv_mod
+        real = mgpv_mod.hash_key
+        calls = []
+
+        def counting_hash(key):
+            calls.append(key)
+            return real(key)
+
+        monkeypatch.setattr(mgpv_mod, "hash_key", counting_hash)
+        return calls
+
+    def test_cg_eq_fg_hashes_once_per_new_flow(self, monkeypatch):
+        cache = MGPVCache(FLOW, FLOW, small_config())
+        calls = self._counting(monkeypatch)
+        n_flows = 7
+        for i in range(n_flows):
+            cache.insert(pkt(t=i, sport=100 + i))
+        assert len(calls) == n_flows
+
+    def test_repeat_packets_hash_zero_times(self, monkeypatch):
+        cache = MGPVCache(FLOW, FLOW, small_config())
+        for i in range(5):
+            cache.insert(pkt(t=i, sport=100 + i))
+        calls = self._counting(monkeypatch)
+        for i in range(5):
+            cache.insert(pkt(t=10 + i, sport=100 + i))
+        assert calls == []
+
+    def test_distinct_granularities_hash_twice_per_new_flow(
+            self, monkeypatch):
+        cache = MGPVCache(HOST, SOCKET, small_config())
+        calls = self._counting(monkeypatch)
+        n_flows = 4
+        for i in range(n_flows):
+            cache.insert(pkt(t=i, sport=100 + i))
+        assert len(calls) == 2 * n_flows
+
+    def test_single_hash_matches_double_hash_routing(self):
+        """The shared hash must land the FG key in the same FG slot the
+        two-hash formulation would pick (same hash function, same key)."""
+        from repro.streaming.hyperloglog import hash_key
+        cache = MGPVCache(FLOW, FLOW, small_config())
+        p = pkt()
+        cache.insert(p)
+        fg_key = cache._fg_packet_key(p)
+        route = cache._key_cache[fg_key]
+        assert route[3] == hash_key(fg_key) % cache.config.fg_table_size
 
 
 class TestFGTable:
