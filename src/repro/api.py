@@ -27,9 +27,27 @@ from repro.core.parallel import BACKENDS, ExecutionConfig
 from repro.core.pipeline import ExtractionResult, SuperFE
 from repro.core.policy import Policy
 from repro.core.software import SoftwareExtractor
+from repro.core.telemetry import Telemetry, TelemetryConfig
 from repro.nicsim.engine import FeatureVector
 
 __all__ = ["Extractor", "compile"]
+
+
+def _resolve_telemetry(telemetry) -> Telemetry | None:
+    """One Telemetry from whichever spelling the caller used: an
+    assembled :class:`Telemetry`, a :class:`TelemetryConfig`, a bare
+    sample rate, or ``True`` for metrics-only collection."""
+    if telemetry is None or isinstance(telemetry, Telemetry):
+        return telemetry
+    if isinstance(telemetry, TelemetryConfig):
+        return Telemetry(telemetry)
+    if telemetry is True:
+        return Telemetry(TelemetryConfig())
+    if isinstance(telemetry, (int, float)):
+        return Telemetry(TelemetryConfig(sample_rate=float(telemetry)))
+    raise TypeError(
+        f"telemetry must be a Telemetry, TelemetryConfig, sample rate, "
+        f"or True, got {type(telemetry).__name__}")
 
 
 def _resolve_execution(execution, backend, workers) -> ExecutionConfig | None:
@@ -62,7 +80,8 @@ def compile(policy: Policy, *,
             fault_plan=None,
             use_placement: bool = True,
             table_indices: int | None = None,
-            table_width: int | None = None) -> "Extractor":
+            table_width: int | None = None,
+            telemetry=None) -> "Extractor":
     """Compile a policy into a ready-to-run :class:`Extractor`.
 
     ``software=True`` selects the unbatched full-precision baseline
@@ -71,11 +90,15 @@ def compile(policy: Policy, *,
     ``backend`` (or a full :class:`ExecutionConfig`) runs the cluster
     shards on the parallel executor.  ``division_free`` defaults to the
     path's native arithmetic (integer on hardware, float in software).
+    ``telemetry`` attaches the typed metrics/span layer: pass a
+    :class:`~repro.core.telemetry.Telemetry`, a ``TelemetryConfig``, a
+    bare span sample rate, or ``True`` for metrics-only collection.
     """
     if not isinstance(policy, Policy):
         raise TypeError(f"policy must be a Policy, got "
                         f"{type(policy).__name__}")
     exec_cfg = _resolve_execution(execution, backend, workers)
+    tel = _resolve_telemetry(telemetry)
     if software:
         if n_nics != 1:
             raise ValueError("software=True is the single-host baseline "
@@ -90,6 +113,7 @@ def compile(policy: Policy, *,
             table_indices=(65536 if table_indices is None
                            else table_indices),
             table_width=64 if table_width is None else table_width,
+            telemetry=tel,
             _internal=True)
     else:
         impl = SuperFE(
@@ -105,6 +129,7 @@ def compile(policy: Policy, *,
             link_config=link_config,
             fault_plan=fault_plan,
             execution=exec_cfg,
+            telemetry=tel,
             _internal=True)
     return Extractor(impl, policy, software=software)
 
@@ -143,6 +168,13 @@ class Extractor:
         """The sized MGPV cache configuration (None on the software
         path, which has no switch cache)."""
         return getattr(self._impl, "mgpv_config", None)
+
+    @property
+    def telemetry(self) -> Telemetry | None:
+        """The attached telemetry layer (None unless ``compile`` was
+        given ``telemetry=``).  Registry/spans accumulate across
+        :meth:`run` / :meth:`stream` calls on this extractor."""
+        return self._impl.telemetry
 
     def manifests(self) -> tuple[str, str]:
         """The generated FE-Switch / FE-NIC program summaries."""
@@ -218,6 +250,7 @@ class Extractor:
             table_width=impl._table_width,
             link_config=impl.link_config,
             fault_plan=impl.fault_plan,
+            telemetry=impl.telemetry,
         )
         kwargs.update(overrides)
         return SuperFERuntime(self.policy, _internal=True, **kwargs)

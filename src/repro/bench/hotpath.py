@@ -38,6 +38,12 @@ import time
 import repro.api as api
 from repro.bench.parallel import scaling_policy, vectors_checksum
 from repro.core.compiler import PolicyCompiler
+from repro.core.telemetry import (
+    Telemetry,
+    TelemetryConfig,
+    histogram_percentiles,
+    write_jsonl,
+)
 from repro.net.trace import generate_trace
 from repro.nicsim.loadbalance import NICCluster
 from repro.switchsim.filter import FilterStage
@@ -103,6 +109,85 @@ def profile_attribution(fn) -> dict:
     }
 
 
+#: Span sample rate of the latency-percentile pass: dense enough to
+#: populate every per-stage histogram on a 400-flow trace, sparse enough
+#: that the pass finishes in one extra run.
+LATENCY_SAMPLE_RATE = 1 / 32
+
+
+def latency_percentiles(policy, packets, n_nics: int,
+                        sample_rate: float = LATENCY_SAMPLE_RATE,
+                        telemetry_path: str | None = None) -> dict:
+    """Per-stage span latency percentiles from one traced run.
+
+    Runs the extraction once with stride-sampled tracing attached and
+    reduces each ``span.<stage>`` histogram to p50/p90/p99 (ns).  This
+    is a separate pass — the timed runs above never carry telemetry, so
+    the pps numbers stay comparable to prior records.  When
+    ``telemetry_path`` is given the full snapshot + spans are also
+    dumped as JSON Lines there.
+    """
+    tel = Telemetry(TelemetryConfig(sample_rate=sample_rate))
+    extractor = api.compile(policy, n_nics=n_nics, telemetry=tel)
+    result = extractor.run(packets)
+    snapshot = result.dataplane.telemetry_snapshot()
+    spans = result.dataplane.telemetry_spans()
+    latency = {
+        name[len("span."):]: histogram_percentiles(hist)
+        for name, hist in sorted(snapshot["histograms"].items())
+        if name.startswith("span.") and hist["count"]
+    }
+    if telemetry_path:
+        write_jsonl(telemetry_path, snapshot, spans,
+                    meta={"bench": "hotpath",
+                          "sample_rate": sample_rate})
+    return latency
+
+
+def run_overhead(n_flows: int = 400,
+                 n_nics: int = 4,
+                 trace_profile: str = "ENTERPRISE",
+                 seed: int = 17,
+                 repeats: int = 5) -> dict:
+    """Measure the cost of enabled-but-unsampled telemetry.
+
+    Times the same end-to-end extraction with no telemetry and with a
+    ``sample_rate=0`` attachment (counters live, spans off) in strict
+    alternation — interleaving shares thermal/cache drift between the
+    two arms instead of crediting it to one.  The CI gate fails when
+    ``overhead_fraction`` exceeds its budget (3%).
+    """
+    policy = scaling_policy()
+    packets = generate_trace(trace_profile, n_flows=n_flows, seed=seed)
+    n_packets = len(packets)
+    off = api.compile(policy, n_nics=n_nics)
+    on = api.compile(policy, n_nics=n_nics,
+                     telemetry=Telemetry(TelemetryConfig(sample_rate=0.0)))
+    off.run(packets)                    # warm both paths before timing
+    on.run(packets)
+    best_off = best_on = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        off.run(packets)
+        best_off = min(best_off, time.perf_counter() - start)
+        start = time.perf_counter()
+        on.run(packets)
+        best_on = min(best_on, time.perf_counter() - start)
+    overhead = best_on / best_off - 1.0
+    return {
+        "bench": "telemetry_overhead",
+        "cpu_count": os.cpu_count(),
+        "trace": trace_profile,
+        "n_flows": n_flows,
+        "n_packets": n_packets,
+        "n_nics": n_nics,
+        "repeats": repeats,
+        "pps_off": round(n_packets / best_off, 1),
+        "pps_unsampled": round(n_packets / best_on, 1),
+        "overhead_fraction": round(overhead, 4),
+    }
+
+
 def _reference_checksum(policy, packets, n_nics: int) -> str:
     """Checksum of the pre-optimization oracle's vectors.
 
@@ -127,7 +212,8 @@ def run_hotpath(n_flows: int = 400,
                 trace_profile: str = "ENTERPRISE",
                 seed: int = 17,
                 repeats: int = 5,
-                profile: bool = True) -> dict:
+                profile: bool = True,
+                telemetry_path: str | None = None) -> dict:
     """Measure the three pipeline slices and verify oracle equivalence.
 
     Returns the benchmark record serialized to ``BENCH_hotpath.json``.
@@ -184,6 +270,11 @@ def run_hotpath(n_flows: int = 400,
     attribution = (profile_attribution(lambda: extractor.run(packets))
                    if profile else None)
 
+    # Traced pass last: it attaches telemetry to a *separate* extractor,
+    # so the timed numbers above are telemetry-free by construction.
+    latency = latency_percentiles(policy, packets, n_nics,
+                                  telemetry_path=telemetry_path)
+
     reference_sum = _reference_checksum(policy, packets, n_nics)
     e2e_pps = n_packets / e2e_s
 
@@ -212,6 +303,8 @@ def run_hotpath(n_flows: int = 400,
                 "checksum": checksum,
             },
         },
+        "latency_ns": latency,
+        "latency_sample_rate": LATENCY_SAMPLE_RATE,
         "baseline_pps": PRE_OPTIMIZATION_PPS,
         "speedup_vs_baseline": round(e2e_pps / PRE_OPTIMIZATION_PPS, 3),
         "profile": attribution,

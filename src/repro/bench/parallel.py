@@ -66,7 +66,8 @@ def run_scaling(n_flows: int = 400,
                 worker_counts=(1, 2, 4),
                 backend: str = "process",
                 trace_profile: str = "ENTERPRISE",
-                seed: int = 17) -> dict:
+                seed: int = 17,
+                telemetry_path: str | None = None) -> dict:
     """Serial baseline + one parallel run per worker count.
 
     Returns the benchmark record: per-run seconds / packets-per-second /
@@ -95,6 +96,32 @@ def run_scaling(n_flows: int = 400,
             "equivalent": checksum == serial_sum,
         })
 
+    # One traced pass on the largest parallel configuration: the timed
+    # runs above stay telemetry-free, and the latency percentiles cover
+    # shard dispatch/merge as well as the per-stage pipeline spans.
+    from repro.bench.hotpath import latency_percentiles
+    latency_workers = max(worker_counts, default=1)
+    latency = latency_percentiles(
+        policy, packets, n_nics,
+        telemetry_path=telemetry_path)  # serial graph: pipeline spans
+    if latency_workers > 1:
+        from repro.core.telemetry import (
+            Telemetry,
+            TelemetryConfig,
+            histogram_percentiles,
+        )
+        tel = Telemetry(TelemetryConfig(sample_rate=1 / 32))
+        result = api.compile(policy, n_nics=n_nics,
+                             workers=latency_workers, backend=backend,
+                             telemetry=tel).run(packets)
+        snap = result.dataplane.telemetry_snapshot()
+        latency.update({
+            name[len("span."):]: histogram_percentiles(hist)
+            for name, hist in sorted(snap["histograms"].items())
+            if name.startswith("span.") and hist["count"]
+            and name[len("span."):].startswith("shard.")
+        })
+
     cpu_count = os.cpu_count() or 1
     max_speedup = max((r["speedup"] for r in runs), default=0.0)
     return {
@@ -117,6 +144,7 @@ def run_scaling(n_flows: int = 400,
             "checksum": serial_sum,
         },
         "runs": runs,
+        "latency_ns": latency,
         "equivalent": all(r["equivalent"] for r in runs),
         "max_speedup": max_speedup,
     }

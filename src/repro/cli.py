@@ -11,6 +11,8 @@ Subcommands::
     python -m repro extract --app NPOD --trace ENTERPRISE \
         --out features.csv --nics 4 --workers 4 --exec-backend process
     python -m repro bench-parallel --out BENCH_parallel.json
+    python -m repro telemetry --app NPOD --trace ENTERPRISE  # dashboard
+    python -m repro telemetry --input run.jsonl --format prometheus
 
 ``extract`` writes one CSV row per feature vector: the group key columns
 followed by the feature values (header included).
@@ -120,6 +122,11 @@ def _cmd_extract(args) -> int:
         except (FaultPlanError, OSError) as exc:
             print(f"bad fault plan: {exc}", file=sys.stderr)
             return 2
+    telemetry = None
+    if args.telemetry:
+        from repro.core.telemetry import Telemetry, TelemetryConfig
+        telemetry = Telemetry(TelemetryConfig(
+            sample_rate=args.telemetry_sample))
     if args.pcap:
         packets = read_pcap(args.pcap)
     else:
@@ -127,12 +134,13 @@ def _cmd_extract(args) -> int:
                                  seed=args.seed)
     policy = build_policy(args.app)
     if args.software:
-        extractor = api.compile(policy, software=True)
+        extractor = api.compile(policy, software=True,
+                                telemetry=telemetry)
     else:
         extractor = api.compile(
             policy, n_nics=args.nics, fault_plan=fault_plan,
             workers=args.workers if args.workers > 1 else None,
-            backend=args.exec_backend)
+            backend=args.exec_backend, telemetry=telemetry)
     try:
         result = extractor.run(packets)
     except FaultPlanError as exc:
@@ -166,6 +174,73 @@ def _cmd_extract(args) -> int:
         print(render_counters(
             degradation_report(result.dataplane.counters()),
             title="chaos report (injected / recovered / degraded)"))
+    if args.telemetry:
+        from repro.core.telemetry import write_jsonl
+        lines = write_jsonl(
+            args.telemetry,
+            result.dataplane.telemetry_snapshot(),
+            result.dataplane.telemetry_spans(),
+            meta={"command": "extract", "app": args.app,
+                  "sample_rate": args.telemetry_sample})
+        print(f"wrote {lines} telemetry lines to {args.telemetry}")
+    return 0
+
+
+def _cmd_telemetry(args) -> int:
+    from repro.core.telemetry import (
+        Telemetry,
+        TelemetryConfig,
+        TelemetryError,
+        prometheus_text,
+        read_jsonl,
+        render_dashboard,
+        write_jsonl,
+    )
+    if bool(args.input) == bool(args.app):
+        print("provide exactly one of --input or --app",
+              file=sys.stderr)
+        return 2
+    if args.input:
+        try:
+            dump = read_jsonl(args.input)
+        except (OSError, ValueError) as exc:
+            print(f"bad telemetry dump: {exc}", file=sys.stderr)
+            return 2
+        if dump["snapshot"] is None:
+            print(f"{args.input} has no metrics line", file=sys.stderr)
+            return 2
+        snapshot = dump["snapshot"]
+        spans = [(s["name"], s["start_ns"], s["dur_ns"])
+                 for s in dump["spans"]]
+        title = f"superfe telemetry ({args.input})"
+    else:
+        if args.app not in APP_POLICIES:
+            print(f"unknown application {args.app!r}; have "
+                  f"{sorted(APP_POLICIES)}", file=sys.stderr)
+            return 2
+        try:
+            tel = Telemetry(TelemetryConfig(
+                sample_rate=args.sample_rate))
+        except TelemetryError as exc:
+            print(f"bad telemetry config: {exc}", file=sys.stderr)
+            return 2
+        packets = generate_trace(args.trace, n_flows=args.flows,
+                                 seed=args.seed)
+        result = api.compile(build_policy(args.app), n_nics=args.nics,
+                             telemetry=tel).run(packets)
+        snapshot = result.dataplane.telemetry_snapshot()
+        spans = result.dataplane.telemetry_spans()
+        title = (f"superfe telemetry ({args.app} on {args.trace}, "
+                 f"{len(packets)} packets)")
+        if args.out:
+            write_jsonl(args.out, snapshot, spans,
+                        meta={"command": "telemetry", "app": args.app,
+                              "sample_rate": args.sample_rate})
+            print(f"wrote telemetry dump to {args.out}")
+    if args.format == "prometheus":
+        print(prometheus_text(snapshot), end="")
+    else:
+        print(render_dashboard(snapshot, spans, title=title))
     return 0
 
 
@@ -181,7 +256,8 @@ def _cmd_bench_parallel(args) -> int:
     record = run_scaling(n_flows=args.flows, n_nics=args.nics,
                          worker_counts=workers,
                          backend=args.exec_backend,
-                         trace_profile=args.trace, seed=args.seed)
+                         trace_profile=args.trace, seed=args.seed,
+                         telemetry_path=args.telemetry)
     with open(args.out, "w") as fh:
         json.dump(record, fh, indent=2)
         fh.write("\n")
@@ -198,17 +274,21 @@ def _cmd_bench_parallel(args) -> int:
 def _cmd_bench_hotpath(args) -> int:
     import json
 
-    from repro.bench.hotpath import run_hotpath
+    from repro.bench.hotpath import run_hotpath, run_overhead
     record = run_hotpath(n_flows=args.flows, n_nics=args.nics,
                          trace_profile=args.trace, seed=args.seed,
                          repeats=args.repeats,
-                         profile=not args.no_profile)
+                         profile=not args.no_profile,
+                         telemetry_path=args.telemetry)
     with open(args.out, "w") as fh:
         json.dump(record, fh, indent=2)
         fh.write("\n")
     for stage, row in record["stages"].items():
         print(f"{stage:12s}: {row['pps']:>12,.0f} pps "
               f"({row['seconds']:.4f}s)")
+    for span, pct in record["latency_ns"].items():
+        print(f"  {span:<22} p50={pct['p50']:>10,.0f}ns "
+              f"p90={pct['p90']:>10,.0f}ns p99={pct['p99']:>10,.0f}ns")
     marker = "==" if record["equivalent"] else "!="
     print(f"checksum {marker} reference oracle; "
           f"{record['speedup_vs_baseline']:.2f}x vs "
@@ -237,6 +317,22 @@ def _cmd_bench_hotpath(args) -> int:
             return 1
         print(f"regression gate passed: {measured:,.0f} pps >= "
               f"{floor:,.0f} pps floor")
+    if args.telemetry_gate is not None:
+        overhead = run_overhead(n_flows=args.flows, n_nics=args.nics,
+                                trace_profile=args.trace,
+                                seed=args.seed, repeats=args.repeats)
+        frac = overhead["overhead_fraction"]
+        budget = args.telemetry_gate / 100.0
+        print(f"unsampled telemetry: {overhead['pps_unsampled']:,.0f} "
+              f"pps vs {overhead['pps_off']:,.0f} pps off "
+              f"({frac:+.1%} overhead)")
+        if frac > budget:
+            print(f"FAIL: enabled-but-unsampled telemetry overhead "
+                  f"{frac:.1%} exceeds the {budget:.0%} budget",
+                  file=sys.stderr)
+            return 1
+        print(f"telemetry overhead gate passed "
+              f"({frac:.1%} <= {budget:.0%})")
     return 0
 
 
@@ -297,6 +393,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", default="ENTERPRISE")
     p.add_argument("--seed", type=int, default=17)
     p.add_argument("--out", default="BENCH_parallel.json")
+    p.add_argument("--telemetry",
+                   help="also dump the traced pass's metrics/spans as "
+                        "JSON Lines to this path")
     p.set_defaults(func=_cmd_bench_parallel)
 
     p = sub.add_parser("bench-hotpath",
@@ -317,6 +416,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-regression", type=float, default=0.20,
                    help="allowed fractional pps regression for "
                         "--check-against (default 0.20)")
+    p.add_argument("--telemetry",
+                   help="also dump the traced pass's metrics/spans as "
+                        "JSON Lines to this path")
+    p.add_argument("--telemetry-gate", type=float, default=None,
+                   metavar="PCT",
+                   help="measure enabled-but-unsampled telemetry "
+                        "overhead and fail when it exceeds PCT percent")
     p.set_defaults(func=_cmd_bench_hotpath)
 
     p = sub.add_parser("report",
@@ -348,7 +454,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="JSON chaos schedule (FaultPlan) to inject")
     p.add_argument("--chaos-report", action="store_true",
                    help="print the injected/recovered/degraded ledger")
+    p.add_argument("--telemetry",
+                   help="collect typed metrics/spans and dump them as "
+                        "JSON Lines to this path")
+    p.add_argument("--telemetry-sample", type=float, default=1 / 64,
+                   metavar="RATE",
+                   help="span sample rate for --telemetry "
+                        "(default 1/64; 0 = metrics only)")
     p.set_defaults(func=_cmd_extract)
+
+    p = sub.add_parser(
+        "telemetry",
+        help="render a telemetry dashboard: from a JSONL dump "
+             "(--input) or by running one traced extraction (--app)")
+    p.add_argument("--input", help="JSON Lines dump written by "
+                   "--telemetry / write_jsonl")
+    p.add_argument("--app", help="run this application instead")
+    p.add_argument("--trace", default="ENTERPRISE",
+                   help="synthetic trace profile for --app runs")
+    p.add_argument("--flows", type=int, default=500)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--nics", type=int, default=1)
+    p.add_argument("--sample-rate", type=float, default=1 / 64,
+                   help="span sample rate for --app runs "
+                        "(default 1/64)")
+    p.add_argument("--out", help="also dump the --app run's "
+                   "metrics/spans as JSON Lines here")
+    p.add_argument("--format", choices=("dashboard", "prometheus"),
+                   default="dashboard")
+    p.set_defaults(func=_cmd_telemetry)
     return parser
 
 

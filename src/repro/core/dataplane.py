@@ -27,7 +27,9 @@ from the component that physically carries them.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
+from time import perf_counter_ns
 from typing import Iterable, Protocol, runtime_checkable
 
 import numpy as np
@@ -36,6 +38,11 @@ from repro.core.compiler import CompiledPolicy
 from repro.core.functions import ExecContext
 from repro.core.observe import Trace
 from repro.core.parallel import ExecutionConfig, ParallelSink, ShardedCluster
+from repro.core.telemetry import (
+    DEFAULT_COUNT_BOUNDS,
+    Telemetry,
+    merge_snapshots,
+)
 from repro.net.packet import Packet, compile_field_accessor
 from repro.nicsim.engine import FeatureEngine, FeatureVector
 from repro.nicsim.loadbalance import NICCluster
@@ -183,8 +190,28 @@ class SwitchNICLink:
         self.retransmits_exhausted = 0
         self.retransmit_bytes = 0
         self.retransmit_backoff_ns = 0.0
+        # Telemetry instruments (attach_telemetry); None = not attached.
+        # The lossless per-record fast path in consume() stays untouched
+        # either way — these only fire on the queued/recovery paths.
+        self._t_tracer = None
+        self._t_retx_attempts = None
+        self._t_batch_bytes = None
 
     # -- wiring ---------------------------------------------------------------
+
+    def attach_telemetry(self, telemetry: Telemetry) -> None:
+        """Register the link's typed instruments: retransmit-attempt and
+        batch-size distributions, live queue depth, and (when sampling)
+        spans around the recovery loop."""
+        reg = telemetry.registry
+        self._t_tracer = (telemetry.tracer if telemetry.tracer.active
+                          else None)
+        self._t_retx_attempts = reg.histogram(
+            "link.retransmit.attempts", DEFAULT_COUNT_BOUNDS)
+        self._t_batch_bytes = reg.histogram(
+            "link.batch.bytes",
+            (16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536))
+        reg.gauge_source("link.queue_depth", lambda: len(self._queue))
 
     def attach_traffic(self, stats: CacheStats) -> None:
         """Give the link a view of the upstream traffic counters so it
@@ -342,6 +369,15 @@ class SwitchNICLink:
         """Bounded retransmit-request loop for a lost FG sync.  The NIC
         requests the FG-table slot again; the switch re-reads its FG-key
         table and resends.  True when a retry got through."""
+        if self._t_tracer is not None:
+            start = perf_counter_ns()
+            ok = self._recover_inner(event)
+            self._t_tracer.record("link.retransmit", start,
+                                  perf_counter_ns())
+            return ok
+        return self._recover_inner(event)
+
+    def _recover_inner(self, event) -> bool:
         cfg = self.config
         if cfg.retransmit_retries < 1 or not isinstance(event, FGSync):
             return False
@@ -358,8 +394,12 @@ class SwitchNICLink:
             self.busy_ns += backoff
             if not self._retry_lost(event):
                 self.retransmits_ok += 1
+                if self._t_retx_attempts is not None:
+                    self._t_retx_attempts.observe(attempt + 1)
                 return True
         self.retransmits_exhausted += 1
+        if self._t_retx_attempts is not None:
+            self._t_retx_attempts.observe(cfg.retransmit_retries)
         return False
 
     def _transmit(self) -> tuple:
@@ -386,6 +426,8 @@ class SwitchNICLink:
             batch_bytes += wire_bytes
         self.bytes_out += batch_bytes
         self.busy_ns += batch_bytes * 8 / self.config.bandwidth_gbps
+        if self._t_batch_bytes is not None:
+            self._t_batch_bytes.observe(batch_bytes)
         return tuple(batch)
 
     # -- metrics (Fig 12) ------------------------------------------------------
@@ -505,6 +547,9 @@ class EngineSink:
         self.engine = engine
         self._pv_cursor = 0
 
+    def attach_telemetry(self, telemetry: Telemetry) -> None:
+        self.engine.attach_telemetry(telemetry)
+
     def consume(self, event) -> tuple:
         self.engine.consume(event)
         return ()
@@ -537,6 +582,9 @@ class ClusterSink:
     def __init__(self, cluster: NICCluster) -> None:
         self.cluster = cluster
         self._pv_cursors = [0] * len(cluster.engines)
+
+    def attach_telemetry(self, telemetry: Telemetry) -> None:
+        self.cluster.attach_telemetry(telemetry)
 
     def consume(self, event) -> tuple:
         self.cluster.consume(event)
@@ -618,7 +666,8 @@ class Dataplane:
                  link: SwitchNICLink,
                  sink: EngineSink | ClusterSink | ParallelSink | NullSink,
                  compiled: CompiledPolicy,
-                 trace: Trace | None = None) -> None:
+                 trace: Trace | None = None,
+                 telemetry: Telemetry | None = None) -> None:
         self.filter = filter_stage
         self.switch = switch
         self.link = link
@@ -628,12 +677,36 @@ class Dataplane:
         self.faults = None          # FaultInjector, via attach_faults()
         self._pkt_index = 0
         self.stages: list[Stage] = [filter_stage, switch, link, sink]
+        self.telemetry: Telemetry | None = None
+        self._t_packets = None
+        self._t_batches = None
+        if telemetry is not None:
+            self.attach_telemetry(telemetry)
 
     def attach_faults(self, plan) -> None:
         """Attach a scripted :class:`repro.core.faults.FaultPlan`; its
         injector ticks once per processed packet."""
         from repro.core.faults import FaultInjector
         self.faults = FaultInjector(plan, self)
+        if self.telemetry is not None:
+            self.faults.attach_telemetry(self.telemetry)
+
+    def attach_telemetry(self, telemetry: Telemetry) -> None:
+        """Attach one :class:`~repro.core.telemetry.Telemetry` bundle to
+        the whole graph: every stage that knows how registers its typed
+        instruments in the shared registry, and :meth:`process` switches
+        to its instrumented tier (span-sampled when the tracer is
+        active, counter-only otherwise)."""
+        self.telemetry = telemetry
+        reg = telemetry.registry
+        self._t_packets = reg.counter("pipeline.packets")
+        self._t_batches = reg.counter("pipeline.batches")
+        for stage in self.stages:
+            attach = getattr(stage, "attach_telemetry", None)
+            if attach is not None:
+                attach(telemetry)
+        if self.faults is not None:
+            self.faults.attach_telemetry(telemetry)
 
     @classmethod
     def build(cls, compiled: CompiledPolicy, *,
@@ -648,7 +721,8 @@ class Dataplane:
               compute: bool = True,
               trace: Trace | None = None,
               fault_plan=None,
-              execution: ExecutionConfig | None = None) -> "Dataplane":
+              execution: ExecutionConfig | None = None,
+              telemetry: Telemetry | None = None) -> "Dataplane":
         """Wire the Fig 1 graph for a compiled policy.
 
         ``software`` swaps the MGPV cache for the baseline's
@@ -663,7 +737,9 @@ class Dataplane:
         one (a single shard has no parallelism and always runs inline).
         When ``execution`` is None it is read from the
         ``SUPERFE_EXEC_BACKEND`` / ``SUPERFE_EXEC_WORKERS`` environment
-        (the CI matrix hook).
+        (the CI matrix hook).  ``telemetry`` attaches a
+        :class:`~repro.core.telemetry.Telemetry` bundle to every stage
+        (see :meth:`attach_telemetry`).
         """
         if n_nics < 1:
             raise ValueError(f"n_nics must be >= 1, got {n_nics}")
@@ -695,7 +771,7 @@ class Dataplane:
         else:
             sink = EngineSink(FeatureEngine(compiled, **engine_kwargs))
         dataplane = cls(filter_stage, switch, link, sink, compiled,
-                        trace=trace)
+                        trace=trace, telemetry=telemetry)
         if fault_plan is not None:
             dataplane.attach_faults(fault_plan)
         return dataplane
@@ -746,7 +822,16 @@ class Dataplane:
     def process(self, packets: Iterable[Packet]) -> list[FeatureVector]:
         """Feed a batch of packets through the graph; returns the
         per-packet vectors the batch produced (empty for per-group
-        policies, which emit at :meth:`snapshot` / :meth:`flush`)."""
+        policies, which emit at :meth:`snapshot` / :meth:`flush`).
+
+        Three tiers: the generic traced fan-out (``trace=`` hook), the
+        span-sampling loop (telemetry attached with an active tracer),
+        and the PR-4 inlined hot loop — which also serves telemetry in
+        its unsampled mode, paying only one batch-level counter update
+        (the <3% overhead budget the ``telemetry-overhead`` CI job
+        enforces).
+        """
+        tel = self.telemetry
         if self.trace is not None:
             # Observability path: the generic fan-out traces every event
             # at every stage boundary.
@@ -755,6 +840,8 @@ class Dataplane:
                     self.faults.on_packet(self._pkt_index)
                 self._pkt_index += 1
                 self._push(pkt)
+        elif tel is not None and tel.tracer.active:
+            self._process_sampled(packets, tel.tracer)
         else:
             # Hot path: the graph shape is static (filter -> switch ->
             # link -> sink, with the sink absorbing), so run it as one
@@ -768,6 +855,7 @@ class Dataplane:
             link_consume = self.link.consume
             sink_consume = self.sink.consume
             buf: list = []
+            start_index = self._pkt_index
             for pkt in packets:
                 if faults is not None:
                     faults.on_packet(self._pkt_index)
@@ -779,6 +867,9 @@ class Dataplane:
                 for event in buf:
                     for delivered in link_consume(event):
                         sink_consume(delivered)
+            if tel is not None:
+                self._t_packets.inc(self._pkt_index - start_index)
+                self._t_batches.inc()
         # Keep the NIC clock moving even for policies whose cells carry
         # no timestamp (idle eviction relies on it).
         self.sink.advance_clock(self.switch.now_ns)
@@ -786,13 +877,63 @@ class Dataplane:
             return self.sink.take_packet_vectors()
         return []
 
+    def _process_sampled(self, packets: Iterable[Packet], tracer) -> None:
+        """The hot loop with stride-sampled per-stage spans: every
+        ``tracer.stride``-th packet is timed across its switch, link and
+        sink hops (FG syncs separately from records); the rest take the
+        plain inlined body."""
+        faults = self.faults
+        admit = self.filter.admit
+        insert = self.switch.insert
+        link_consume = self.link.consume
+        sink_consume = self.sink.consume
+        should_sample = tracer.should_sample
+        record = tracer.record
+        buf: list = []
+        start_index = self._pkt_index
+        for pkt in packets:
+            if faults is not None:
+                faults.on_packet(self._pkt_index)
+            self._pkt_index += 1
+            if not should_sample():
+                if not admit(pkt):
+                    continue
+                buf.clear()
+                insert(pkt, buf)
+                for event in buf:
+                    for delivered in link_consume(event):
+                        sink_consume(delivered)
+                continue
+            if not admit(pkt):
+                continue
+            buf.clear()
+            t0 = perf_counter_ns()
+            insert(pkt, buf)
+            record("stage.switch", t0, perf_counter_ns())
+            for event in buf:
+                name = ("stage.fg_sync" if isinstance(event, FGSync)
+                        else "stage.link")
+                t1 = perf_counter_ns()
+                delivered = link_consume(event)
+                record(name, t1, perf_counter_ns())
+                if delivered:
+                    t2 = perf_counter_ns()
+                    for ev in delivered:
+                        sink_consume(ev)
+                    record("stage.sink", t2, perf_counter_ns())
+        self._t_packets.inc(self._pkt_index - start_index)
+        self._t_batches.inc()
+
     def flush(self) -> list[FeatureVector]:
         """Drain every stage in order (switch residency through the
         link, then the link's queue) and emit final vectors."""
-        for i, stage in enumerate(self.stages):
-            for event in stage.flush():
-                self._push(event, i + 1)
-        return self.sink.finalize()
+        span = (self.telemetry.tracer.span("pipeline.flush")
+                if self.telemetry is not None else nullcontext())
+        with span:
+            for i, stage in enumerate(self.stages):
+                for event in stage.flush():
+                    self._push(event, i + 1)
+            return self.sink.finalize()
 
     def snapshot(self) -> list[FeatureVector]:
         """Current vectors of all resident groups; does not disturb the
@@ -817,3 +958,22 @@ class Dataplane:
         if self.faults is not None:
             counters[self.faults.name] = self.faults.counters()
         return counters
+
+    def telemetry_snapshot(self) -> dict | None:
+        """The cluster-wide metric snapshot: this process's registry
+        merged with every shard worker's (the parallel sink ships them
+        back over the result protocol).  None when no telemetry is
+        attached."""
+        if self.telemetry is None:
+            return None
+        snaps = [self.telemetry.snapshot()]
+        worker_snaps = getattr(self.sink, "telemetry_snapshots", None)
+        if worker_snaps is not None:
+            snaps.extend(s for s in worker_snaps() if s)
+        return merge_snapshots(*snaps)
+
+    def telemetry_spans(self) -> list[tuple]:
+        """Spans collected so far (coordinator-side only)."""
+        if self.telemetry is None:
+            return []
+        return list(self.telemetry.tracer.spans)

@@ -180,6 +180,15 @@ class FaultInjector:
         self._end_i = 0
         self.applied: dict[str, int] = {}
         self.reverted: dict[str, int] = {}
+        self._t_applied = None
+        self._t_reverted = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Mirror the applied/reverted ledger into the typed registry so
+        chaos runs show injections next to the recovery metrics."""
+        reg = telemetry.registry
+        self._t_applied = reg.counter("faults.applied")
+        self._t_reverted = reg.counter("faults.reverted")
 
     def _validate_targets(self) -> None:
         needs_cluster = any(a.kind in ("nic_kill", "nic_restart")
@@ -232,6 +241,8 @@ class FaultInjector:
         elif action.kind == "queue_clamp":
             dp.link.clamp_capacity(action.capacity)
         self.applied[action.kind] = self.applied.get(action.kind, 0) + 1
+        if self._t_applied is not None:
+            self._t_applied.inc()
 
     def _revert(self, action: FaultAction) -> None:
         dp = self.dataplane
@@ -242,6 +253,8 @@ class FaultInjector:
         elif action.kind == "queue_clamp":
             dp.link.clamp_capacity(None)
         self.reverted[action.kind] = self.reverted.get(action.kind, 0) + 1
+        if self._t_reverted is not None:
+            self._t_reverted.inc()
 
     # -- observability ---------------------------------------------------------
 

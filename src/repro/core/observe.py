@@ -30,7 +30,10 @@ def counter_delta(now: Counters, last: Counters) -> dict:
 
     Keys present only in ``now`` are treated as starting from zero (a
     counter that appeared since the last sample); keys present only in
-    ``last`` are dropped (their source was torn down).
+    ``last`` — their source was torn down mid-poll — are surfaced as a
+    ``<key>.removed: True`` marker rather than silently dropped, so a
+    control plane polling across a hot swap or a fault revert can tell
+    "stage went away" from "stage went quiet".
     """
     delta: dict = {}
     for key, value in now.items():
@@ -43,6 +46,9 @@ def counter_delta(now: Counters, last: Counters) -> dict:
                                   else 0)
         else:
             delta[key] = value
+    for key in last:
+        if key not in now:
+            delta[f"{key}.removed"] = True
     return delta
 
 
@@ -91,7 +97,15 @@ def degradation_report(counters: Mapping[str, Counters]) -> dict:
         return {n: stage[n] for n in names if n in stage}
 
     link = counters.get("link", {})
-    sink = counters.get("engine") or counters.get("cluster") or {}
+    # Explicit key-presence order: an "engine" stage whose counters are
+    # all zero must still win over "cluster" — `get(...) or get(...)`
+    # would fall through on the empty-dict (falsy) layout.
+    if "engine" in counters:
+        sink = counters["engine"]
+    elif "cluster" in counters:
+        sink = counters["cluster"]
+    else:
+        sink = {}
     report: dict = {
         "injected": pick(link, ("drops_injected", "drops_fault",
                                 "drops_backpressure", "gaps_detected",
@@ -116,6 +130,10 @@ def render_counters(counters: Mapping[str, Counters],
     """Render per-stage counters as an indented text block."""
     lines = [f"# {title}"]
     for stage, values in counters.items():
+        if not isinstance(values, Mapping):
+            # e.g. the "<stage>.removed: True" marker from counter_delta
+            lines.append(f"{stage}: {values}")
+            continue
         lines.append(f"{stage}:")
         for name, value in sorted(values.items()):
             if isinstance(value, Mapping):

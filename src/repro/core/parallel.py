@@ -128,6 +128,7 @@ class _ShardDriver:
         self.engines = {s: FeatureEngine(compiled, ctx=ctx, **engine_kwargs)
                         for s in shards}
         self._pv_cursors = {s: 0 for s in shards}
+        self.telemetry = None
 
     def handle(self, msg: tuple) -> tuple[bool, object]:
         """Returns ``(replied, payload)``; async messages reply False."""
@@ -169,6 +170,19 @@ class _ShardDriver:
             return True, {s: e.finalize() for s, e in self.engines.items()}
         if kind == "barrier":
             return True, None
+        if kind == "telemetry_on":
+            # Workers fork before the coordinator can attach anything,
+            # so telemetry arrives as a picklable TelemetryConfig and
+            # each worker builds its own registry here.  Asynchronous:
+            # rides the FIFO like any dispatch batch.
+            from repro.core.telemetry import Telemetry
+            self.telemetry = Telemetry(msg[1])
+            for engine in self.engines.values():
+                engine.attach_telemetry(self.telemetry)
+            return False, None
+        if kind == "telemetry":
+            return True, (self.telemetry.snapshot()
+                          if self.telemetry is not None else None)
         raise RuntimeError(f"unknown worker message {kind!r}")
 
 
@@ -369,6 +383,46 @@ class ShardedCluster:
         self._stats_cache = {s: EngineStats() for s in range(n_nics)}
         self._final_vectors: list[FeatureVector] | None = None
         self._closed = False
+        # Telemetry (attach_telemetry): coordinator-side dispatch
+        # instruments plus cached per-worker metric snapshots.
+        self._t_tracer = None
+        self._t_batches = None
+        self._t_events = None
+        self._t_chunk_events = None
+        self._t_failovers = None
+        self._snapshots_cache: list[dict] = []
+        self._telemetry_on = False
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Instrument the coordinator's dispatch path and turn on
+        worker-side registries: each worker gets the (picklable)
+        :class:`~repro.core.telemetry.TelemetryConfig` over its FIFO and
+        builds its own registry, shipped back as a snapshot by
+        :meth:`worker_snapshots` and merged into cluster-wide truth by
+        ``Dataplane.telemetry_snapshot``."""
+        from repro.core.telemetry import DEFAULT_COUNT_BOUNDS
+        reg = telemetry.registry
+        self._t_tracer = (telemetry.tracer if telemetry.tracer.active
+                          else None)
+        self._t_batches = reg.counter("dispatch.batches")
+        self._t_events = reg.counter("dispatch.events")
+        self._t_chunk_events = reg.histogram("dispatch.chunk.events",
+                                             DEFAULT_COUNT_BOUNDS)
+        self._t_failovers = reg.counter("cluster.failovers")
+        self._telemetry_on = True
+        for worker in self._workers:
+            worker.post(("telemetry_on", telemetry.config))
+
+    def worker_snapshots(self) -> list[dict]:
+        """Each worker's registry snapshot (empty when telemetry is
+        off); the last gathered set keeps serving after close()."""
+        if not self._telemetry_on:
+            return []
+        if not self._closed:
+            self._snapshots_cache = [
+                snap for snap in self._broadcast(("telemetry",))
+                if snap is not None]
+        return self._snapshots_cache
 
     # -- routing & dispatch ---------------------------------------------------
 
@@ -412,10 +466,21 @@ class ShardedCluster:
         return self
 
     def _dispatch(self, worker: int, chunk: list) -> None:
-        self._workers[worker].post(
-            ("pbatch" if self._compact else "batch", chunk))
+        if self._t_tracer is not None:
+            start = time.perf_counter_ns()
+            self._workers[worker].post(
+                ("pbatch" if self._compact else "batch", chunk))
+            self._t_tracer.record("shard.dispatch", start,
+                                  time.perf_counter_ns())
+        else:
+            self._workers[worker].post(
+                ("pbatch" if self._compact else "batch", chunk))
         self.batches_dispatched += 1
         self.events_dispatched += len(chunk)
+        if self._t_batches is not None:
+            self._t_batches.inc()
+            self._t_events.inc(len(chunk))
+            self._t_chunk_events.observe(len(chunk))
 
     def _flush_dispatch(self) -> None:
         for worker, batcher in enumerate(self._batchers):
@@ -453,6 +518,8 @@ class ShardedCluster:
         self.alive[nic] = False
         self._route_cache.clear()
         self.failovers += 1
+        if self._t_failovers is not None:
+            self._t_failovers.inc()
         residual = self._workers[self._owner[nic]].request(("crash", nic))
         self._residual.extend(residual)
         mirror = list(self._mirrors[nic].items())
@@ -479,6 +546,8 @@ class ShardedCluster:
     def finalize(self) -> list[FeatureVector]:
         if self._closed:
             return list(self._final_vectors or [])
+        start = (time.perf_counter_ns() if self._t_tracer is not None
+                 else 0)
         by_shard = self._gather(("finalize",))
         vectors: list[FeatureVector] = []
         for shard in range(self.n_nics):
@@ -486,6 +555,9 @@ class ShardedCluster:
         vectors, self.demoted_vectors = reconcile_residual(
             vectors, self._residual)
         self._final_vectors = vectors
+        if self._t_tracer is not None:
+            self._t_tracer.record("shard.merge", start,
+                                  time.perf_counter_ns())
         return vectors
 
     def take_packet_vectors(self) -> list[FeatureVector]:
@@ -512,6 +584,7 @@ class ShardedCluster:
         if self._closed:
             return
         self._fetch_stats()
+        self.worker_snapshots()
         for worker in self._workers:
             worker.stop()
         self._closed = True
@@ -592,6 +665,12 @@ class ParallelSink:
 
     def __init__(self, cluster: ShardedCluster) -> None:
         self.cluster = cluster
+
+    def attach_telemetry(self, telemetry) -> None:
+        self.cluster.attach_telemetry(telemetry)
+
+    def telemetry_snapshots(self) -> list[dict]:
+        return self.cluster.worker_snapshots()
 
     def consume(self, event) -> tuple:
         self.cluster.consume(event)

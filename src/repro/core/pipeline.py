@@ -85,6 +85,7 @@ class SuperFE:
                  link_config: LinkConfig | None = None,
                  fault_plan=None,
                  execution: ExecutionConfig | None = None,
+                 telemetry=None,
                  _internal: bool = False) -> None:
         if not _internal:
             warnings.warn(
@@ -109,6 +110,7 @@ class SuperFE:
         self.link_config = link_config
         self.fault_plan = fault_plan
         self.execution = execution
+        self.telemetry = telemetry
 
     def dataplane(self) -> Dataplane:
         """Wire a fresh dataplane graph for this deployment."""
@@ -122,7 +124,8 @@ class SuperFE:
             n_nics=self.n_nics,
             link_config=self.link_config,
             fault_plan=self.fault_plan,
-            execution=self.execution)
+            execution=self.execution,
+            telemetry=self.telemetry)
 
     def run(self, packets) -> ExtractionResult:
         """Extract feature vectors from a packet stream."""

@@ -37,6 +37,9 @@ from repro.core.policy import Policy, Predicate
 from repro.nicsim.engine import FeatureVector
 from repro.switchsim.mgpv import MGPVConfig
 
+#: hot_swap sentinel: "keep the currently installed fault plan".
+_KEEP = object()
+
 
 @dataclass(frozen=True)
 class CounterSnapshot:
@@ -66,6 +69,7 @@ class SuperFERuntime:
                  table_width: int = 4,
                  link_config: LinkConfig | None = None,
                  fault_plan=None,
+                 telemetry=None,
                  _internal: bool = False) -> None:
         if not _internal:
             warnings.warn(
@@ -77,6 +81,7 @@ class SuperFERuntime:
         self._table_width = table_width
         self._link_config = link_config
         self._fault_plan = fault_plan
+        self._telemetry = telemetry
         self._poller = DeltaPoller(self._absolute_counters)
         self._install(policy, mgpv_config)
 
@@ -87,6 +92,12 @@ class SuperFERuntime:
         self.policy = policy
         self.compiled = PolicyCompiler().compile(policy)
         self.mgpv_config = self.compiled.sized_mgpv_config(mgpv_config)
+        if self._telemetry is not None:
+            # The gauge sources of the outgoing graph reference stages
+            # about to be replaced; the new graph re-registers its own.
+            # Counters/histograms persist across swaps (monotonic, as a
+            # control plane expects).
+            self._telemetry.registry.clear_gauge_sources()
         self.dataplane = Dataplane.build(
             self.compiled,
             mgpv_config=self.mgpv_config,
@@ -94,7 +105,8 @@ class SuperFERuntime:
             table_indices=self._table_indices,
             table_width=self._table_width,
             link_config=self._link_config,
-            fault_plan=self._fault_plan)
+            fault_plan=self._fault_plan,
+            telemetry=self._telemetry)
 
     # -- dataplane views ------------------------------------------------------
 
@@ -184,11 +196,20 @@ class SuperFERuntime:
                     f"the switch")
         self.filter_stage.predicates.append(pred)
 
-    def hot_swap(self, new_policy: Policy) -> list[FeatureVector]:
+    def hot_swap(self, new_policy: Policy,
+                 fault_plan=_KEEP) -> list[FeatureVector]:
         """Replace the running policy: drain the old deployment (no
         metadata is lost), emit its final vectors, install the new
-        programs, and reset counters."""
+        programs, and reset counters.
+
+        ``fault_plan`` defaults to keeping the current chaos schedule;
+        pass a new plan (or ``None`` to detach faults entirely — an
+        external poller over ``dataplane.counters()`` then sees the
+        ``faults`` stage disappear, surfaced by ``counter_delta`` as a
+        ``faults.removed`` marker)."""
         final = self.drain()
+        if fault_plan is not _KEEP:
+            self._fault_plan = fault_plan
         self._install(new_policy, self.mgpv_config)
         self._poller.reset()
         return final

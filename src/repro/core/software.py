@@ -28,6 +28,7 @@ class SoftwareExtractor:
 
     def __init__(self, policy: Policy, division_free: bool = False,
                  table_indices: int = 65536, table_width: int = 64,
+                 telemetry=None,
                  _internal: bool = False) -> None:
         if not _internal:
             warnings.warn(
@@ -39,6 +40,7 @@ class SoftwareExtractor:
         self.ctx = ExecContext(division_free=division_free)
         self._table_indices = table_indices
         self._table_width = table_width
+        self.telemetry = telemetry
 
     def dataplane(self) -> Dataplane:
         """Wire a fresh perfect-switch dataplane graph."""
@@ -47,7 +49,8 @@ class SoftwareExtractor:
             ctx=self.ctx,
             software=True,
             table_indices=self._table_indices,
-            table_width=self._table_width)
+            table_width=self._table_width,
+            telemetry=self.telemetry)
 
     def run(self, packets) -> ExtractionResult:
         dataplane = self.dataplane()

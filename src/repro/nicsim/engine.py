@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field as dc_field
+from time import perf_counter_ns
 
 import numpy as np
 
@@ -275,6 +276,34 @@ class FeatureEngine:
                 state_factory=(lambda p=plan: _GroupState(p)))
             self._tables.append((section, table))
 
+        # Telemetry instruments (attach_telemetry); None = not attached.
+        self._t_tracer = None
+        self._t_records = None
+        self._t_syncs = None
+        self._t_record_cells = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Register the engine's typed instruments: record/sync counts,
+        the cells-per-record distribution, per-granularity table
+        occupancy gauges, and (when sampling) a span per record reduce.
+
+        Serial engines of one cluster may share a registry — counters
+        get-or-create by name and sum naturally, keeping serial totals
+        comparable to the merged per-worker snapshots of the process
+        backend."""
+        from repro.core.telemetry import DEFAULT_COUNT_BOUNDS
+        reg = telemetry.registry
+        self._t_tracer = (telemetry.tracer if telemetry.tracer.active
+                          else None)
+        self._t_records = reg.counter("engine.records")
+        self._t_syncs = reg.counter("engine.syncs")
+        self._t_record_cells = reg.histogram("engine.record.cells",
+                                             DEFAULT_COUNT_BOUNDS)
+        for section, table in self._tables:
+            reg.gauge_source(
+                f"engine.table.{section.granularity.name}.groups",
+                lambda t=table: len(t))
+
     # -- setup helpers -------------------------------------------------------
 
     def _validate_collect_unit(self) -> None:
@@ -322,7 +351,18 @@ class FeatureEngine:
         if isinstance(event, FGSync):
             self.stats.syncs += 1
             self._fg_mirror[event.index] = event.key
+            if self._t_syncs is not None:
+                self._t_syncs.inc()
         elif isinstance(event, MGPVRecord):
+            if self._t_records is not None:
+                self._t_records.inc()
+                self._t_record_cells.observe(len(event.cells))
+                if self._t_tracer is not None:
+                    start = perf_counter_ns()
+                    self._process_record(event)
+                    self._t_tracer.record("engine.reduce", start,
+                                          perf_counter_ns())
+                    return
             self._process_record(event)
         else:
             raise TypeError(f"unknown event {event!r}")

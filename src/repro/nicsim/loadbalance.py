@@ -97,6 +97,17 @@ class NICCluster:
         # while the live set is stable the answer per key is fixed, so
         # cache it and drop the memo whenever liveness changes.
         self._route_cache: dict[tuple, tuple[int, bool]] = {}
+        self._t_failovers = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Register the cluster's failover counter and attach every
+        engine to the same registry — same-named engine instruments are
+        shared across the bank, so they naturally hold bank-wide totals
+        (the serial counterpart of the process backend's snapshot
+        merge)."""
+        self._t_failovers = telemetry.registry.counter("cluster.failovers")
+        for engine in self.engines:
+            engine.attach_telemetry(telemetry)
 
     def _route_key(self, cg_key: tuple,
                    hash32: int | None = None) -> int:
@@ -143,6 +154,8 @@ class NICCluster:
         self.alive[nic] = False
         self._route_cache.clear()
         self.failovers += 1
+        if self._t_failovers is not None:
+            self._t_failovers.inc()
         engine = self.engines[nic]
         mirror = engine.fg_mirror_items()
         self._residual.extend(engine.crash())

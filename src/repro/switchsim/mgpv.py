@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
+from time import perf_counter_ns
 from typing import Iterable, Iterator, Union
 
 from repro.core.granularity import Granularity
@@ -209,6 +210,30 @@ class MGPVCache:
         self._occ_samples = 0
         self._occ_occupied = 0
         self._occ_active = 0
+        # Telemetry instruments (attach_telemetry); None = not attached.
+        # Only amortized paths (_emit/_resolve_fg/_evict/_aging_scan) are
+        # instrumented — the per-packet insert body is untouched.
+        self._t_tracer = None
+        self._t_evictions = None
+        self._t_fg_syncs = None
+        self._t_record_cells = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Register the cache's typed instruments: eviction/sync counts,
+        the cells-per-record distribution, live occupancy gauges, and
+        (when sampling) spans around evictions and aging scans."""
+        from repro.core.telemetry import DEFAULT_COUNT_BOUNDS
+        reg = telemetry.registry
+        self._t_tracer = (telemetry.tracer if telemetry.tracer.active
+                          else None)
+        self._t_evictions = reg.counter("mgpv.evictions")
+        self._t_fg_syncs = reg.counter("mgpv.fg_syncs")
+        self._t_record_cells = reg.histogram("mgpv.record.cells",
+                                             DEFAULT_COUNT_BOUNDS)
+        reg.gauge_source("mgpv.resident_groups",
+                         lambda: len(self._occupied))
+        reg.gauge_source("mgpv.long_buffers_in_use",
+                         lambda: self.long_buffers_in_use)
 
     # -- public API ----------------------------------------------------------
 
@@ -432,6 +457,8 @@ class MGPVCache:
         events.append(sync)
         self.stats.syncs_out += 1
         self.stats.bytes_out += sync.wire_bytes(self.config)
+        if self._t_fg_syncs is not None:
+            self._t_fg_syncs.inc()
 
     def _append_cell(self, slot_idx: int, entry: _Entry, cell,
                      events: list[Event]) -> None:
@@ -469,11 +496,20 @@ class MGPVCache:
         self.stats.cells_out += len(record.cells)
         self.stats.bytes_out += record.wire_bytes(self.config)
         self.stats.evictions[reason] += 1
+        if self._t_evictions is not None:
+            self._t_evictions.inc()
+            self._t_record_cells.observe(len(record.cells))
         return record
 
     def _evict(self, slot_idx: int, reason: str) -> MGPVRecord:
         entry = self._slots[slot_idx]
         assert entry is not None
+        if self._t_tracer is not None:
+            start = perf_counter_ns()
+            record = self._emit(entry, reason)
+            self._remove(slot_idx)
+            self._t_tracer.record("mgpv.evict", start, perf_counter_ns())
+            return record
         record = self._emit(entry, reason)
         self._remove(slot_idx)
         return record
@@ -497,6 +533,9 @@ class MGPVCache:
         groups entirely in the data plane (§5.2)."""
         timeout = self.config.aging_timeout_ns
         assert timeout is not None
+        start = (perf_counter_ns() if self._t_tracer is not None
+                 else 0)
+        evicted = False
         for _ in range(self.config.aging_scan_per_pkt):
             idx = self._aging_cursor
             self._aging_cursor = (idx + 1) % self.config.n_short
@@ -506,8 +545,14 @@ class MGPVCache:
             if self._now - entry.last_access > timeout:
                 if entry.short or entry.long:
                     events.append(self._evict(idx, "aging"))
+                    evicted = True
                 else:
                     self._remove(idx)
+        # Only scans that actually evicted are span-worthy — recording
+        # the no-op cursor advance would flood the span buffer.
+        if evicted and self._t_tracer is not None:
+            self._t_tracer.record("mgpv.recirculate", start,
+                                  perf_counter_ns())
 
     def _sample_occupancy(self, active_window_ns: int = 100_000_000,
                           stride: int = 64) -> None:

@@ -6,7 +6,12 @@ import numpy as np
 import pytest
 
 from repro.core.dataplane import Dataplane, LinkConfig, SwitchNICLink
-from repro.core.observe import DeltaPoller, counter_delta, render_counters
+from repro.core.observe import (
+    DeltaPoller,
+    counter_delta,
+    degradation_report,
+    render_counters,
+)
 from repro.core.pipeline import SuperFE
 from repro.core.policy import pktstream
 from repro.net.trace import generate_trace
@@ -252,3 +257,49 @@ class TestObserve:
         assert "link:" in text
         assert "bytes_out: 10" in text
         assert "aging=1" in text
+
+    def test_counter_delta_marks_removed_keys(self):
+        # A stage present in the last sample but missing from the
+        # current one (hot swap detached it) must not vanish silently.
+        last = {"a": 1, "faults": {"applied": 2}}
+        now = {"a": 3}
+        delta = counter_delta(now, last)
+        assert delta == {"a": 2, "faults.removed": True}
+
+    def test_counter_delta_marks_removed_nested_keys(self):
+        last = {"ev": {"aging": 1, "pressure": 2}}
+        now = {"ev": {"aging": 4}}
+        assert counter_delta(now, last) \
+            == {"ev": {"aging": 3, "pressure.removed": True}}
+
+    def test_render_counters_survives_removed_markers(self):
+        text = render_counters({"faults.removed": True, "a": {"n": 1}})
+        assert "faults.removed: True" in text
+
+    def test_degradation_report_engine_layout(self):
+        counters = {"engine": {"orphan_cells": 1, "degraded_cells": 2},
+                    "link": {"drops_injected": 3, "retransmits_ok": 1}}
+        report = degradation_report(counters)
+        assert report["injected"] == {"drops_injected": 3}
+        assert report["recovered"] == {"retransmits_ok": 1}
+        assert report["degraded"] == {"orphan_cells": 1,
+                                      "degraded_cells": 2}
+
+    def test_degradation_report_prefers_engine_even_when_falsy(self):
+        # Regression: an empty engine dict is falsy, and a
+        # truthiness-chained lookup used to fall through to "cluster"
+        # and report the wrong sink's ledger.
+        counters = {"engine": {},
+                    "cluster": {"orphan_cells": 9, "degraded_cells": 9},
+                    "link": {}}
+        report = degradation_report(counters)
+        assert report["degraded"] == {}
+
+    def test_degradation_report_cluster_layout(self):
+        counters = {"cluster": {"orphan_cells": 4, "degraded_cells": 5,
+                                "failovers": 2},
+                    "link": {}}
+        report = degradation_report(counters)
+        assert report["degraded"] == {"orphan_cells": 4,
+                                      "degraded_cells": 5}
+        assert report["recovered"] == {"failovers": 2}

@@ -179,3 +179,54 @@ class TestHotSwap:
         result = runtime.result()
         assert result.feature_names == ["f_sum(size)", "f_max(size)"]
         assert len(result) >= 0
+
+
+class TestSwapObservability:
+    def test_detached_faults_surface_removed_marker(self, packets):
+        """Regression: an external poller watching the full per-stage
+        counter dict across a hot swap that drops the fault plan must
+        see the ``faults`` stage disappear explicitly, not silently."""
+        from repro.core.faults import FaultAction, FaultPlan
+        from repro.core.observe import DeltaPoller
+
+        plan = FaultPlan(actions=(
+            FaultAction(kind="queue_clamp", at_packet=0, capacity=64),))
+        runtime = SuperFERuntime(flow_policy(), fault_plan=plan)
+        runtime.process(packets[:200])
+        poller = DeltaPoller(lambda: runtime.dataplane.counters())
+        first = poller.poll()
+        assert first["faults"]["actions_applied"] == 1
+
+        runtime.hot_swap(pkt_policy(), fault_plan=None)
+        runtime.process(packets[200:260])
+        delta = poller.poll()
+        assert delta["faults.removed"] is True
+        assert "faults" not in delta
+
+    def test_swap_keeps_fault_plan_by_default(self, packets):
+        from repro.core.faults import FaultAction, FaultPlan
+
+        plan = FaultPlan(actions=(
+            FaultAction(kind="queue_clamp", at_packet=0, capacity=64),))
+        runtime = SuperFERuntime(flow_policy(), fault_plan=plan)
+        runtime.process(packets[:100])
+        runtime.hot_swap(pkt_policy())
+        runtime.process(packets[100:200])
+        assert runtime.dataplane.counters()["faults"][
+            "actions_applied"] == 1
+
+    def test_telemetry_counters_accumulate_across_swap(self, packets):
+        from repro.core.telemetry import Telemetry, TelemetryConfig
+
+        tel = Telemetry(TelemetryConfig(sample_rate=0.0))
+        runtime = SuperFERuntime(flow_policy(), telemetry=tel)
+        runtime.process(packets[:200])
+        before = tel.registry.snapshot()["counters"]["pipeline.packets"]
+        runtime.hot_swap(pkt_policy())
+        runtime.process(packets[200:300])
+        snap = tel.registry.snapshot()
+        # Counters are monotonic across swaps; gauge sources were
+        # re-bound to the new graph rather than left dangling.
+        assert snap["counters"]["pipeline.packets"] > before
+        assert "mgpv.resident_groups" in snap["gauges"]
+        runtime.drain()

@@ -1,0 +1,402 @@
+"""Telemetry layer invariants: bucket math against a numpy oracle,
+rate-window edge cases, snapshot merge associativity (property-tested),
+tracer sampling, exporters, and cross-backend aggregate equality."""
+
+import io
+import json
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.api as api
+from repro.core.dataplane import LinkConfig
+from repro.core.telemetry import (
+    Histogram,
+    MetricsRegistry,
+    Rate,
+    Telemetry,
+    TelemetryConfig,
+    TelemetryError,
+    Tracer,
+    histogram_percentiles,
+    merge_snapshots,
+    prometheus_text,
+    read_jsonl,
+    render_dashboard,
+    snapshot_as_counters,
+    write_jsonl,
+)
+from repro.net.trace import generate_trace
+
+
+def numpy_bucket_counts(bounds, values):
+    """Oracle: searchsorted(side='left') bucketing with one overflow
+    bucket, the documented semantics of :class:`Histogram`."""
+    idx = np.searchsorted(np.asarray(bounds), np.asarray(values),
+                          side="left")
+    return np.bincount(idx, minlength=len(bounds) + 1).tolist()
+
+
+class TestHistogram:
+    @given(st.lists(st.integers(0, 5000), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_bucketing_matches_numpy(self, values):
+        bounds = (10, 100, 1000)
+        h = Histogram("h", bounds)
+        for v in values:
+            h.observe(v)
+        assert h.counts == numpy_bucket_counts(bounds, values)
+        assert h.count == len(values)
+        assert h.total == sum(values)
+
+    def test_edge_values_land_inclusive(self):
+        h = Histogram("h", (10, 100))
+        for v in (10, 100, 101):
+            h.observe(v)
+        # Inclusive upper edges: 10 -> bucket 0, 100 -> bucket 1,
+        # 101 -> overflow.
+        assert h.counts == [1, 1, 1]
+
+    def test_streaming_extremes_and_mean(self):
+        h = Histogram("h", (10,))
+        assert (h.min, h.max, h.mean) == (None, None, 0.0)
+        for v in (7, 3, 40):
+            h.observe(v)
+        assert (h.min, h.max) == (3, 40)
+        assert h.mean == pytest.approx(50 / 3)
+
+    def test_bounds_validation(self):
+        with pytest.raises(TelemetryError):
+            Histogram("h", ())
+        with pytest.raises(TelemetryError):
+            Histogram("h", (10, 10))
+        with pytest.raises(TelemetryError):
+            Histogram("h", (10, 5))
+
+    def test_percentiles_clamped_to_observed_range(self):
+        h = Histogram("h", (10, 100, 1000))
+        for v in (20, 30, 40):
+            h.observe(v)
+        pct = histogram_percentiles(h.snapshot())
+        assert set(pct) == {"p50", "p90", "p99"}
+        assert 20 <= pct["p50"] <= pct["p90"] <= pct["p99"] <= 40
+
+    def test_percentiles_empty(self):
+        pct = histogram_percentiles(Histogram("h", (10,)).snapshot())
+        assert pct == {"p50": 0.0, "p90": 0.0, "p99": 0.0}
+
+
+class TestRate:
+    def test_window_excludes_cutoff_boundary(self):
+        r = Rate("r", window_ns=100)
+        r.record(0)
+        r.record(100)
+        # Window ending at 100 spans (0, 100]: the event at exactly
+        # now - window is out, the one at now is in.
+        assert r.per_second(100) == pytest.approx(1e9 / 100)
+
+    def test_per_second_defaults_to_last_event(self):
+        r = Rate("r", window_ns=1_000_000_000)
+        assert r.per_second() == 0.0
+        r.record(10, n=3)
+        r.record(20, n=2)
+        assert r.per_second() == pytest.approx(5.0)
+
+    def test_lifetime_per_second(self):
+        r = Rate("r")
+        assert r.lifetime_per_second == 0.0
+        r.record(0)
+        assert r.lifetime_per_second == 0.0     # zero-length interval
+        r.record(2_000_000_000)
+        assert r.lifetime_per_second == pytest.approx(1.0)
+
+    def test_bounded_event_buffer_keeps_totals(self):
+        r = Rate("r", window_ns=10**12, max_events=8)
+        for t in range(100):
+            r.record(t)
+        assert r.count == 100                   # totals are exact
+        assert r.per_second(99) <= 8 * 1e9 / 10**12 + 1e-9  # window is lossy
+
+    def test_invalid_window(self):
+        with pytest.raises(TelemetryError):
+            Rate("r", window_ns=0)
+
+
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_cross_kind_name_conflicts(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TelemetryError):
+            reg.gauge("x")
+        with pytest.raises(TelemetryError):
+            reg.histogram("x")
+        with pytest.raises(TelemetryError):
+            reg.rate("x")
+
+    def test_histogram_bounds_conflict(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", (1, 2))
+        reg.histogram("h", (1, 2))              # same bounds: fine
+        with pytest.raises(TelemetryError):
+            reg.histogram("h", (1, 3))
+
+    def test_gauge_sources_sum_at_snapshot(self):
+        reg = MetricsRegistry()
+        reg.gauge_source("depth", lambda: 3)
+        reg.gauge_source("depth", lambda: 4)
+        assert reg.snapshot()["gauges"]["depth"] == 7
+        reg.clear_gauge_sources()
+        assert "depth" not in reg.snapshot()["gauges"]
+
+    def test_as_counters_shim_nests_by_stage(self):
+        reg = MetricsRegistry()
+        reg.counter("mgpv.evictions").inc(5)
+        reg.gauge("link.queue_depth").set(2)
+        reg.histogram("link.batch.bytes", (64,)).observe(48)
+        reg.rate("engine.records").record(10, n=3)
+        reg.counter("bare").inc()
+        nested = reg.as_counters()
+        assert nested["mgpv"] == {"evictions": 5}
+        assert nested["link"]["queue_depth"] == 2
+        assert nested["link"]["batch.bytes"] == {
+            "count": 1, "total": 48, "min": 48, "max": 48}
+        assert nested["engine"]["records"] == 3
+        assert nested["metrics"]["bare"] == 1
+
+
+# One registry's worth of activity, as data: counter increments,
+# histogram observations (integers — float addition is not associative),
+# and rate events.
+registry_activity = st.fixed_dictionaries({
+    "counters": st.dictionaries(
+        st.sampled_from(("a", "b", "c")), st.integers(0, 100),
+        max_size=3),
+    "observations": st.lists(st.integers(0, 5000), max_size=30),
+    "events": st.lists(
+        st.tuples(st.integers(0, 10**9), st.integers(1, 5)),
+        max_size=10),
+})
+
+
+def build_snapshot(activity):
+    reg = MetricsRegistry()
+    for name, n in activity["counters"].items():
+        reg.counter(name).inc(n)
+    h = reg.histogram("lat", (10, 100, 1000))
+    for v in activity["observations"]:
+        h.observe(v)
+    r = reg.rate("ev")
+    for ts, n in activity["events"]:
+        r.record(ts, n)
+    return reg.snapshot()
+
+
+class TestMerge:
+    @given(registry_activity, registry_activity, registry_activity)
+    @settings(max_examples=50, deadline=None)
+    def test_merge_is_associative_and_commutative(self, a, b, c):
+        sa, sb, sc = (build_snapshot(x) for x in (a, b, c))
+        left = merge_snapshots(merge_snapshots(sa, sb), sc)
+        right = merge_snapshots(sa, merge_snapshots(sb, sc))
+        flat = merge_snapshots(sa, sb, sc)
+        swapped = merge_snapshots(sc, sa, sb)
+        assert left == right == flat == swapped
+
+    @given(registry_activity)
+    @settings(max_examples=20, deadline=None)
+    def test_empty_snapshot_is_identity(self, a):
+        snap = build_snapshot(a)
+        empty = MetricsRegistry().snapshot()
+        merged = merge_snapshots(snap, empty)
+        # Identity up to instruments the empty side never registered.
+        for kind in ("counters", "gauges", "histograms", "rates"):
+            assert merged[kind] == snap[kind]
+        assert merge_snapshots() == {
+            "counters": {}, "gauges": {}, "histograms": {}, "rates": {}}
+
+    def test_mismatched_histogram_bounds_refused(self):
+        ra, rb = MetricsRegistry(), MetricsRegistry()
+        ra.histogram("h", (1, 2)).observe(1)
+        rb.histogram("h", (1, 3)).observe(1)
+        with pytest.raises(TelemetryError):
+            merge_snapshots(ra.snapshot(), rb.snapshot())
+
+    def test_merged_totals_survive_the_counters_shim(self):
+        ra, rb = MetricsRegistry(), MetricsRegistry()
+        ra.counter("engine.records").inc(3)
+        rb.counter("engine.records").inc(4)
+        merged = merge_snapshots(ra.snapshot(), rb.snapshot())
+        assert snapshot_as_counters(merged)["engine"]["records"] == 7
+
+
+class TestTracer:
+    def test_stride_sampling_is_deterministic(self):
+        tracer = Tracer(MetricsRegistry(), sample_rate=0.25)
+        assert [tracer.should_sample() for _ in range(8)] \
+            == [False, False, False, True] * 2
+
+    def test_rate_zero_is_inert(self):
+        tracer = Tracer(MetricsRegistry(), sample_rate=0.0)
+        assert not tracer.active
+        assert not any(tracer.should_sample() for _ in range(10))
+        with tracer.span("x"):
+            pass
+        assert tracer.spans == []
+
+    def test_record_feeds_span_histogram(self):
+        reg = MetricsRegistry()
+        tracer = Tracer(reg, sample_rate=1.0)
+        tracer.record("stage.switch", 100, 350)
+        assert tracer.spans == [("stage.switch", 100, 250)]
+        h = reg.snapshot()["histograms"]["span.stage.switch"]
+        assert (h["count"], h["total"]) == (1, 250)
+
+    def test_max_spans_cap_counts_drops(self):
+        tracer = Tracer(MetricsRegistry(), sample_rate=1.0, max_spans=2)
+        for i in range(5):
+            tracer.record("s", 0, i)
+        assert len(tracer.spans) == 2
+        assert tracer.spans_dropped == 3
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(TelemetryError):
+            Tracer(MetricsRegistry(), sample_rate=1.5)
+        with pytest.raises(TelemetryError):
+            TelemetryConfig(sample_rate=-0.1)
+
+    def test_config_is_picklable(self):
+        cfg = TelemetryConfig(sample_rate=0.125, max_spans=64)
+        assert pickle.loads(pickle.dumps(cfg)) == cfg
+
+
+class TestExporters:
+    def make_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("mgpv.evictions").inc(5)
+        reg.gauge("link.queue_depth").set(2)
+        reg.histogram("span.stage.switch", (10, 100)).observe(42)
+        reg.rate("engine.records").record(10, n=3)
+        return reg.snapshot()
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        snap = self.make_snapshot()
+        spans = [("stage.switch", 100, 42)]
+        lines = write_jsonl(path, snap, spans, meta={"run": "x"})
+        assert lines == 3
+        dump = read_jsonl(path)
+        assert dump["meta"]["format"] == "superfe-telemetry-v1"
+        assert dump["meta"]["run"] == "x"
+        assert dump["snapshot"] == json.loads(json.dumps(snap))
+        assert dump["spans"] == [{"kind": "span", "name": "stage.switch",
+                                  "start_ns": 100, "dur_ns": 42}]
+
+    def test_jsonl_accepts_open_file(self):
+        buf = io.StringIO()
+        write_jsonl(buf, self.make_snapshot())
+        rows = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert [r["kind"] for r in rows] == ["meta", "metrics"]
+
+    def test_prometheus_text_format(self):
+        text = prometheus_text(self.make_snapshot())
+        assert "# TYPE superfe_mgpv_evictions counter" in text
+        assert "superfe_mgpv_evictions 5" in text
+        assert "superfe_link_queue_depth 2" in text
+        assert 'superfe_span_stage_switch_bucket{le="10"} 0' in text
+        assert 'superfe_span_stage_switch_bucket{le="100"} 1' in text
+        assert 'superfe_span_stage_switch_bucket{le="+Inf"} 1' in text
+        assert "superfe_span_stage_switch_sum 42" in text
+        assert "superfe_engine_records_total 3" in text
+
+    def test_dashboard_mentions_everything(self):
+        text = render_dashboard(self.make_snapshot(),
+                                spans=[("s", 0, 1)], title="t")
+        for needle in ("t", "[mgpv]", "evictions", "queue_depth",
+                       "span.stage.switch", "engine.records",
+                       "spans collected: 1"):
+            assert needle in text
+
+
+def flow_policy():
+    from repro.core.policy import pktstream
+    return (pktstream().groupby("flow")
+            .reduce("size", ["f_sum", "f_mean", "f_max"])
+            .collect("flow"))
+
+
+class TestEndToEnd:
+    #: Lossy link so the retransmit totals compared below are non-zero.
+    LINK = LinkConfig(drop_rate=0.05, drop_kind="sync",
+                      retransmit_retries=4, seed=5)
+
+    def run_with(self, **kw):
+        tel = Telemetry(TelemetryConfig(sample_rate=0.0))
+        ex = api.compile(flow_policy(), n_nics=3, link_config=self.LINK,
+                         telemetry=tel, **kw)
+        packets = generate_trace("ENTERPRISE", n_flows=60, seed=11)
+        result = ex.run(packets)
+        snap = result.dataplane.telemetry_snapshot()
+        return result, snap
+
+    def totals(self, snap):
+        hist = snap["histograms"]["link.retransmit.attempts"]
+        return {
+            "packets": snap["counters"]["pipeline.packets"],
+            "evictions": snap["counters"]["mgpv.evictions"],
+            "records": snap["counters"]["engine.records"],
+            "retransmits": hist["count"],
+        }
+
+    def test_process_backend_matches_serial_totals(self):
+        """Acceptance: the process-backend run reports identical
+        aggregate packet / eviction / retransmit totals to the serial
+        run over the same seeded input."""
+        serial_result, serial_snap = self.run_with()
+        proc_result, proc_snap = self.run_with(workers=2,
+                                               backend="process")
+        serial_totals = self.totals(serial_snap)
+        assert serial_totals == self.totals(proc_snap)
+        assert serial_totals["packets"] > 0
+        assert serial_totals["retransmits"] > 0
+        assert len(serial_result.vectors) == len(proc_result.vectors)
+
+    def test_thread_backend_matches_serial_totals(self):
+        _, serial_snap = self.run_with()
+        _, thread_snap = self.run_with(workers=2, backend="thread")
+        assert self.totals(serial_snap) == self.totals(thread_snap)
+
+    def test_sampling_does_not_change_vectors(self):
+        packets = generate_trace("ENTERPRISE", n_flows=40, seed=3)
+        plain = api.compile(flow_policy()).run(packets)
+        traced = api.compile(flow_policy(), telemetry=0.25).run(packets)
+        assert plain.to_matrix().tobytes() \
+            == traced.to_matrix().tobytes()
+
+    def test_api_telemetry_spellings(self):
+        assert api.compile(flow_policy()).telemetry is None
+        ex = api.compile(flow_policy(), telemetry=True)
+        assert ex.telemetry is not None and not ex.telemetry.sampling
+        ex = api.compile(flow_policy(), telemetry=0.5)
+        assert ex.telemetry.config.sample_rate == 0.5
+        with pytest.raises(TypeError):
+            api.compile(flow_policy(), telemetry="yes")
+
+    def test_span_histograms_populated_when_sampling(self):
+        tel = Telemetry(TelemetryConfig(sample_rate=0.25))
+        ex = api.compile(flow_policy(), telemetry=tel)
+        packets = generate_trace("ENTERPRISE", n_flows=60, seed=2)
+        result = ex.run(packets)
+        snap = result.dataplane.telemetry_snapshot()
+        span_hists = {n for n, h in snap["histograms"].items()
+                      if n.startswith("span.") and h["count"]}
+        assert "span.stage.switch" in span_hists
+        assert "span.pipeline.flush" in span_hists
+        assert result.dataplane.telemetry_spans()
