@@ -18,7 +18,6 @@ committed baseline artifact the CI bench job uploads.
 """
 
 import json
-import os
 import pathlib
 
 from conftest import run_once
@@ -36,7 +35,7 @@ def test_parallel_scaling(benchmark, report):
 
     table = Table(
         "Shard-parallel executor — packets/sec vs workers "
-        f"(cpu_count={record['cpu_count']}"
+        f"(effective_cores={record['effective_cores']}"
         + (", overhead-dominated" if record["overhead_dominated"] else "")
         + ")",
         ["Workers", "pps", "Speedup", "Equivalent"])
@@ -51,22 +50,17 @@ def test_parallel_scaling(benchmark, report):
         "parallel vectors diverged from the serial baseline: "
         f"{[r for r in record['runs'] if not r['equivalent']]}")
     assert record["n_vectors"] > 0
+    if record["supervision"] is not None:
+        assert record["supervision"]["unsupervised_equivalent"], (
+            "unsupervised process run diverged from serial")
 
-    if record["overhead_dominated"]:
-        # Not enough cores for the requested worker counts: the speedup
-        # numbers measure dispatch overhead, so report them and return
-        # instead of asserting a scaling claim the host cannot support.
-        report("scaling_parallel_note",
-               f"host has {record['cpu_count']} core(s) for up to "
-               f"{max(r['workers'] for r in record['runs'])} workers — "
-               f"speedup gate skipped (overhead_dominated)")
-        return
-
-    if (os.cpu_count() or 1) >= 4:
-        at4 = next(r for r in record["runs"] if r["workers"] == 4)
-        assert at4["speedup"] >= 2.0, (
-            f"expected >= 2x at 4 workers on a "
-            f"{os.cpu_count()}-core host, got {at4['speedup']:.2f}x")
+    # The record's speedup gate is self-describing: it carries its own
+    # skip reason when the host lacks the cores to support a scaling
+    # claim, and that reason is committed with the artifact.
+    gate = record["speedup_gate"]
+    report("scaling_parallel_gate",
+           f"speedup gate {gate['status']}: {gate['reason']}")
+    assert gate["status"] != "failed", gate["reason"]
 
 
 def test_thread_backend_equivalence(benchmark):

@@ -21,6 +21,9 @@ detail (direct construction is deprecated).
 
 from __future__ import annotations
 
+import queue as queue_mod
+import threading
+import time
 from typing import Iterable, Iterator
 
 from repro.core.parallel import BACKENDS, ExecutionConfig
@@ -30,7 +33,12 @@ from repro.core.software import SoftwareExtractor
 from repro.core.telemetry import Telemetry, TelemetryConfig
 from repro.nicsim.engine import FeatureVector
 
-__all__ = ["Extractor", "compile"]
+__all__ = ["Extractor", "compile", "OVERLOAD_POLICIES"]
+
+#: What ingestion does when the bounded stream queue is full: ``block``
+#: applies backpressure to the source, ``shed`` drops the whole batch,
+#: ``degrade`` thins the batch to a sample and blocks for the rest.
+OVERLOAD_POLICIES = ("block", "shed", "degrade")
 
 
 def _resolve_telemetry(telemetry) -> Telemetry | None:
@@ -134,6 +142,195 @@ def compile(policy: Policy, *,
     return Extractor(impl, policy, software=software)
 
 
+class _StreamSession:
+    """One bounded-queue ingestion run behind :meth:`Extractor.stream`.
+
+    A feeder thread pulls the packet source into a queue of at most
+    ``queue_batches`` chunks; the consumer (the generator the caller
+    iterates) drains it through the dataplane.  When the queue is full
+    the ``overload`` policy decides: ``block`` (backpressure the
+    source), ``shed`` (drop the chunk, count it), or ``degrade`` (keep
+    every ``degrade_stride``-th packet, drop the rest).  ``deadline_s``
+    bounds each batch: under the supervised process backend the
+    deadline propagates to every worker operation, so an overrunning
+    batch surfaces as a stalled-worker restart instead of an unbounded
+    wait.  The session keeps the ingestion ledger served by
+    :meth:`Extractor.health`.
+    """
+
+    _SENTINEL = object()
+
+    def __init__(self, impl, telemetry, batch_size: int,
+                 queue_batches: int, overload: str,
+                 deadline_s: float | None, degrade_stride: int) -> None:
+        self.batch_size = batch_size
+        self.overload = overload
+        self.deadline_s = deadline_s
+        self.degrade_stride = degrade_stride
+        self.queue_capacity = queue_batches
+        self.state = "running"
+        self.batches_in = 0
+        self.packets_in = 0
+        self.batches_processed = 0
+        self.packets_processed = 0
+        self.shed_batches = 0
+        self.shed_packets = 0
+        self.degraded_batches = 0
+        self.degraded_packets = 0
+        self.deadline_missed = 0
+        self.feed_error: BaseException | None = None
+        self.dataplane = impl.dataplane()
+        self._queue: queue_mod.Queue = queue_mod.Queue(
+            maxsize=queue_batches)
+        self._stop = threading.Event()
+        self._t_depth = None
+        self._t_shed = None
+        self._t_batches = None
+        self._t_packets = None
+        self._t_missed = None
+        if telemetry is not None:
+            reg = telemetry.registry
+            self._t_depth = reg.gauge("ingest.queue_depth")
+            self._t_shed = reg.rate("ingest.shed")
+            self._t_batches = reg.counter("ingest.batches")
+            self._t_packets = reg.counter("ingest.packets")
+            self._t_missed = reg.counter("ingest.deadline_missed")
+
+    # -- feeder side -------------------------------------------------------
+
+    def _feed(self, packets: Iterable) -> None:
+        try:
+            chunk: list = []
+            for pkt in packets:
+                if self._stop.is_set():
+                    return
+                chunk.append(pkt)
+                if len(chunk) >= self.batch_size:
+                    self._enqueue(chunk)
+                    chunk = []
+            if chunk:
+                self._enqueue(chunk)
+        except BaseException as exc:    # surfaced by the consumer
+            self.feed_error = exc
+        finally:
+            self._put_blocking(self._SENTINEL)
+
+    def _put_blocking(self, item) -> None:
+        while not self._stop.is_set():
+            try:
+                self._queue.put(item, timeout=0.1)
+                return
+            except queue_mod.Full:
+                continue
+
+    def _enqueue(self, chunk: list) -> None:
+        self.batches_in += 1
+        self.packets_in += len(chunk)
+        if self.overload == "block":
+            self._put_blocking(chunk)
+            return
+        try:
+            self._queue.put_nowait(chunk)
+            return
+        except queue_mod.Full:
+            pass
+        if self.overload == "shed":
+            self.shed_batches += 1
+            self.shed_packets += len(chunk)
+            if self._t_shed is not None:
+                self._t_shed.record(time.perf_counter_ns(),
+                                    len(chunk))
+            return
+        # degrade: keep a stride sample, drop the rest, and block for
+        # the survivors — coverage shrinks but every group stays seen.
+        kept = chunk[::self.degrade_stride]
+        self.degraded_batches += 1
+        self.degraded_packets += len(chunk) - len(kept)
+        if self._t_shed is not None:
+            self._t_shed.record(time.perf_counter_ns(),
+                                len(chunk) - len(kept))
+        self._put_blocking(kept)
+
+    # -- consumer side -----------------------------------------------------
+
+    def run(self, packets: Iterable) -> Iterator[list[FeatureVector]]:
+        feeder = threading.Thread(target=self._feed, args=(packets,),
+                                  name="superfe-ingest", daemon=True)
+        feeder.start()
+        dataplane = self.dataplane
+        try:
+            while True:
+                item = self._queue.get()
+                if item is self._SENTINEL:
+                    break
+                if self._t_depth is not None:
+                    self._t_depth.set(self._queue.qsize())
+                out = self._process(item)
+                if out:
+                    yield out
+            if self.feed_error is not None:
+                raise self.feed_error
+            final = dataplane.flush()
+            if final:
+                yield final
+            self.state = "drained"
+        finally:
+            self._stop.set()
+            feeder.join(timeout=5.0)
+            if self._t_depth is not None:
+                self._t_depth.set(0)
+            self.state = ("closed" if self.state != "drained"
+                          else "drained")
+            dataplane.close()
+
+    def _process(self, chunk: list) -> list[FeatureVector]:
+        dataplane = self.dataplane
+        deadline = None
+        if self.deadline_s is not None:
+            deadline = time.monotonic() + self.deadline_s
+            dataplane.set_deadline(deadline)
+        try:
+            out = dataplane.process(chunk)
+        finally:
+            if deadline is not None:
+                dataplane.set_deadline(None)
+        if deadline is not None and time.monotonic() > deadline:
+            self.deadline_missed += 1
+            if self._t_missed is not None:
+                self._t_missed.inc()
+        self.batches_processed += 1
+        self.packets_processed += len(chunk)
+        if self._t_batches is not None:
+            self._t_batches.inc()
+            self._t_packets.inc(len(chunk))
+        return out
+
+    # -- observability -----------------------------------------------------
+
+    def report(self) -> dict:
+        dropped = self.shed_packets + self.degraded_packets
+        return {
+            "state": self.state,
+            "overload_policy": self.overload,
+            "batch_size": self.batch_size,
+            "queue_capacity": self.queue_capacity,
+            "queue_depth": self._queue.qsize(),
+            "batches_in": self.batches_in,
+            "packets_in": self.packets_in,
+            "batches_processed": self.batches_processed,
+            "packets_processed": self.packets_processed,
+            "shed_batches": self.shed_batches,
+            "shed_packets": self.shed_packets,
+            "degraded_batches": self.degraded_batches,
+            "degraded_packets": self.degraded_packets,
+            "dropped_packets": dropped,
+            "shed_rate": (round(dropped / self.packets_in, 6)
+                          if self.packets_in else 0.0),
+            "deadline_s": self.deadline_s,
+            "deadline_missed": self.deadline_missed,
+        }
+
+
 class Extractor:
     """A compiled, deployable feature extractor.
 
@@ -142,7 +339,9 @@ class Extractor:
 
     - :meth:`run` — one-shot batch extraction;
     - :meth:`stream` — incremental extraction over a (possibly endless)
-      packet source;
+      packet source, with bounded-queue ingestion and an overload
+      policy;
+    - :meth:`health` — the live ingestion + worker-supervision report;
     - :meth:`baseline` — the software oracle for the same policy;
     - :meth:`deploy` — a continuously running control-plane runtime;
     - :meth:`manifests` / :meth:`dataplane` — introspection.
@@ -152,6 +351,7 @@ class Extractor:
         self._impl = impl
         self.policy = policy
         self.software = software
+        self._session: _StreamSession | None = None
 
     # -- introspection -----------------------------------------------------
 
@@ -193,36 +393,63 @@ class Extractor:
         return self._impl.run(trace)
 
     def stream(self, packets: Iterable,
-               batch_size: int = 1024) -> Iterator[list[FeatureVector]]:
+               batch_size: int = 1024, *,
+               queue_batches: int = 8,
+               overload: str = "block",
+               deadline_s: float | None = None,
+               degrade_stride: int = 8) -> Iterator[list[FeatureVector]]:
         """Incrementally extract from a packet source.
 
-        Feeds ``packets`` through a live dataplane in ``batch_size``
-        chunks, yielding the vectors each chunk completed (per-packet
-        policies emit as they go; per-group policies emit everything in
-        the final flush).  The dataplane is closed when the generator
-        finishes or is dropped.
+        Ingestion is bounded: a feeder thread chunks ``packets`` into
+        ``batch_size`` batches and stages at most ``queue_batches`` of
+        them; the generator you iterate drains the queue through a live
+        dataplane, yielding the vectors each chunk completed
+        (per-packet policies emit as they go; per-group policies emit
+        everything in the final flush).  When the queue is full the
+        ``overload`` policy applies: ``block`` backpressures the
+        source, ``shed`` drops whole batches, ``degrade`` keeps every
+        ``degrade_stride``-th packet of the overflowing batch.
+        ``deadline_s`` bounds each batch end to end — on the supervised
+        process backend it clamps every worker operation, so a stuck
+        batch becomes a worker restart, not a hang.  The dataplane is
+        closed when the generator finishes or is dropped;
+        :meth:`health` reports the session ledger live and after the
+        fact.
         """
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
-        dataplane = self._impl.dataplane()
-        try:
-            chunk: list = []
-            for pkt in packets:
-                chunk.append(pkt)
-                if len(chunk) >= batch_size:
-                    out = dataplane.process(chunk)
-                    chunk = []
-                    if out:
-                        yield out
-            if chunk:
-                out = dataplane.process(chunk)
-                if out:
-                    yield out
-            final = dataplane.flush()
-            if final:
-                yield final
-        finally:
-            dataplane.close()
+        if queue_batches < 1:
+            raise ValueError("queue_batches must be >= 1")
+        if overload not in OVERLOAD_POLICIES:
+            raise ValueError(f"unknown overload policy {overload!r} "
+                             f"(have {', '.join(OVERLOAD_POLICIES)})")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be > 0")
+        if degrade_stride < 1:
+            raise ValueError("degrade_stride must be >= 1")
+        session = _StreamSession(
+            self._impl, self.telemetry, batch_size, queue_batches,
+            overload, deadline_s, degrade_stride)
+        self._session = session
+        return session.run(packets)
+
+    def health(self) -> dict:
+        """Liveness report for this extractor's most recent (or live)
+        :meth:`stream` session: ingestion ledger (queue depth, shed
+        rate, deadline misses) plus the executor's supervision report
+        (worker liveness, restarts, poison batches) when the deployment
+        runs the parallel sink."""
+        session = self._session
+        report: dict = {
+            "state": "idle" if session is None else session.state,
+            "ingest": None if session is None else session.report(),
+            "cluster": None,
+        }
+        if session is not None:
+            probe = getattr(session.dataplane, "health", None)
+            if probe is not None:
+                report["cluster"] = probe()
+        return report
 
     # -- derived deployments ----------------------------------------------
 
@@ -236,8 +463,9 @@ class Extractor:
     def deploy(self, **overrides):
         """A continuously running deployment (control-plane verbs:
         ``process`` / ``poll_counters`` / ``hot_swap`` ...).  Hardware
-        path only; the runtime is single-engine, so the cluster and
-        executor knobs do not carry over."""
+        path only; the cluster and executor shape (``n_nics``,
+        ``execution``) carries over, so hot swaps rebuild the same
+        supervised worker pool."""
         if self.software:
             raise ValueError("software baseline has no runtime "
                              "deployment")
@@ -251,6 +479,8 @@ class Extractor:
             link_config=impl.link_config,
             fault_plan=impl.fault_plan,
             telemetry=impl.telemetry,
+            n_nics=impl.n_nics,
+            execution=impl.execution,
         )
         kwargs.update(overrides)
         return SuperFERuntime(self.policy, _internal=True, **kwargs)

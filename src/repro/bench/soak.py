@@ -1,0 +1,204 @@
+"""Supervised-executor soak benchmark: recovery under chaos.
+
+Three passes over the same trace/policy as the scaling bench:
+
+1. **Chaos** — a supervised process-backend run with a fault plan that
+   SIGKILLs one worker mid-trace and stalls another past the request
+   deadline.  The supervisor must restart both, replay their journals,
+   and still produce the serial checksum; the record carries restart
+   counts, redispatched-batch counts, and the restart-latency summary
+   (the "recovery time" number).
+2. **Overload** — the same deployment driven through the streaming
+   ingestion path with a deliberately small queue and a non-blocking
+   overload policy, so the shed/degrade machinery engages.  Reports the
+   shed rate and the ingestion ledger.
+3. **Overhead** — supervised vs. unsupervised process runs (no faults),
+   timing the journal/dedupe bookkeeping the supervisor adds.
+
+The result dict is what ``python -m repro bench-soak`` serializes to
+``BENCH_soak.json``.  The loss bound is explicit: a clean chaos run
+loses *zero* vectors (checksum equality); quarantined poison batches
+lose at most their own events, every one enumerated in ``health()``;
+the overload pass loses exactly the shed packets it counted.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import repro.api as api
+from repro.bench.parallel import (
+    effective_cores,
+    scaling_policy,
+    vectors_checksum,
+)
+from repro.core.faults import FaultAction, FaultPlan
+from repro.core.parallel import ExecutionConfig
+from repro.net.trace import generate_trace
+
+
+def _timed_run(extractor, packets):
+    start = time.perf_counter()
+    result = extractor.run(packets)
+    return time.perf_counter() - start, result
+
+
+def _chaos_plan(n_packets: int, workers: int,
+                stall_seconds: float) -> FaultPlan:
+    """Kill worker 0 at ~35% of the trace, stall another worker past
+    the request deadline at ~70%."""
+    stall_worker = min(1, workers - 1)
+    return FaultPlan(actions=(
+        FaultAction(kind="worker_crash",
+                    at_packet=max(1, int(n_packets * 0.35)), worker=0),
+        FaultAction(kind="worker_stall",
+                    at_packet=max(2, int(n_packets * 0.70)),
+                    worker=stall_worker, seconds=stall_seconds),
+    ))
+
+
+def run_soak(n_flows: int = 200,
+             n_nics: int = 4,
+             workers: int = 4,
+             trace_profile: str = "ENTERPRISE",
+             seed: int = 17,
+             request_timeout_s: float = 2.0,
+             stall_seconds: float | None = None,
+             batch_size: int = 256,
+             queue_batches: int = 2,
+             overload: str = "shed",
+             telemetry_path: str | None = None) -> dict:
+    """Serial baseline + chaos recovery + overload streaming + overhead.
+
+    ``stall_seconds`` defaults to twice the request deadline so the
+    stall reliably trips it (the supervisor restarts the worker instead
+    of waiting the stall out).
+    """
+    if workers < 2:
+        raise ValueError("soak needs >= 2 workers (one crash target, "
+                         "one stall target)")
+    if stall_seconds is None:
+        stall_seconds = 2.0 * request_timeout_s
+    policy = scaling_policy()
+    packets = generate_trace(trace_profile, n_flows=n_flows, seed=seed)
+    n_packets = len(packets)
+
+    serial_s, serial = _timed_run(api.compile(policy, n_nics=n_nics),
+                                  packets)
+    serial_sum = vectors_checksum(serial.vectors)
+
+    execution = ExecutionConfig(workers=workers, backend="process",
+                                request_timeout_s=request_timeout_s,
+                                supervise=True)
+
+    # -- pass 1: chaos (crash + stall, supervised recovery) ------------
+    plan = _chaos_plan(n_packets, workers, stall_seconds)
+    telemetry = None
+    if telemetry_path is not None:
+        from repro.core.telemetry import Telemetry, TelemetryConfig
+        telemetry = Telemetry(TelemetryConfig(sample_rate=1 / 32))
+    chaos_s, chaos = _timed_run(
+        api.compile(policy, n_nics=n_nics, execution=execution,
+                    fault_plan=plan, telemetry=telemetry),
+        packets)
+    chaos_sum = vectors_checksum(chaos.vectors)
+    health = chaos.dataplane.health()
+    supervision = health["supervision"]
+    recovery = supervision["restart_latency"]
+    poison = supervision["poison_batches"]
+    quarantined_events = sum(p["events"] for p in poison)
+    degraded = sum(1 for v in chaos.vectors if v.degraded)
+    if telemetry_path is not None:
+        from repro.core.telemetry import write_jsonl
+        write_jsonl(telemetry_path,
+                    chaos.dataplane.telemetry_snapshot(),
+                    chaos.dataplane.telemetry_spans(),
+                    meta={"bench": "soak", "pass": "chaos"})
+    chaos.dataplane.close()
+
+    # -- pass 2: overload (streaming ingestion, small queue) -----------
+    extractor = api.compile(policy, n_nics=n_nics, execution=execution)
+    stream_start = time.perf_counter()
+    stream_vectors = [v for chunk in extractor.stream(
+        packets, batch_size=batch_size, queue_batches=queue_batches,
+        overload=overload, deadline_s=request_timeout_s)
+        for v in chunk]
+    stream_s = time.perf_counter() - stream_start
+    ingest = extractor.health()["ingest"]
+
+    # -- pass 3: supervision overhead (no faults) ----------------------
+    sup_s, sup_res = _timed_run(
+        api.compile(policy, n_nics=n_nics, execution=execution), packets)
+    sup_res.dataplane.close()
+    unsup_s, unsup_res = _timed_run(
+        api.compile(policy, n_nics=n_nics,
+                    execution=ExecutionConfig(
+                        workers=workers, backend="process",
+                        supervise=False)),
+        packets)
+    unsup_res.dataplane.close()
+
+    restarts = supervision["restarts"]
+    # Exact-recovery claim: with no poison batches the chaos checksum
+    # must equal serial; quarantined batches may only subtract their
+    # own (enumerated) events.
+    equivalent = chaos_sum == serial_sum
+    return {
+        "bench": "soak",
+        "cpu_count": os.cpu_count() or 1,
+        "effective_cores": effective_cores(),
+        "trace": trace_profile,
+        "n_flows": n_flows,
+        "n_packets": n_packets,
+        "n_nics": n_nics,
+        "workers": workers,
+        "request_timeout_s": request_timeout_s,
+        "stall_seconds": stall_seconds,
+        "serial": {
+            "seconds": round(serial_s, 4),
+            "pps": round(n_packets / serial_s, 1),
+            "checksum": serial_sum,
+            "n_vectors": len(serial.vectors),
+        },
+        "chaos": {
+            "plan": [{"kind": a.kind, "at_packet": a.at_packet,
+                      "worker": a.worker,
+                      **({"seconds": a.seconds}
+                         if a.kind == "worker_stall" else {})}
+                     for a in plan.actions],
+            "seconds": round(chaos_s, 4),
+            "pps": round(n_packets / chaos_s, 1),
+            "checksum": chaos_sum,
+            "equivalent": equivalent,
+            "restarts": restarts,
+            "redispatched_batches": supervision["redispatched_batches"],
+            "poison_batches": poison,
+            "recovery": recovery,
+            "n_vectors": len(chaos.vectors),
+            "degraded_vectors": degraded,
+            "loss_bound": {
+                "quarantined_events": quarantined_events,
+                "fraction": round(quarantined_events / n_packets, 6),
+                "statement": (
+                    "clean recovery loses zero vectors (checksum-equal "
+                    "replay); a quarantined batch loses at most its own "
+                    "events, each enumerated in health()"),
+            },
+        },
+        "overload": {
+            "policy": overload,
+            "batch_size": batch_size,
+            "queue_batches": queue_batches,
+            "seconds": round(stream_s, 4),
+            "n_vectors": len(stream_vectors),
+            "shed_rate": ingest["shed_rate"],
+            "ingest": ingest,
+        },
+        "supervision_overhead": {
+            "supervised_s": round(sup_s, 4),
+            "unsupervised_s": round(unsup_s, 4),
+            "overhead_pct": round(100.0 * (sup_s - unsup_s) / unsup_s, 2),
+        },
+        "recovered": restarts >= 2 and equivalent,
+    }

@@ -11,6 +11,7 @@ Subcommands::
     python -m repro extract --app NPOD --trace ENTERPRISE \
         --out features.csv --nics 4 --workers 4 --exec-backend process
     python -m repro bench-parallel --out BENCH_parallel.json
+    python -m repro bench-soak --out BENCH_soak.json   # chaos recovery
     python -m repro telemetry --app NPOD --trace ENTERPRISE  # dashboard
     python -m repro telemetry --input run.jsonl --format prometheus
 
@@ -271,6 +272,51 @@ def _cmd_bench_parallel(args) -> int:
     return 0 if record["equivalent"] else 1
 
 
+def _cmd_bench_soak(args) -> int:
+    import json
+
+    from repro.bench.soak import run_soak
+    record = run_soak(n_flows=args.flows, n_nics=args.nics,
+                      workers=args.workers,
+                      trace_profile=args.trace, seed=args.seed,
+                      request_timeout_s=args.request_timeout,
+                      stall_seconds=args.stall_seconds,
+                      overload=args.overload,
+                      telemetry_path=args.telemetry)
+    with open(args.out, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    chaos = record["chaos"]
+    recovery = chaos["recovery"]
+    print(f"chaos pass: {chaos['restarts']} restart(s), "
+          f"{chaos['redispatched_batches']} batch(es) redispatched, "
+          f"{len(chaos['poison_batches'])} poison batch(es)")
+    print(f"recovery latency: mean {recovery['mean_ms']:.1f} ms, "
+          f"max {recovery['max_ms']:.1f} ms over {recovery['count']} "
+          f"restart(s)")
+    marker = "==" if chaos["equivalent"] else "!="
+    print(f"chaos checksum {marker} serial "
+          f"({chaos['degraded_vectors']} degraded vector(s))")
+    overload = record["overload"]
+    print(f"overload pass ({overload['policy']}): shed rate "
+          f"{overload['shed_rate']:.2%}, {overload['n_vectors']} vectors")
+    overhead = record["supervision_overhead"]
+    print(f"supervision overhead: {overhead['overhead_pct']:+.1f}% "
+          f"({overhead['supervised_s']:.3f}s vs "
+          f"{overhead['unsupervised_s']:.3f}s unsupervised)")
+    print(f"wrote {args.out} "
+          f"(effective_cores={record['effective_cores']})")
+    if not chaos["equivalent"]:
+        print("FAIL: chaos-pass vectors diverge from the serial "
+              "baseline", file=sys.stderr)
+        return 1
+    if chaos["restarts"] < 1:
+        print("FAIL: chaos plan produced no supervisor restarts",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_bench_hotpath(args) -> int:
     import json
 
@@ -397,6 +443,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also dump the traced pass's metrics/spans as "
                         "JSON Lines to this path")
     p.set_defaults(func=_cmd_bench_parallel)
+
+    p = sub.add_parser("bench-soak",
+                       help="supervised-executor soak: crash/stall "
+                            "recovery, overload shedding, supervision "
+                            "overhead (writes a JSON record)")
+    p.add_argument("--flows", type=int, default=200)
+    p.add_argument("--nics", type=int, default=4)
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--trace", default="ENTERPRISE")
+    p.add_argument("--seed", type=int, default=17)
+    p.add_argument("--request-timeout", type=float, default=2.0,
+                   help="per-request deadline in seconds (default 2.0)")
+    p.add_argument("--stall-seconds", type=float, default=None,
+                   help="injected stall length (default: 2x the "
+                        "request timeout, so the deadline trips)")
+    p.add_argument("--overload", choices=("block", "shed", "degrade"),
+                   default="shed",
+                   help="overload policy for the streaming pass")
+    p.add_argument("--out", default="BENCH_soak.json")
+    p.add_argument("--telemetry",
+                   help="also dump the chaos pass's metrics/spans as "
+                        "JSON Lines to this path")
+    p.set_defaults(func=_cmd_bench_soak)
 
     p = sub.add_parser("bench-hotpath",
                        help="per-stage hot-path micro-benchmark with "

@@ -944,10 +944,31 @@ class Dataplane:
         """Release execution resources (the parallel sink's worker
         pool).  Serial graphs have none; calling this is always safe.
         A closed parallel sink keeps serving its last counters and
-        final vectors, so results stay readable after close."""
-        close = getattr(self.sink, "close", None)
-        if close is not None:
-            close()
+        final vectors, so results stay readable after close.
+        Idempotent and exception-safe: the graph is marked closed even
+        if the sink's own close raises."""
+        if getattr(self, "_graph_closed", False):
+            return
+        try:
+            close = getattr(self.sink, "close", None)
+            if close is not None:
+                close()
+        finally:
+            self._graph_closed = True
+
+    def set_deadline(self, deadline: float | None) -> None:
+        """Propagate a per-batch deadline (monotonic seconds; None
+        clears) to the sink — the supervised parallel sink clamps every
+        worker operation to it.  No-op on sinks without deadlines."""
+        setter = getattr(self.sink, "set_deadline", None)
+        if setter is not None:
+            setter(deadline)
+
+    def health(self) -> dict | None:
+        """The sink's liveness/supervision report (parallel sink only);
+        None for sinks that have no worker pool to report on."""
+        probe = getattr(self.sink, "health", None)
+        return probe() if probe is not None else None
 
     # -- observability ---------------------------------------------------------
 

@@ -17,6 +17,12 @@ consistent-hash failover in :class:`~repro.nicsim.loadbalance.NICCluster`
 loss demotes cells to degraded coarse-granularity vectors in
 :class:`~repro.nicsim.engine.FeatureEngine`.  Everything is seeded: the
 same plan over the same trace faults the identical set of messages.
+
+The ``worker_*`` kinds are different in nature: they hit the *real*
+executor processes (SIGKILL, FIFO stall, compute slowdown) rather than a
+simulated component, and exercise the
+:class:`~repro.core.parallel.ShardSupervisor` deadline → restart →
+replay path deterministically from a chaos schedule.
 """
 
 from __future__ import annotations
@@ -26,9 +32,15 @@ from dataclasses import asdict, dataclass, field
 
 #: Action kinds that may carry an ``until_packet`` window (reverted when
 #: the stream reaches it); the rest are one-shot.
-WINDOWED_KINDS = ("link_loss", "mgpv_squeeze", "queue_clamp")
-ONESHOT_KINDS = ("nic_kill", "nic_restart")
+WINDOWED_KINDS = ("link_loss", "mgpv_squeeze", "queue_clamp",
+                  "worker_slow")
+ONESHOT_KINDS = ("nic_kill", "nic_restart", "worker_crash",
+                 "worker_stall")
 FAULT_KINDS = WINDOWED_KINDS + ONESHOT_KINDS
+
+#: Kinds that target a real executor worker (SIGKILL / FIFO stall /
+#: compute slowdown) rather than a simulated dataplane component.
+WORKER_KINDS = ("worker_crash", "worker_stall", "worker_slow")
 
 
 class FaultPlanError(ValueError):
@@ -52,7 +64,13 @@ class FaultAction:
     - ``mgpv_squeeze`` — clamp the cache's usable long buffers to
       ``keep_fraction`` of the configured pool (buffer pressure);
     - ``queue_clamp`` — clamp the link queue to ``capacity`` records
-      (backpressure drops).
+      (backpressure drops);
+    - ``worker_crash`` — SIGKILL executor worker ``worker`` (requires
+      the supervised process backend; recovery = restart + replay);
+    - ``worker_stall`` — make worker ``worker`` sleep ``seconds`` on
+      its FIFO (trips the request deadline; supervised process backend);
+    - ``worker_slow`` — multiply worker ``worker``'s per-batch compute
+      time by ``factor`` (windowed: reverts to full speed).
     """
 
     kind: str
@@ -63,6 +81,9 @@ class FaultAction:
     nic: int = 0
     keep_fraction: float = 0.0
     capacity: int = 1
+    worker: int = 0
+    seconds: float = 1.0
+    factor: float = 2.0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -97,6 +118,14 @@ class FaultAction:
         if self.kind == "queue_clamp" and self.capacity < 1:
             raise FaultPlanError(
                 f"queue_clamp capacity must be >= 1, got {self.capacity}")
+        if self.kind in WORKER_KINDS and self.worker < 0:
+            raise FaultPlanError(f"worker must be >= 0, got {self.worker}")
+        if self.kind == "worker_stall" and self.seconds <= 0:
+            raise FaultPlanError(
+                f"worker_stall seconds must be > 0, got {self.seconds}")
+        if self.kind == "worker_slow" and self.factor < 1.0:
+            raise FaultPlanError(
+                f"worker_slow factor must be >= 1, got {self.factor}")
 
 
 @dataclass(frozen=True)
@@ -210,6 +239,27 @@ class FaultInjector:
                     raise FaultPlanError(
                         f"{a.kind} targets NIC {a.nic} but the cluster "
                         f"has {n}")
+        worker_actions = [a for a in self.plan.actions
+                          if a.kind in WORKER_KINDS]
+        if worker_actions:
+            cluster = self.dataplane.cluster
+            if cluster is None or not hasattr(cluster,
+                                              "chaos_crash_worker"):
+                raise FaultPlanError(
+                    "worker_crash/worker_stall/worker_slow target real "
+                    "executor workers — build the dataplane with "
+                    "n_nics > 1 and a parallel ExecutionConfig")
+            for a in worker_actions:
+                if a.worker >= cluster.n_workers:
+                    raise FaultPlanError(
+                        f"{a.kind} targets worker {a.worker} but the "
+                        f"pool has {cluster.n_workers}")
+                if (a.kind in ("worker_crash", "worker_stall")
+                        and getattr(cluster, "supervisor", None) is None):
+                    raise FaultPlanError(
+                        f"{a.kind} needs the supervised process backend "
+                        f"(backend='process' with supervision on): only "
+                        f"a supervised worker can be restarted")
 
     # -- schedule --------------------------------------------------------------
 
@@ -240,6 +290,12 @@ class FaultInjector:
             dp.cache.squeeze_long_buffers(action.keep_fraction)
         elif action.kind == "queue_clamp":
             dp.link.clamp_capacity(action.capacity)
+        elif action.kind == "worker_crash":
+            dp.cluster.chaos_crash_worker(action.worker)
+        elif action.kind == "worker_stall":
+            dp.cluster.chaos_stall_worker(action.worker, action.seconds)
+        elif action.kind == "worker_slow":
+            dp.cluster.chaos_slow_worker(action.worker, action.factor)
         self.applied[action.kind] = self.applied.get(action.kind, 0) + 1
         if self._t_applied is not None:
             self._t_applied.inc()
@@ -252,6 +308,8 @@ class FaultInjector:
             dp.cache.release_long_buffers()
         elif action.kind == "queue_clamp":
             dp.link.clamp_capacity(None)
+        elif action.kind == "worker_slow":
+            dp.cluster.chaos_slow_worker(action.worker, 1.0)
         self.reverted[action.kind] = self.reverted.get(action.kind, 0) + 1
         if self._t_reverted is not None:
             self._t_reverted.inc()

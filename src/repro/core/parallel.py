@@ -43,6 +43,25 @@ Backends:
 Failover (``fail_nic``) needs no barrier: the crash request rides the
 owner's FIFO queue behind every event routed before the kill, so the
 residual snapshot is exactly the serial one.
+
+Supervision (process backend, on by default): the coordinator keeps a
+per-worker *journal* — the FIFO transcript of every state-mutating
+message it sent (sequence-numbered batches, clock advances, crash
+requests).  Every request carries a deadline
+(:attr:`ExecutionConfig.request_timeout_s`, ``SUPERFE_REQUEST_TIMEOUT_S``
+to override); a worker that dies (``Process.is_alive()``) or blows the
+deadline is killed and respawned by the :class:`ShardSupervisor`, which
+replays the journal into the fresh process.  Replay is the exactly-once
+mechanism: the half-applied incarnation is discarded wholesale and the
+new one receives precisely the transcript, so no batch is ever applied
+twice to surviving state and the serial-equivalence checksum stays
+green.  A batch that keeps failing (``poison_threshold`` consecutive
+blames) is quarantined: it is dropped from the journal, its events are
+salvaged through a coordinator-side engine whose output vectors are
+force-flagged ``degraded`` (the PR 2 coarse-granularity downgrade), and
+the batch is enumerated in :meth:`ShardedCluster.health`.  The journal
+grows with the event stream — supervision trades memory proportional to
+the input for the ability to rebuild any worker at any point.
 """
 
 from __future__ import annotations
@@ -50,6 +69,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue as queue_mod
+import signal
 import threading
 import time
 import traceback
@@ -67,7 +87,40 @@ BACKENDS = ("serial", "thread", "process")
 #: Batches a process worker's inbox may hold before the coordinator's
 #: ``put`` blocks — the dispatch backpressure bound.
 _QUEUE_DEPTH = 128
+#: Reply timeout for *unsupervised* queue workers (the legacy bound).
 _REPLY_TIMEOUT_S = 300.0
+#: Per-request deadline under supervision when neither
+#: ``ExecutionConfig.request_timeout_s`` nor the env override is set.
+DEFAULT_REQUEST_TIMEOUT_S = 30.0
+
+_BATCH_KINDS = ("batch", "pbatch")
+
+
+class ExecutorError(RuntimeError):
+    """A shard worker failed.
+
+    Carries enough blame to act on: ``worker`` (pool index), ``shards``
+    (the shard set it owned), ``pid``, ``kind`` (the message kind in
+    flight), and ``seq`` (the journal sequence number of the failing
+    batch, when the worker could attribute it)."""
+
+    def __init__(self, message: str, *, worker: int | None = None,
+                 shards=None, pid: int | None = None,
+                 kind: str | None = None, seq: int | None = None) -> None:
+        super().__init__(message)
+        self.worker = worker
+        self.shards = shards
+        self.pid = pid
+        self.kind = kind
+        self.seq = seq
+
+
+class WorkerDied(ExecutorError):
+    """The worker process/thread exited without replying."""
+
+
+class WorkerStalled(ExecutorError):
+    """The worker blew its request deadline without dying."""
 
 
 @dataclass(frozen=True)
@@ -80,11 +133,30 @@ class ExecutionConfig:
     chunks (one pickling round per chunk on the process backend).  The
     default (None) auto-sizes: a slow-start batcher releases small
     chunks first and doubles up to 1024 as the stream proves long.
+
+    Robustness knobs (supervised process backend):
+
+    - ``request_timeout_s`` — per-request deadline; a worker that does
+      not accept or answer within it is treated as stalled and
+      restarted.  ``None`` defers to ``SUPERFE_REQUEST_TIMEOUT_S``, then
+      to :data:`DEFAULT_REQUEST_TIMEOUT_S`.
+    - ``supervise`` — ``None`` (default) enables supervision exactly on
+      the process backend; ``False`` opts out (the pre-supervision
+      behavior, used by the overhead bench); ``True`` demands it and is
+      rejected on backends that cannot restart a worker.
+    - ``max_restarts`` — consecutive failed restart+replay attempts on
+      one worker before the cluster gives up and raises.
+    - ``poison_threshold`` — consecutive blames on the same batch before
+      it is quarantined and salvaged as degraded coarse vectors.
     """
 
     workers: int = 1
     backend: str = "serial"
     dispatch_batch: int | None = None
+    request_timeout_s: float | None = None
+    supervise: bool | None = None
+    max_restarts: int = 5
+    poison_threshold: int = 3
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -95,10 +167,50 @@ class ExecutionConfig:
         if self.dispatch_batch is not None and self.dispatch_batch < 1:
             raise ValueError(f"dispatch_batch must be >= 1, "
                              f"got {self.dispatch_batch}")
+        if (self.request_timeout_s is not None
+                and self.request_timeout_s <= 0):
+            raise ValueError(f"request_timeout_s must be > 0, "
+                             f"got {self.request_timeout_s}")
+        if self.max_restarts < 1:
+            raise ValueError(f"max_restarts must be >= 1, "
+                             f"got {self.max_restarts}")
+        if self.poison_threshold < 1:
+            raise ValueError(f"poison_threshold must be >= 1, "
+                             f"got {self.poison_threshold}")
+        if self.supervise and self.backend != "process":
+            raise ValueError(
+                "supervise=True needs backend='process' — only a "
+                "process worker can be killed and restarted")
 
     @property
     def is_parallel(self) -> bool:
         return self.backend != "serial"
+
+    @property
+    def supervised(self) -> bool:
+        """Whether this configuration runs under the ShardSupervisor."""
+        if self.supervise is not None:
+            return bool(self.supervise)
+        return self.backend == "process"
+
+    def resolved_timeout_s(self, env=None) -> float:
+        """The effective per-request deadline in seconds."""
+        if self.request_timeout_s is not None:
+            return self.request_timeout_s
+        env = os.environ if env is None else env
+        raw = (env.get("SUPERFE_REQUEST_TIMEOUT_S") or "").strip()
+        if raw:
+            try:
+                value = float(raw)
+            except ValueError:
+                raise ValueError(
+                    f"SUPERFE_REQUEST_TIMEOUT_S must be a number, "
+                    f"got {raw!r}") from None
+            if value <= 0:
+                raise ValueError(
+                    f"SUPERFE_REQUEST_TIMEOUT_S must be > 0, got {value}")
+            return value
+        return DEFAULT_REQUEST_TIMEOUT_S
 
     @classmethod
     def from_env(cls, env=None) -> "ExecutionConfig | None":
@@ -129,27 +241,38 @@ class _ShardDriver:
                         for s in shards}
         self._pv_cursors = {s: 0 for s in shards}
         self.telemetry = None
+        self._slow_factor = 1.0
 
     def handle(self, msg: tuple) -> tuple[bool, object]:
         """Returns ``(replied, payload)``; async messages reply False."""
         kind = msg[0]
-        if kind == "batch":
-            for shard, event in msg[1]:
-                self.engines[shard].consume(event)
-            return False, None
-        if kind == "pbatch":
-            # Compact wire rows (process backend): events cross the
-            # queue as positional tuples instead of pickled dataclass
-            # instances, and are rebuilt here.  Tag 0 = MGPVRecord row
-            # (shard, 0, cg_key, cg_hash32, cells, reason); tag 1 =
-            # FGSync row (shard, 1, index, key).
-            engines = self.engines
-            for row in msg[1]:
-                if row[1] == 0:
-                    engines[row[0]].consume(
-                        MGPVRecord(row[2], row[3], row[4], row[5]))
-                else:
-                    engines[row[0]].consume(FGSync(row[2], row[3]))
+        if kind in _BATCH_KINDS:
+            # Batch messages are ("batch"|"pbatch", seq, rows): seq is
+            # the coordinator's journal sequence number (None when
+            # unsupervised), echoed back in error reports so failures
+            # are attributable to one batch.
+            slow = self._slow_factor
+            t0 = time.perf_counter() if slow > 1.0 else 0.0
+            if kind == "batch":
+                for shard, event in msg[2]:
+                    self.engines[shard].consume(event)
+            else:
+                # Compact wire rows (process backend): events cross the
+                # queue as positional tuples instead of pickled
+                # dataclass instances, and are rebuilt here.  Tag 0 =
+                # MGPVRecord row (shard, 0, cg_key, cg_hash32, cells,
+                # reason); tag 1 = FGSync row (shard, 1, index, key).
+                engines = self.engines
+                for row in msg[2]:
+                    if row[1] == 0:
+                        engines[row[0]].consume(
+                            MGPVRecord(row[2], row[3], row[4], row[5]))
+                    else:
+                        engines[row[0]].consume(FGSync(row[2], row[3]))
+            if slow > 1.0:
+                # Multiplicative slowdown (worker_slow chaos): stretch
+                # the batch's real compute time by the factor.
+                time.sleep((slow - 1.0) * (time.perf_counter() - t0))
             return False, None
         if kind == "clock":
             for engine in self.engines.values():
@@ -183,22 +306,44 @@ class _ShardDriver:
         if kind == "telemetry":
             return True, (self.telemetry.snapshot()
                           if self.telemetry is not None else None)
+        if kind == "chaos_stall":
+            # Chaos hook: hold the FIFO hostage for msg[1] seconds so
+            # the coordinator's deadline machinery has something real
+            # to detect.  Never journaled — replay must not re-stall.
+            time.sleep(msg[1])
+            return False, None
+        if kind == "chaos_slow":
+            self._slow_factor = float(msg[1])
+            return False, None
         raise RuntimeError(f"unknown worker message {kind!r}")
 
 
 def _worker_loop(compiled, ctx, engine_kwargs, shards, inbox, outbox):
     """Thread/process entry point: drain the FIFO inbox until ``stop``.
-    Errors are reported on the outbox, where the coordinator's next
-    synchronous request surfaces them."""
-    driver = _ShardDriver(compiled, ctx, engine_kwargs, shards)
+    Errors are reported on the outbox as structured dicts (message kind,
+    batch seq, shard set, pid, traceback), where the coordinator's next
+    synchronous request surfaces them as :class:`ExecutorError`."""
+    pid = os.getpid()
+    try:
+        driver = _ShardDriver(compiled, ctx, engine_kwargs, shards)
+    except Exception:
+        outbox.put(("error", {
+            "kind": "startup", "seq": None, "shards": tuple(shards),
+            "pid": pid, "traceback": traceback.format_exc()}))
+        return
     while True:
         msg = inbox.get()
-        if msg[0] == "stop":
+        kind = msg[0]
+        if kind == "stop":
             break
         try:
             replied, payload = driver.handle(msg)
         except Exception:
-            outbox.put(("error", traceback.format_exc()))
+            outbox.put(("error", {
+                "kind": kind,
+                "seq": msg[1] if kind in _BATCH_KINDS else None,
+                "shards": tuple(shards), "pid": pid,
+                "traceback": traceback.format_exc()}))
             continue
         if replied:
             outbox.put(("ok", payload))
@@ -213,12 +358,12 @@ class _InlineWorker:
         self._driver = _ShardDriver(compiled, ctx, engine_kwargs, shards)
         self._replies: deque = deque()
 
-    def post(self, msg: tuple) -> None:
+    def post(self, msg: tuple, deadline: float | None = None) -> None:
         replied, payload = self._driver.handle(msg)
         if replied:
             self._replies.append(payload)
 
-    def reply(self):
+    def reply(self, deadline: float | None = None):
         return self._replies.popleft()
 
     def request(self, msg: tuple):
@@ -236,7 +381,9 @@ class _QueueWorker:
                  shards, index: int) -> None:
         self.shards = shards
         self.backend = backend
+        self.index = index
         self.name = f"shard-worker-{index}"
+        self._stopped = False
         args = (compiled, ctx, engine_kwargs, shards)
         if backend == "thread":
             self.inbox: object = queue_mod.SimpleQueue()
@@ -253,25 +400,75 @@ class _QueueWorker:
                 name=self.name, daemon=True)
         self._handle.start()
 
-    def post(self, msg: tuple) -> None:
-        self.inbox.put(msg)
+    @property
+    def pid(self) -> int | None:
+        return getattr(self._handle, "pid", None)
 
-    def reply(self):
-        deadline = time.monotonic() + _REPLY_TIMEOUT_S
+    def is_alive(self) -> bool:
+        return self._handle.is_alive()
+
+    def _blame(self, message: str, cls=ExecutorError, *,
+               kind: str | None = None,
+               seq: int | None = None) -> ExecutorError:
+        return cls(message, worker=self.index, shards=self.shards,
+                   pid=self.pid, kind=kind, seq=seq)
+
+    def _as_error(self, info) -> ExecutorError:
+        if isinstance(info, dict):
+            what = ("while constructing its engines"
+                    if info.get("kind") == "startup"
+                    else f"handling {info.get('kind')!r}")
+            return self._blame(
+                f"{self.name} (pid {info.get('pid')}, shards "
+                f"{tuple(info.get('shards') or ())}) failed {what}:\n"
+                f"{info.get('traceback')}",
+                kind=info.get("kind"), seq=info.get("seq"))
+        # Pre-structured (string) payloads, kept for forward compat.
+        return self._blame(f"{self.name} failed:\n{info}")
+
+    def post(self, msg: tuple, deadline: float | None = None) -> None:
+        """Enqueue a message.  With a ``deadline`` (monotonic seconds,
+        supervised path) the put is bounded: a dead worker raises
+        :class:`WorkerDied`, a full inbox past the deadline raises
+        :class:`WorkerStalled`.  Without one, the put blocks as long as
+        the worker stays alive (the legacy backpressure bound)."""
+        if self.backend == "thread":
+            self.inbox.put(msg)        # SimpleQueue: unbounded
+            return
+        poll = 0.05 if deadline is not None else 0.2
         while True:
             try:
-                status, payload = self.outbox.get(timeout=1.0)
+                self.inbox.put(msg, timeout=poll)
+                return
+            except queue_mod.Full:
+                if not self._handle.is_alive():
+                    raise self._blame(
+                        f"{self.name} (pid {self.pid}) died with a full "
+                        f"inbox", WorkerDied, kind=msg[0]) from None
+                if deadline is not None and time.monotonic() > deadline:
+                    raise self._blame(
+                        f"{self.name} (pid {self.pid}) did not accept "
+                        f"{msg[0]!r} before its deadline", WorkerStalled,
+                        kind=msg[0]) from None
+
+    def reply(self, deadline: float | None = None):
+        if deadline is None:
+            deadline = time.monotonic() + _REPLY_TIMEOUT_S
+        while True:
+            try:
+                status, payload = self.outbox.get(timeout=0.1)
             except queue_mod.Empty:
                 if not self._handle.is_alive():
-                    raise RuntimeError(
-                        f"{self.name} died without replying") from None
+                    raise self._blame(
+                        f"{self.name} (pid {self.pid}) died without "
+                        f"replying", WorkerDied) from None
                 if time.monotonic() > deadline:
-                    raise RuntimeError(
-                        f"timed out waiting for {self.name}")
+                    raise self._blame(
+                        f"timed out waiting for {self.name} "
+                        f"(pid {self.pid})", WorkerStalled) from None
                 continue
             if status == "error":
-                raise RuntimeError(
-                    f"{self.name} failed:\n{payload}")
+                raise self._as_error(payload)
             return payload
 
     def request(self, msg: tuple):
@@ -279,11 +476,46 @@ class _QueueWorker:
         return self.reply()
 
     def stop(self) -> None:
+        """Graceful shutdown; never hangs on a dead or wedged worker —
+        the join is bounded and the process backend escalates to
+        ``terminate()``.  Idempotent."""
+        if self._stopped:
+            return
+        self._stopped = True
         try:
-            self.inbox.put(("stop",))
+            if self.backend == "thread":
+                self.inbox.put(("stop",))
+            elif self._handle.is_alive():
+                self.inbox.put(("stop",), timeout=1.0)
         except Exception:
             pass
-        self._handle.join(timeout=10.0)
+        self._handle.join(timeout=5.0)
+        if self.backend == "process":
+            if self._handle.is_alive():
+                self._handle.terminate()
+                self._handle.join(timeout=5.0)
+            self._drop_queues()
+
+    def kill(self) -> None:
+        """Supervisor path: discard this incarnation immediately
+        (SIGKILL — its state is about to be rebuilt by replay)."""
+        self._stopped = True
+        if self.backend != "process":
+            return
+        if self._handle.is_alive():
+            self._handle.kill()
+        self._handle.join(timeout=5.0)
+        self._drop_queues()
+
+    def _drop_queues(self) -> None:
+        # The dead incarnation's queues may hold undelivered data whose
+        # feeder threads would otherwise block interpreter exit.
+        for q in (self.inbox, self.outbox):
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except Exception:
+                pass
 
 
 def _fork_context():
@@ -292,9 +524,280 @@ def _fork_context():
     try:
         return multiprocessing.get_context("fork")
     except ValueError:
-        raise RuntimeError(
+        raise ExecutorError(
             "the process execution backend needs the fork start method "
-            "(Linux); use backend='thread' here") from None
+            "(Linux) — did you mean backend='serial' or "
+            "backend='thread'?") from None
+
+
+# ---------------------------------------------------------------------------
+# Supervision
+# ---------------------------------------------------------------------------
+
+class _JournalEntry:
+    """One state-mutating message in a worker's transcript."""
+
+    __slots__ = ("kind", "payload", "expects_reply", "quarantined")
+
+    def __init__(self, kind: str, payload,
+                 expects_reply: bool = False) -> None:
+        self.kind = kind
+        self.payload = payload
+        self.expects_reply = expects_reply
+        self.quarantined = False
+
+    def message(self, seq: int) -> tuple:
+        if self.kind in _BATCH_KINDS:
+            return (self.kind, seq, self.payload)
+        if self.payload is None:
+            return (self.kind,)
+        return (self.kind, self.payload)
+
+
+class ShardSupervisor:
+    """Worker crash/stall recovery for the process backend.
+
+    The deadline → restart → replay → quarantine state machine:
+
+    1. every request carries a deadline; a blown deadline or a failed
+       liveness probe surfaces as :class:`WorkerStalled` /
+       :class:`WorkerDied`;
+    2. the supervisor kills the suspect incarnation and forks a fresh
+       one on the same shard set;
+    3. it replays the worker's journal — the exact FIFO transcript of
+       state-mutating messages — into the fresh process.  Replay, not
+       patch-up, is what makes redelivery exactly-once: the incarnation
+       that may have half-applied a batch is discarded wholesale, so
+       each journal entry is applied to surviving state exactly once;
+    4. a batch blamed ``poison_threshold`` consecutive times is
+       quarantined: dropped from the journal and salvaged through a
+       coordinator-side engine whose vectors come back force-flagged
+       ``degraded`` (coarse-granularity quality, never silent loss).
+
+    Blame attribution: worker error reports carry the batch seq, so a
+    raising batch is pinned immediately.  A death with no seq (SIGKILL,
+    segfault) triggers a *careful* replay — a barrier after every batch
+    — so the killer batch is pinned on the next pass.
+    """
+
+    def __init__(self, cluster: "ShardedCluster") -> None:
+        self.cluster = cluster
+        self.journals: list[list[_JournalEntry]] = [
+            [] for _ in range(cluster.n_workers)]
+        self.restarts = 0
+        self.redispatched = 0
+        self.poison: list[dict] = []
+        self.restart_ns: list[int] = []
+        self._blames: dict[tuple[int, int], int] = {}
+        self._poison_engine: FeatureEngine | None = None
+        self._poison_cg: set = set()
+        self._t_restarts = None
+        self._t_redispatched = None
+        self._t_poison = None
+        self._t_restart_hist = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        from repro.core.telemetry import DEFAULT_LATENCY_BOUNDS_NS
+        reg = telemetry.registry
+        self._t_restarts = reg.counter("supervisor.restarts")
+        self._t_redispatched = reg.counter("supervisor.redispatched")
+        self._t_poison = reg.counter("supervisor.poison_batches")
+        self._t_restart_hist = reg.histogram("supervisor.restart_ns",
+                                             DEFAULT_LATENCY_BOUNDS_NS)
+
+    # -- journal ----------------------------------------------------------
+
+    def record(self, worker: int, kind: str, payload=None,
+               expects_reply: bool = False) -> int:
+        journal = self.journals[worker]
+        journal.append(_JournalEntry(kind, payload, expects_reply))
+        return len(journal) - 1
+
+    # -- recovery ---------------------------------------------------------
+
+    def recover(self, worker: int, exc: ExecutorError,
+                capture_seq: int | None = None):
+        """Restart ``worker`` and rebuild its shard state by replaying
+        its journal.  Returns the replayed reply for ``capture_seq``
+        (the journaled synchronous request the caller was waiting on),
+        None otherwise."""
+        start = time.perf_counter_ns()
+        seq = getattr(exc, "seq", None)
+        if seq is not None:
+            self._blame_seq(worker, seq)
+        captured = self._restart_and_replay(worker, capture_seq)
+        elapsed = time.perf_counter_ns() - start
+        self.restart_ns.append(elapsed)
+        if self._t_restart_hist is not None:
+            self._t_restart_hist.observe(elapsed)
+        return captured
+
+    def _restart_and_replay(self, worker: int,
+                            capture_seq: int | None = None):
+        cluster = self.cluster
+        budget = cluster.execution.max_restarts
+        attempts = 0
+        careful = False
+        while True:
+            if attempts >= budget:
+                raise ExecutorError(
+                    f"shard-worker-{worker} failed {attempts} consecutive "
+                    f"restart+replay attempts; giving up", worker=worker)
+            attempts += 1
+            cluster._respawn(worker)
+            self.restarts += 1
+            if self._t_restarts is not None:
+                self._t_restarts.inc()
+            try:
+                return self._replay(worker, careful, capture_seq)
+            except ExecutorError as exc:
+                seq = getattr(exc, "seq", None)
+                if seq is not None:
+                    if self._blame_seq(worker, seq):
+                        attempts = 0   # progress: the poison batch is gone
+                    careful = False
+                else:
+                    # Unattributable death mid-replay: re-run with a
+                    # barrier after every batch to pin the culprit.
+                    careful = True
+
+    def _replay(self, worker: int, careful: bool,
+                capture_seq: int | None = None):
+        cluster = self.cluster
+        w = cluster._workers[worker]
+        captured = None
+        replayed = 0
+        for seq, entry in enumerate(self.journals[worker]):
+            if entry.quarantined:
+                continue
+            try:
+                if entry.kind in _BATCH_KINDS:
+                    w.post(entry.message(seq),
+                           deadline=cluster._op_deadline())
+                    replayed += 1
+                    if careful:
+                        w.post(("barrier",),
+                               deadline=cluster._op_deadline())
+                        w.reply(deadline=cluster._op_deadline())
+                elif entry.expects_reply:
+                    w.post(entry.message(seq),
+                           deadline=cluster._op_deadline())
+                    value = w.reply(deadline=cluster._op_deadline())
+                    if seq == capture_seq:
+                        captured = value
+                else:
+                    w.post(entry.message(seq),
+                           deadline=cluster._op_deadline())
+            except ExecutorError as exc:
+                if (getattr(exc, "seq", None) is None and careful
+                        and entry.kind in _BATCH_KINDS):
+                    exc.seq = seq
+                raise
+        # Closing barrier: confirms the fresh incarnation survived and
+        # applied the whole transcript before normal traffic resumes.
+        w.post(("barrier",), deadline=cluster._op_deadline())
+        w.reply(deadline=cluster._op_deadline())
+        self.redispatched += replayed
+        if self._t_redispatched is not None and replayed:
+            self._t_redispatched.inc(replayed)
+        return captured
+
+    def _blame_seq(self, worker: int, seq: int) -> bool:
+        """Count a failure against one journal entry; quarantine it at
+        the poison threshold.  True when the entry was quarantined."""
+        journal = self.journals[worker]
+        if not 0 <= seq < len(journal):
+            return False
+        entry = journal[seq]
+        if entry.quarantined or entry.kind not in _BATCH_KINDS:
+            return False
+        key = (worker, seq)
+        self._blames[key] = self._blames.get(key, 0) + 1
+        if self._blames[key] >= self.cluster.execution.poison_threshold:
+            self._quarantine(worker, seq)
+            return True
+        return False
+
+    # -- poison quarantine ------------------------------------------------
+
+    def _quarantine(self, worker: int, seq: int) -> None:
+        entry = self.journals[worker][seq]
+        entry.quarantined = True
+        events = self._entry_events(entry)
+        engine = self._ensure_poison_engine()
+        salvaged = failed = 0
+        cg_keys = set()
+        for event in events:
+            if isinstance(event, MGPVRecord):
+                cg_keys.add(event.cg_key)
+            elif isinstance(event, FGSync):
+                try:
+                    cg_keys.add(self.cluster.compiled.cg.project(event.key))
+                except Exception:
+                    pass
+            try:
+                engine.consume(event)
+                salvaged += 1
+            except Exception:
+                failed += 1
+        self._poison_cg.update(cg_keys)
+        self.poison.append({
+            "worker": worker,
+            "seq": seq,
+            "events": len(events),
+            "salvaged_events": salvaged,
+            "failed_events": failed,
+            "failures": self._blames.get((worker, seq), 0),
+            "cg_keys": sorted(repr(k) for k in cg_keys),
+        })
+        if self._t_poison is not None:
+            self._t_poison.inc()
+
+    def _entry_events(self, entry: _JournalEntry) -> list:
+        if entry.kind == "pbatch":
+            events = []
+            for row in entry.payload:
+                if row[1] == 0:
+                    events.append(MGPVRecord(row[2], row[3], row[4],
+                                             row[5]))
+                else:
+                    events.append(FGSync(row[2], row[3]))
+            return events
+        return [event for _shard, event in entry.payload]
+
+    def _ensure_poison_engine(self) -> FeatureEngine:
+        if self._poison_engine is None:
+            cluster = self.cluster
+            self._poison_engine = FeatureEngine(
+                cluster.compiled, ctx=cluster._ctx,
+                **cluster._engine_kwargs)
+        return self._poison_engine
+
+    def poison_vectors(self) -> list[FeatureVector]:
+        """Finalized salvage output for every quarantined batch, always
+        flagged degraded: the salvage engine saw the poison events out
+        of context (FG mirrors may be elsewhere), so its vectors are
+        coarse-granularity approximations by construction."""
+        if self._poison_engine is None:
+            return []
+        vectors = self._poison_engine.finalize()
+        for vector in vectors:
+            vector.degraded = True
+        return vectors
+
+    @property
+    def poison_cg_keys(self) -> set:
+        return self._poison_cg
+
+    def restart_latency_summary(self) -> dict:
+        lat = self.restart_ns
+        if not lat:
+            return {"count": 0, "mean_ms": 0.0, "max_ms": 0.0}
+        return {
+            "count": len(lat),
+            "mean_ms": round(sum(lat) / len(lat) / 1e6, 3),
+            "max_ms": round(max(lat) / 1e6, 3),
+        }
 
 
 # ---------------------------------------------------------------------------
@@ -338,6 +841,8 @@ class ShardedCluster:
         self.compiled = compiled
         self.n_nics = n_nics
         self.execution = execution
+        self._ctx = ctx
+        self._engine_kwargs = dict(engine_kwargs)
         self.alive = [True] * n_nics
         self.failovers = 0
         self.restarts = 0
@@ -383,6 +888,14 @@ class ShardedCluster:
         self._stats_cache = {s: EngineStats() for s in range(n_nics)}
         self._final_vectors: list[FeatureVector] | None = None
         self._closed = False
+        # Supervision (process backend by default): per-request
+        # deadlines, liveness probes, restart+replay, poison batches.
+        self.supervised = (execution.supervised
+                           and execution.backend == "process")
+        self._timeout_s = execution.resolved_timeout_s()
+        self._deadline: float | None = None
+        self._slow_factors: dict[int, float] = {}
+        self.supervisor = ShardSupervisor(self) if self.supervised else None
         # Telemetry (attach_telemetry): coordinator-side dispatch
         # instruments plus cached per-worker metric snapshots.
         self._t_tracer = None
@@ -392,6 +905,7 @@ class ShardedCluster:
         self._t_failovers = None
         self._snapshots_cache: list[dict] = []
         self._telemetry_on = False
+        self._telemetry_config = None
 
     def attach_telemetry(self, telemetry) -> None:
         """Instrument the coordinator's dispatch path and turn on
@@ -410,6 +924,9 @@ class ShardedCluster:
                                              DEFAULT_COUNT_BOUNDS)
         self._t_failovers = reg.counter("cluster.failovers")
         self._telemetry_on = True
+        self._telemetry_config = telemetry.config
+        if self.supervisor is not None:
+            self.supervisor.attach_telemetry(telemetry)
         for worker in self._workers:
             worker.post(("telemetry_on", telemetry.config))
 
@@ -465,16 +982,30 @@ class ShardedCluster:
             self.consume(event)
         return self
 
+    def _op_deadline(self) -> float:
+        """The monotonic deadline for one worker operation: the request
+        timeout, clamped by any stream-propagated batch deadline."""
+        deadline = time.monotonic() + self._timeout_s
+        if self._deadline is not None:
+            deadline = min(deadline, self._deadline)
+        return deadline
+
+    def set_deadline(self, deadline: float | None) -> None:
+        """Propagate a per-batch deadline (monotonic seconds, or None to
+        clear).  Under supervision every worker operation is clamped to
+        it — a batch that cannot complete in time surfaces as a stalled
+        worker instead of an unbounded wait.  No effect unsupervised."""
+        self._deadline = deadline
+
     def _dispatch(self, worker: int, chunk: list) -> None:
+        kind = "pbatch" if self._compact else "batch"
         if self._t_tracer is not None:
             start = time.perf_counter_ns()
-            self._workers[worker].post(
-                ("pbatch" if self._compact else "batch", chunk))
+            self._post_batch(worker, kind, chunk)
             self._t_tracer.record("shard.dispatch", start,
                                   time.perf_counter_ns())
         else:
-            self._workers[worker].post(
-                ("pbatch" if self._compact else "batch", chunk))
+            self._post_batch(worker, kind, chunk)
         self.batches_dispatched += 1
         self.events_dispatched += len(chunk)
         if self._t_batches is not None:
@@ -482,25 +1013,158 @@ class ShardedCluster:
             self._t_events.inc(len(chunk))
             self._t_chunk_events.observe(len(chunk))
 
+    def _post_batch(self, worker: int, kind: str, chunk: list) -> None:
+        sup = self.supervisor
+        if sup is None:
+            self._workers[worker].post((kind, None, chunk))
+            return
+        # Journal before posting: once recorded, the batch is delivered
+        # exactly once — either by this post or by the replay a failed
+        # post triggers (recover() rebuilds the worker from the journal,
+        # which now includes this batch, so there is no re-post here).
+        seq = sup.record(worker, kind, chunk)
+        w = self._workers[worker]
+        if not w.is_alive():
+            sup.recover(worker, WorkerDied(
+                f"{w.name} (pid {w.pid}) found dead before dispatch",
+                worker=worker, pid=w.pid))
+            return
+        try:
+            w.post((kind, seq, chunk), deadline=self._op_deadline())
+        except ExecutorError as exc:
+            sup.recover(worker, exc)
+
     def _flush_dispatch(self) -> None:
         for worker, batcher in enumerate(self._batchers):
             if len(batcher):
                 self._dispatch(worker, batcher.drain())
 
-    def _broadcast(self, msg: tuple) -> list:
-        """Synchronous request to every worker, pipelined: all requests
-        go out before any reply is awaited."""
+    def _sync_request(self, worker: int, msg: tuple,
+                      journal: bool = False):
+        """One synchronous request to one worker, surviving worker
+        failure under supervision.  ``journal=True`` marks the request
+        state-mutating (``crash``/``take_pkt``): it is journaled before
+        sending, and when recovery replays it the replayed reply is
+        captured and returned in place of the lost one."""
+        sup = self.supervisor
+        if sup is None:
+            return self._workers[worker].request(msg)
+        seq = (sup.record(worker, msg[0],
+                          msg[1] if len(msg) > 1 else None,
+                          expects_reply=True)
+               if journal else None)
+        attempts = 0
+        while True:
+            w = self._workers[worker]
+            try:
+                if not w.is_alive():
+                    raise WorkerDied(
+                        f"{w.name} (pid {w.pid}) is dead",
+                        worker=worker, pid=w.pid)
+                w.post(msg, deadline=self._op_deadline())
+                return w.reply(deadline=self._op_deadline())
+            except ExecutorError as exc:
+                attempts += 1
+                if attempts > self.execution.max_restarts:
+                    raise
+                captured = sup.recover(worker, exc, capture_seq=seq)
+                if seq is not None:
+                    # Replay already delivered the journaled request to
+                    # the fresh incarnation; its reply is the answer.
+                    return captured
+
+    def _broadcast(self, msg: tuple, journal: bool = False) -> list:
+        """Synchronous request to every worker.  Unsupervised the
+        requests are pipelined (all posts before any reply);
+        supervision goes worker-at-a-time so failures are attributable
+        and recoverable per worker."""
         self._flush_dispatch()
+        if self.supervisor is not None:
+            return [self._sync_request(w, msg, journal=journal)
+                    for w in range(self.n_workers)]
         for worker in self._workers:
             worker.post(msg)
         return [worker.reply() for worker in self._workers]
 
-    def _gather(self, msg: tuple) -> dict:
+    def _gather(self, msg: tuple, journal: bool = False) -> dict:
         """Broadcast a request whose replies are per-shard dicts."""
         by_shard: dict = {}
-        for part in self._broadcast(msg):
+        for part in self._broadcast(msg, journal=journal):
             by_shard.update(part)
         return by_shard
+
+    # -- supervision ----------------------------------------------------------
+
+    def _respawn(self, worker: int) -> None:
+        """Replace one worker with a fresh incarnation on the same shard
+        set, re-arming its telemetry and chaos-slow state; the caller
+        (the supervisor) replays the journal next."""
+        old = self._workers[worker]
+        old.kill()
+        fresh = _QueueWorker(self.execution.backend, self.compiled,
+                             self._ctx, self._engine_kwargs,
+                             old.shards, worker)
+        self._workers[worker] = fresh
+        if self._telemetry_config is not None:
+            fresh.post(("telemetry_on", self._telemetry_config))
+        factor = self._slow_factors.get(worker)
+        if factor and factor > 1.0:
+            fresh.post(("chaos_slow", factor))
+
+    def _check_worker(self, worker: int) -> None:
+        if not 0 <= worker < self.n_workers:
+            raise ValueError(f"no worker {worker} in a pool of "
+                             f"{self.n_workers}")
+
+    def _require_supervision(self, what: str) -> None:
+        if self.supervisor is None:
+            raise RuntimeError(
+                f"{what} chaos needs the supervised process backend "
+                f"(this cluster runs backend="
+                f"{self.execution.backend!r}, supervise="
+                f"{self.execution.supervise!r})")
+
+    def chaos_crash_worker(self, worker: int) -> None:
+        """Chaos hook: SIGKILL one worker process mid-run.  Recovery is
+        the supervisor's job, so this demands supervision."""
+        self._check_worker(worker)
+        self._require_supervision("worker_crash")
+        pid = self._workers[worker].pid
+        if pid is not None:
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+
+    def chaos_stall_worker(self, worker: int, seconds: float) -> None:
+        """Chaos hook: make one worker sleep on its FIFO for
+        ``seconds`` — the request-deadline detection target.  The stall
+        message is never journaled, so replay does not re-stall."""
+        self._check_worker(worker)
+        self._require_supervision("worker_stall")
+        try:
+            self._workers[worker].post(("chaos_stall", float(seconds)),
+                                       deadline=self._op_deadline())
+        except ExecutorError as exc:
+            self.supervisor.recover(worker, exc)
+
+    def chaos_slow_worker(self, worker: int, factor: float) -> None:
+        """Chaos hook: multiply one worker's per-batch compute time by
+        ``factor`` (1.0 restores full speed).  Queue backends only."""
+        self._check_worker(worker)
+        if not isinstance(self._workers[worker], _QueueWorker):
+            raise RuntimeError(
+                "worker_slow chaos needs a queue-backed worker "
+                "(backend='thread' or 'process')")
+        factor = float(factor)
+        self._slow_factors[worker] = factor
+        try:
+            self._workers[worker].post(("chaos_slow", factor),
+                                       deadline=self._op_deadline())
+        except ExecutorError as exc:
+            if self.supervisor is None:
+                raise
+            self.supervisor.recover(worker, exc)
 
     # -- failover (serial-cluster semantics) ---------------------------------
 
@@ -520,7 +1184,8 @@ class ShardedCluster:
         self.failovers += 1
         if self._t_failovers is not None:
             self._t_failovers.inc()
-        residual = self._workers[self._owner[nic]].request(("crash", nic))
+        residual = self._sync_request(self._owner[nic], ("crash", nic),
+                                      journal=True)
         self._residual.extend(residual)
         mirror = list(self._mirrors[nic].items())
         self._mirrors[nic].clear()
@@ -552,8 +1217,24 @@ class ShardedCluster:
         vectors: list[FeatureVector] = []
         for shard in range(self.n_nics):
             vectors.extend(by_shard.get(shard, []))
+        residual = list(self._residual)
+        sup = self.supervisor
+        if sup is not None:
+            # Quarantined batches come back as degraded salvage vectors,
+            # and any live vector sharing a CG group with poison events
+            # is flagged too: its reduce state is missing those events.
+            residual.extend(sup.poison_vectors())
+            poison_cg = sup.poison_cg_keys
+            if poison_cg:
+                for vector in vectors:
+                    try:
+                        cg = self.compiled.cg.project(vector.key)
+                    except Exception:
+                        cg = None
+                    if cg in poison_cg:
+                        vector.degraded = True
         vectors, self.demoted_vectors = reconcile_residual(
-            vectors, self._residual)
+            vectors, residual)
         self._final_vectors = vectors
         if self._t_tracer is not None:
             self._t_tracer.record("shard.merge", start,
@@ -563,7 +1244,7 @@ class ShardedCluster:
     def take_packet_vectors(self) -> list[FeatureVector]:
         if self._closed:
             return []
-        by_shard = self._gather(("take_pkt",))
+        by_shard = self._gather(("take_pkt",), journal=True)
         new: list[FeatureVector] = []
         for shard in range(self.n_nics):
             new.extend(by_shard.get(shard, []))
@@ -575,19 +1256,44 @@ class ShardedCluster:
         # Flush first so the clock lands after every event already
         # routed, exactly as the serial process()/advance_clock() order.
         self._flush_dispatch()
-        for worker in self._workers:
-            worker.post(("clock", now_ns))
+        sup = self.supervisor
+        for index, worker in enumerate(self._workers):
+            if sup is None:
+                worker.post(("clock", now_ns))
+                continue
+            sup.record(index, "clock", now_ns)
+            try:
+                if not worker.is_alive():
+                    raise WorkerDied(
+                        f"{worker.name} (pid {worker.pid}) is dead",
+                        worker=index, pid=worker.pid)
+                worker.post(("clock", now_ns),
+                            deadline=self._op_deadline())
+            except ExecutorError as exc:
+                sup.recover(index, exc)
 
     def close(self) -> None:
         """Stop the pool.  Terminal: stats/counters/finalize keep
-        serving the last fetched state; consume raises."""
+        serving the last fetched state; consume raises.  Idempotent and
+        exception-safe — a dead worker cannot block shutdown."""
         if self._closed:
             return
-        self._fetch_stats()
-        self.worker_snapshots()
-        for worker in self._workers:
-            worker.stop()
-        self._closed = True
+        try:
+            try:
+                self._fetch_stats()
+            except ExecutorError:
+                pass
+            try:
+                self.worker_snapshots()
+            except ExecutorError:
+                pass
+        finally:
+            self._closed = True
+            for worker in self._workers:
+                try:
+                    worker.stop()
+                except Exception:
+                    pass
 
     # -- observability --------------------------------------------------------
 
@@ -622,11 +1328,45 @@ class ShardedCluster:
             total.vectors_emitted += s.vectors_emitted
         return total
 
+    def health(self) -> dict:
+        """Liveness and supervision report: per-worker state, restart
+        ledger, and the quarantined poison batches (the only events a
+        supervised run may lose to degraded-coarse salvage)."""
+        workers = []
+        for index, worker in enumerate(self._workers):
+            alive = worker.is_alive() if hasattr(worker, "is_alive") \
+                else not self._closed
+            workers.append({
+                "worker": index,
+                "shards": list(worker.shards),
+                "pid": getattr(worker, "pid", None),
+                "alive": bool(alive) and not self._closed,
+            })
+        report = {
+            "backend": self.execution.backend,
+            "n_workers": self.n_workers,
+            "closed": self._closed,
+            "workers": workers,
+            "supervision": None,
+        }
+        sup = self.supervisor
+        if sup is not None:
+            report["supervision"] = {
+                "request_timeout_s": self._timeout_s,
+                "restarts": sup.restarts,
+                "redispatched_batches": sup.redispatched,
+                "poison_batches": [dict(p) for p in sup.poison],
+                "journal_entries": sum(len(j) for j in sup.journals),
+                "restart_latency": sup.restart_latency_summary(),
+            }
+        return report
+
     def counters(self) -> dict:
         """The serial cluster's counter schema, plus a ``dispatch``
-        sub-ledger for the execution engine itself."""
+        sub-ledger for the execution engine itself and a ``supervisor``
+        sub-ledger when supervision is on."""
         s = self.stats
-        return {
+        out = {
             "n_nics": self.n_nics,
             "live_nics": sum(self.alive),
             "records": s.records,
@@ -655,6 +1395,15 @@ class ShardedCluster:
                 "events": self.events_dispatched,
             },
         }
+        sup = self.supervisor
+        if sup is not None:
+            out["supervisor"] = {
+                "restarts": sup.restarts,
+                "redispatched_batches": sup.redispatched,
+                "poison_batches": len(sup.poison),
+                "journal_entries": sum(len(j) for j in sup.journals),
+            }
+        return out
 
 
 class ParallelSink:
@@ -690,6 +1439,12 @@ class ParallelSink:
 
     def take_packet_vectors(self) -> list[FeatureVector]:
         return self.cluster.take_packet_vectors()
+
+    def set_deadline(self, deadline: float | None) -> None:
+        self.cluster.set_deadline(deadline)
+
+    def health(self) -> dict:
+        return self.cluster.health()
 
     def close(self) -> None:
         self.cluster.close()

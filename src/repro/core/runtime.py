@@ -70,6 +70,8 @@ class SuperFERuntime:
                  link_config: LinkConfig | None = None,
                  fault_plan=None,
                  telemetry=None,
+                 n_nics: int = 1,
+                 execution=None,
                  _internal: bool = False) -> None:
         if not _internal:
             warnings.warn(
@@ -82,6 +84,9 @@ class SuperFERuntime:
         self._link_config = link_config
         self._fault_plan = fault_plan
         self._telemetry = telemetry
+        self._n_nics = n_nics
+        self._execution = execution
+        self.dataplane = None
         self._poller = DeltaPoller(self._absolute_counters)
         self._install(policy, mgpv_config)
 
@@ -98,14 +103,22 @@ class SuperFERuntime:
             # Counters/histograms persist across swaps (monotonic, as a
             # control plane expects).
             self._telemetry.registry.clear_gauge_sources()
+        # Release the outgoing graph's worker pool before forking the
+        # replacement; install is exception-safe — a failed build leaves
+        # no half-dead pool behind.
+        old = self.dataplane
+        if old is not None:
+            old.close()
         self.dataplane = Dataplane.build(
             self.compiled,
             mgpv_config=self.mgpv_config,
             ctx=ExecContext(division_free=self._division_free),
             table_indices=self._table_indices,
             table_width=self._table_width,
+            n_nics=self._n_nics,
             link_config=self._link_config,
             fault_plan=self._fault_plan,
+            execution=self._execution,
             telemetry=self._telemetry)
 
     # -- dataplane views ------------------------------------------------------
@@ -125,6 +138,10 @@ class SuperFERuntime:
     @property
     def engine(self):
         return self.dataplane.engine
+
+    @property
+    def cluster(self):
+        return self.dataplane.cluster
 
     # -- data path ------------------------------------------------------------
 
@@ -147,6 +164,10 @@ class SuperFERuntime:
         """Emit and free NIC-side groups idle longer than ``timeout_ns``
         (the continuous-deployment vector eviction path); per-group
         policies return the emitted vectors."""
+        if self.engine is None:
+            raise ValueError(
+                "collect_idle needs a single-engine deployment; cluster "
+                "deployments age groups inside their shard workers")
         return self.engine.evict_idle(self.cache.now_ns, timeout_ns)
 
     # -- control plane ---------------------------------------------------------
@@ -156,7 +177,10 @@ class SuperFERuntime:
         per-stage counters onto the control plane's snapshot schema."""
         switch = self.cache.counters()
         link = self.link.counters()
-        engine = self.engine.counters()
+        # Cluster deployments expose the same counter schema through
+        # the sink; single-engine ones through the engine itself.
+        sink = self.engine if self.engine is not None else self.cluster
+        engine = sink.counters()
         return {
             "pkts_in": switch["pkts_in"],
             "bytes_in": switch["bytes_in"],
@@ -222,7 +246,8 @@ class SuperFERuntime:
             vectors=self.snapshot(),
             feature_names=self.compiled.feature_names,
             switch_stats=self.cache.stats,
-            engine=self.engine,
+            engine=(self.engine if self.engine is not None
+                    else self.cluster),
             compiled=self.compiled,
             dataplane=self.dataplane,
         )

@@ -131,6 +131,111 @@ class TestExtractor:
         assert "software" in repr(api.compile(policy, software=True))
 
 
+class TestStreamIngestion:
+    def test_stream_validates_knobs(self, policy, packets):
+        ex = api.compile(policy)
+        with pytest.raises(ValueError, match="queue_batches"):
+            ex.stream(packets, queue_batches=0)
+        with pytest.raises(ValueError, match="overload"):
+            ex.stream(packets, overload="panic")
+        with pytest.raises(ValueError, match="deadline_s"):
+            ex.stream(packets, deadline_s=0)
+        with pytest.raises(ValueError, match="degrade_stride"):
+            ex.stream(packets, overload="degrade", degrade_stride=0)
+
+    def test_block_policy_loses_nothing(self, policy, packets):
+        """A one-slot queue with backpressure: every packet still
+        arrives, so the stream matches run() exactly."""
+        ex = api.compile(policy)
+        streamed = [v for chunk in ex.stream(packets, batch_size=32,
+                                             queue_batches=1,
+                                             overload="block")
+                    for v in chunk]
+        ran = ex.run(packets).vectors
+        assert (sorted((tuple(v.key), v.values.tobytes())
+                       for v in streamed)
+                == sorted((tuple(v.key), v.values.tobytes())
+                          for v in ran))
+        report = ex.health()["ingest"]
+        assert report["state"] == "drained"
+        assert report["packets_in"] == len(packets)
+        assert report["packets_processed"] == len(packets)
+        assert report["dropped_packets"] == 0
+        assert report["shed_rate"] == 0.0
+
+    @pytest.mark.parametrize("overload", ["shed", "degrade"])
+    def test_lossy_policies_account_for_every_packet(self, policy,
+                                                     packets, overload):
+        """shed/degrade may drop packets under pressure, but the ledger
+        must balance: in == processed + dropped, and shed_rate reflects
+        exactly the counted drops."""
+        ex = api.compile(policy)
+        gen = ex.stream(packets, batch_size=16, queue_batches=1,
+                        overload=overload, degrade_stride=4)
+        for _chunk in gen:
+            pass
+        report = ex.health()["ingest"]
+        assert report["state"] == "drained"
+        assert report["overload_policy"] == overload
+        assert report["packets_in"] == len(packets)
+        assert (report["packets_processed"] + report["dropped_packets"]
+                == len(packets))
+        if report["packets_in"]:
+            assert report["shed_rate"] == pytest.approx(
+                report["dropped_packets"] / report["packets_in"],
+                abs=1e-6)
+
+    def test_degrade_keeps_stride_sample(self, policy, packets):
+        """Degrade never drops a whole batch: overflowing chunks shrink
+        to the stride sample, so some packets of every batch survive."""
+        ex = api.compile(policy)
+        for _chunk in ex.stream(packets, batch_size=16, queue_batches=1,
+                                overload="degrade", degrade_stride=8):
+            pass
+        report = ex.health()["ingest"]
+        assert report["shed_batches"] == 0
+        if report["degraded_batches"]:
+            assert report["packets_processed"] > 0
+
+    def test_health_before_and_after_stream(self, policy, packets):
+        ex = api.compile(policy, n_nics=2, workers=2, backend="thread")
+        assert ex.health() == {"state": "idle", "ingest": None,
+                               "cluster": None}
+        gen = ex.stream(packets, batch_size=64, deadline_s=30.0)
+        first = next(gen)
+        live = ex.health()
+        assert live["state"] == "running"
+        assert live["ingest"]["deadline_s"] == 30.0
+        assert live["cluster"] is not None
+        assert live["cluster"]["n_workers"] == 2
+        rest = [v for chunk in gen for v in chunk]
+        done = ex.health()
+        assert done["state"] == "drained"
+        assert done["ingest"]["deadline_missed"] == 0
+        assert len(first) + len(rest) == len(ex.run(packets).vectors)
+
+    def test_stream_telemetry_counters(self, policy, packets):
+        from repro.core.telemetry import Telemetry, TelemetryConfig
+        tel = Telemetry(TelemetryConfig(sample_rate=1.0))
+        ex = api.compile(policy, telemetry=tel)
+        for _chunk in ex.stream(packets, batch_size=50):
+            pass
+        snap = tel.registry.snapshot()
+        assert snap["counters"]["ingest.packets"] == len(packets)
+        assert snap["counters"]["ingest.batches"] >= 1
+        assert snap["gauges"]["ingest.queue_depth"] == 0
+
+    def test_second_stream_resets_session(self, policy, packets):
+        ex = api.compile(policy)
+        for _chunk in ex.stream(packets, batch_size=100):
+            pass
+        first = ex.health()["ingest"]
+        for _chunk in ex.stream(packets, batch_size=100):
+            pass
+        second = ex.health()["ingest"]
+        assert first["packets_in"] == second["packets_in"]
+
+
 class TestDeprecationShims:
     def test_superfe_direct_construction_warns(self, policy):
         with pytest.warns(DeprecationWarning, match="repro.api"):

@@ -8,8 +8,12 @@ from repro.core.batch import Batcher
 from repro.core.compiler import PolicyCompiler
 from repro.core.parallel import (
     BACKENDS,
+    DEFAULT_REQUEST_TIMEOUT_S,
     ExecutionConfig,
+    ExecutorError,
     ShardedCluster,
+    WorkerDied,
+    WorkerStalled,
 )
 from repro.core.policy import pktstream
 from repro.net.trace import generate_trace
@@ -68,6 +72,82 @@ class TestExecutionConfig:
         monkeypatch.delenv("SUPERFE_EXEC_WORKERS", raising=False)
         cfg = ExecutionConfig.from_env()
         assert cfg is not None and not cfg.is_parallel
+
+
+class TestSupervisionConfig:
+    def test_supervise_defaults_to_process_backend(self):
+        assert ExecutionConfig(backend="process", workers=2).supervised
+        assert not ExecutionConfig(backend="thread", workers=2).supervised
+        assert not ExecutionConfig().supervised
+
+    def test_supervise_opt_out(self):
+        cfg = ExecutionConfig(backend="process", workers=2,
+                              supervise=False)
+        assert not cfg.supervised
+
+    def test_supervise_requires_process_backend(self):
+        with pytest.raises(ValueError, match="backend='process'"):
+            ExecutionConfig(backend="thread", workers=2, supervise=True)
+
+    def test_robustness_knobs_validated(self):
+        with pytest.raises(ValueError, match="request_timeout_s"):
+            ExecutionConfig(request_timeout_s=0)
+        with pytest.raises(ValueError, match="max_restarts"):
+            ExecutionConfig(max_restarts=0)
+        with pytest.raises(ValueError, match="poison_threshold"):
+            ExecutionConfig(poison_threshold=0)
+
+    def test_resolved_timeout_field_beats_env(self):
+        cfg = ExecutionConfig(request_timeout_s=7.5)
+        assert cfg.resolved_timeout_s(
+            env={"SUPERFE_REQUEST_TIMEOUT_S": "1"}) == 7.5
+
+    def test_resolved_timeout_env_override(self):
+        cfg = ExecutionConfig()
+        assert cfg.resolved_timeout_s(
+            env={"SUPERFE_REQUEST_TIMEOUT_S": "2.5"}) == 2.5
+
+    def test_resolved_timeout_default(self):
+        assert (ExecutionConfig().resolved_timeout_s(env={})
+                == DEFAULT_REQUEST_TIMEOUT_S)
+
+    def test_resolved_timeout_env_rejects_garbage(self):
+        cfg = ExecutionConfig()
+        with pytest.raises(ValueError, match="must be a number"):
+            cfg.resolved_timeout_s(
+                env={"SUPERFE_REQUEST_TIMEOUT_S": "soon"})
+        with pytest.raises(ValueError, match="> 0"):
+            cfg.resolved_timeout_s(
+                env={"SUPERFE_REQUEST_TIMEOUT_S": "-3"})
+
+
+class TestExecutorError:
+    def test_blame_fields(self):
+        exc = ExecutorError("engine exploded", worker=1, shards=(1, 3),
+                            pid=4242, kind="batch", seq=7)
+        assert isinstance(exc, RuntimeError)
+        assert exc.worker == 1
+        assert exc.shards == (1, 3)
+        assert exc.pid == 4242
+        assert exc.kind == "batch"
+        assert exc.seq == 7
+
+    def test_fields_default_none(self):
+        exc = WorkerDied("gone")
+        assert exc.worker is None and exc.seq is None
+        assert isinstance(exc, ExecutorError)
+        assert isinstance(WorkerStalled("late"), ExecutorError)
+
+    def test_no_fork_hint_names_alternatives(self, monkeypatch):
+        import multiprocessing as mp
+
+        def no_fork(method):
+            raise ValueError(f"cannot find context for {method!r}")
+
+        monkeypatch.setattr(mp, "get_context", no_fork)
+        with pytest.raises(ExecutorError,
+                           match="did you mean backend='serial'"):
+            make_cluster(backend="process")
 
 
 class TestBatcher:
@@ -158,3 +238,46 @@ class TestShardedCluster:
         monkeypatch.setattr(mp, "get_context", no_fork)
         with pytest.raises(RuntimeError, match="fork"):
             make_cluster(backend="process")
+
+    def test_close_idempotent(self):
+        cluster = make_cluster()
+        cluster.close()
+        cluster.close()        # second close is a no-op, not an error
+        assert cluster.health()["closed"]
+
+    def test_close_does_not_hang_on_dead_worker(self):
+        """Satellite 1: stop() must bound its join and escalate, so a
+        SIGKILLed (unsupervised) worker cannot hang close()."""
+        import os
+        import signal
+        import time
+
+        compiled = PolicyCompiler().compile(flow_policy())
+        cluster = ShardedCluster(
+            compiled, 2,
+            ExecutionConfig(workers=2, backend="process",
+                            supervise=False))
+        try:
+            victim = cluster._workers[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim._handle.join(timeout=5.0)
+            assert not victim.is_alive()
+        finally:
+            start = time.monotonic()
+            cluster.close()
+            assert time.monotonic() - start < 30.0
+        cluster.close()        # and stays idempotent afterwards
+
+    def test_health_reports_workers_and_supervision(self):
+        cluster = make_cluster(n_nics=3, workers=2)
+        try:
+            health = cluster.health()
+            assert health["backend"] == "thread"
+            assert health["n_workers"] == 2
+            assert [w["worker"] for w in health["workers"]] == [0, 1]
+            assert all(w["alive"] for w in health["workers"])
+            # Thread backend: no supervisor.
+            assert health["supervision"] is None
+        finally:
+            cluster.close()
+        assert not any(w["alive"] for w in cluster.health()["workers"])
