@@ -57,9 +57,10 @@ def main() -> None:
 
     fe = api.compile(policy)
     result = fe.run(generate_trace("CAMPUS", n_flows=200, seed=4))
-    mat = result.to_matrix()
-    print(f"\n{mat.shape[0]} vectors, features: "
-          f"{', '.join(result.feature_names)}")
+    frame = result.frame()
+    mat = frame.to_numpy()
+    print(f"\n{frame.shape[0]} vectors, features: "
+          f"{', '.join(frame.feature_names)}")
     print(f"size range across flows: min={mat[:, 0].min():.0f} "
           f"max={mat[:, 0].max():.0f}")
 

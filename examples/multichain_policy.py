@@ -40,9 +40,9 @@ def main() -> None:
     packets = generate_trace("ENTERPRISE", n_flows=300, seed=9)
     result = fe.run(packets)
     for chain, sub in zip(result.chains, result.results):
-        mat = sub.to_matrix()
-        print(f"\nchain {chain}: {mat.shape[0]} vectors of dim "
-              f"{mat.shape[1]}, switch kept "
+        frame = sub.frame()
+        print(f"\nchain {chain}: {frame.shape[0]} vectors of dim "
+              f"{frame.shape[1]}, switch kept "
               f"{sub.switch_stats.aggregation_ratio_bytes:.1%} of bytes")
 
 

@@ -37,11 +37,11 @@ def main() -> None:
 
     # 3. Compile and run the full pipeline.
     fe = api.compile(policy)
-    result = fe.run(packets)
-    matrix = result.to_matrix()
-    print(f"\nExtracted {len(result)} feature vectors of dimension "
-          f"{matrix.shape[1]}")
-    print("Feature names:", ", ".join(result.feature_names))
+    result = fe.run(api.PacketBatch.from_packets(packets))
+    frame = result.frame()
+    print(f"\nExtracted {len(frame)} feature vectors of dimension "
+          f"{frame.shape[1]}")
+    print("Feature names:", ", ".join(frame.feature_names))
     print(f"Switch batching: {result.switch_stats.aggregation_ratio_bytes:.1%}"
           f" of traffic bytes reach the NIC "
           f"({1 - result.switch_stats.aggregation_ratio_bytes:.1%} saved)")

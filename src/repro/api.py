@@ -27,13 +27,15 @@ import time
 from typing import Iterable, Iterator
 
 from repro.core.parallel import BACKENDS, ExecutionConfig
-from repro.core.pipeline import ExtractionResult, SuperFE
+from repro.core.pipeline import ExtractionResult, FeatureFrame, SuperFE
 from repro.core.policy import Policy
 from repro.core.software import SoftwareExtractor
 from repro.core.telemetry import Telemetry, TelemetryConfig
+from repro.net.packet import PacketBatch
 from repro.nicsim.engine import FeatureVector
 
-__all__ = ["Extractor", "compile", "OVERLOAD_POLICIES"]
+__all__ = ["Extractor", "FeatureFrame", "PacketBatch", "compile",
+           "OVERLOAD_POLICIES"]
 
 #: What ingestion does when the bounded stream queue is full: ``block``
 #: applies backpressure to the source, ``shed`` drops the whole batch,
@@ -200,6 +202,14 @@ class _StreamSession:
 
     def _feed(self, packets: Iterable) -> None:
         try:
+            if isinstance(packets, PacketBatch):
+                # Columnar source: stage array slices, not Packet lists —
+                # each chunk rides the dataplane's batch tier end to end.
+                for lo in range(0, len(packets), self.batch_size):
+                    if self._stop.is_set():
+                        return
+                    self._enqueue(packets[lo:lo + self.batch_size])
+                return
             chunk: list = []
             for pkt in packets:
                 if self._stop.is_set():
@@ -389,7 +399,12 @@ class Extractor:
     # -- execution ---------------------------------------------------------
 
     def run(self, trace) -> ExtractionResult:
-        """Extract feature vectors from a packet trace, one shot."""
+        """Extract feature vectors from a packet trace, one shot.
+
+        ``trace`` is an iterable of :class:`~repro.net.packet.Packet`
+        or a :class:`~repro.net.packet.PacketBatch` — the batch form
+        runs the columnar dataplane tier (same vectors, bit for bit;
+        see ``ExtractionResult.frame()`` for the typed output)."""
         return self._impl.run(trace)
 
     def stream(self, packets: Iterable,
@@ -400,9 +415,11 @@ class Extractor:
                degrade_stride: int = 8) -> Iterator[list[FeatureVector]]:
         """Incrementally extract from a packet source.
 
-        Ingestion is bounded: a feeder thread chunks ``packets`` into
-        ``batch_size`` batches and stages at most ``queue_batches`` of
-        them; the generator you iterate drains the queue through a live
+        Ingestion is bounded: a feeder thread chunks ``packets`` (an
+        iterable of Packets, or a
+        :class:`~repro.net.packet.PacketBatch`, which is staged as
+        columnar slices) into ``batch_size`` batches and stages at most
+        ``queue_batches`` of them; the generator you iterate drains the queue through a live
         dataplane, yielding the vectors each chunk completed
         (per-packet policies emit as they go; per-group policies emit
         everything in the final flush).  When the queue is full the

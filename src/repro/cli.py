@@ -142,15 +142,31 @@ def _cmd_extract(args) -> int:
             policy, n_nics=args.nics, fault_plan=fault_plan,
             workers=args.workers if args.workers > 1 else None,
             backend=args.exec_backend, telemetry=telemetry)
+    # The hardware path takes the columnar tier; the software baseline
+    # stays per-record (it is the unbatched oracle by definition).
+    trace = (packets if args.software
+             else api.PacketBatch.from_packets(packets))
     try:
-        result = extractor.run(packets)
+        result = extractor.run(trace)
     except FaultPlanError as exc:
         print(f"bad fault plan: {exc}", file=sys.stderr)
         return 2
 
+    try:
+        frame = result.frame()
+    except ValueError:
+        frame = None       # data-dependent widths: write row by row
     with open(args.out, "w", newline="") as fh:
         writer = csv.writer(fh)
-        if result.vectors:
+        if frame is not None and len(frame):
+            key_width = len(frame.keys[0])
+            writer.writerow(
+                [f"key{i}" for i in range(key_width)]
+                + [f"f{i}" for i in range(frame.shape[1])])
+            for key, row in zip(frame.keys, frame.matrix):
+                writer.writerow(_key_columns(tuple(key))
+                                + [f"{v:.6g}" for v in row])
+        elif result.vectors:
             key_width = len(result.vectors[0].key)
             dim = len(result.vectors[0].values)
             writer.writerow(
@@ -339,6 +355,8 @@ def _cmd_bench_hotpath(args) -> int:
     print(f"checksum {marker} reference oracle; "
           f"{record['speedup_vs_baseline']:.2f}x vs "
           f"{record['baseline_pps']:,.1f} pps pre-optimization baseline")
+    print(f"columnar batch tier: {record['columnar_speedup']:.2f}x "
+          f"over per-packet serial")
     print(f"wrote {args.out} (cpu_count={record['cpu_count']})")
     if not record["equivalent"]:
         print("FAIL: optimized vectors diverge from the reference "
@@ -352,17 +370,21 @@ def _cmd_bench_hotpath(args) -> int:
             print(f"no committed record at {args.check_against}; "
                   f"skipping regression gate")
             return 0
-        floor = committed["stages"]["end_to_end"]["pps"] * (
-            1.0 - args.max_regression)
-        measured = record["stages"]["end_to_end"]["pps"]
-        if measured < floor:
-            print(f"FAIL: serial end-to-end {measured:,.0f} pps is "
-                  f">{args.max_regression:.0%} below the committed "
-                  f"{committed['stages']['end_to_end']['pps']:,.0f} pps",
-                  file=sys.stderr)
-            return 1
-        print(f"regression gate passed: {measured:,.0f} pps >= "
-              f"{floor:,.0f} pps floor")
+        gated = [("serial end-to-end", "end_to_end")]
+        if "end_to_end_batch" in committed.get("stages", {}):
+            gated.append(("columnar end-to-end", "end_to_end_batch"))
+        for label, stage in gated:
+            floor = committed["stages"][stage]["pps"] * (
+                1.0 - args.max_regression)
+            measured = record["stages"][stage]["pps"]
+            if measured < floor:
+                print(f"FAIL: {label} {measured:,.0f} pps is "
+                      f">{args.max_regression:.0%} below the committed "
+                      f"{committed['stages'][stage]['pps']:,.0f} pps",
+                      file=sys.stderr)
+                return 1
+            print(f"regression gate passed: {label} {measured:,.0f} "
+                  f"pps >= {floor:,.0f} pps floor")
     if args.telemetry_gate is not None:
         overhead = run_overhead(n_flows=args.flows, n_nics=args.nics,
                                 trace_profile=args.trace,

@@ -43,7 +43,7 @@ from repro.core.telemetry import (
     Telemetry,
     merge_snapshots,
 )
-from repro.net.packet import Packet, compile_field_accessor
+from repro.net.packet import Packet, PacketBatch, compile_field_accessor
 from repro.nicsim.engine import FeatureEngine, FeatureVector
 from repro.nicsim.loadbalance import NICCluster
 from repro.nicsim.placement import PlacementResult
@@ -303,6 +303,18 @@ class SwitchNICLink:
             return self._transmit()
         return ()
 
+    def consume_batch(self, events) -> list:
+        """Carry a whole event slice across the channel, returning every
+        delivered event in order (the dataplane batch tier's one call per
+        slice; accounting is per event, exactly as :meth:`consume`)."""
+        consume = self.consume
+        delivered: list = []
+        for event in events:
+            out = consume(event)
+            if out:
+                delivered.extend(out)
+        return delivered
+
     def flush(self) -> tuple:
         return self._transmit()
 
@@ -554,6 +566,10 @@ class EngineSink:
         self.engine.consume(event)
         return ()
 
+    def consume_batch(self, events) -> tuple:
+        self.engine.consume_batch(events)
+        return ()
+
     def flush(self) -> tuple:
         return ()
 
@@ -588,6 +604,10 @@ class ClusterSink:
 
     def consume(self, event) -> tuple:
         self.cluster.consume(event)
+        return ()
+
+    def consume_batch(self, events) -> tuple:
+        self.cluster.consume_batch(events)
         return ()
 
     def flush(self) -> tuple:
@@ -628,6 +648,11 @@ class NullSink:
         else:
             self.records += 1
             self.cells += len(event.cells)
+        return ()
+
+    def consume_batch(self, events) -> tuple:
+        for event in events:
+            self.consume(event)
         return ()
 
     def flush(self) -> tuple:
@@ -824,13 +849,17 @@ class Dataplane:
         per-packet vectors the batch produced (empty for per-group
         policies, which emit at :meth:`snapshot` / :meth:`flush`).
 
-        Three tiers: the generic traced fan-out (``trace=`` hook), the
-        span-sampling loop (telemetry attached with an active tracer),
-        and the PR-4 inlined hot loop — which also serves telemetry in
-        its unsampled mode, paying only one batch-level counter update
-        (the <3% overhead budget the ``telemetry-overhead`` CI job
-        enforces).
+        Four tiers: the columnar fast path (a
+        :class:`~repro.net.packet.PacketBatch` input with every stage
+        batch-capable), the generic traced fan-out (``trace=`` hook),
+        the span-sampling loop (telemetry attached with an active
+        tracer), and the PR-4 inlined hot loop — which also serves
+        telemetry in its unsampled mode, paying only one batch-level
+        counter update (the <3% overhead budget the
+        ``telemetry-overhead`` CI job enforces).
         """
+        if isinstance(packets, PacketBatch):
+            return self._process_packet_batch(packets)
         tel = self.telemetry
         if self.trace is not None:
             # Observability path: the generic fan-out traces every event
@@ -872,6 +901,42 @@ class Dataplane:
                 self._t_batches.inc()
         # Keep the NIC clock moving even for policies whose cells carry
         # no timestamp (idle eviction relies on it).
+        self.sink.advance_clock(self.switch.now_ns)
+        if self.compiled.collect_unit == "pkt":
+            return self.sink.take_packet_vectors()
+        return []
+
+    def _process_packet_batch(self, batch: PacketBatch
+                              ) -> list[FeatureVector]:
+        """The columnar tier: vectorized admission mask, one
+        :meth:`MGPVCache.insert_batch` call, and batched link/sink
+        delivery.  Falls back to the per-packet tiers (iterating the
+        batch) whenever an observer or stage needs per-packet hooks —
+        an event trace, a chaos schedule, span sampling, a switch
+        without a batch insert, or a non-vectorizable filter rule.  The
+        fallback and the fast path produce identical events, counters
+        and vectors; only the call shape differs.
+        """
+        tel = self.telemetry
+        insert_batch = getattr(self.switch, "insert_batch", None)
+        if (self.trace is not None or self.faults is not None
+                or insert_batch is None
+                or (tel is not None and tel.tracer.active)):
+            return self.process(iter(batch))
+        mask = self.filter.admit_batch(batch)
+        if mask is None:
+            return self.process(iter(batch))
+        n = len(batch)
+        self._pkt_index += n
+        admitted = batch if mask.all() else batch.compress(mask)
+        if len(admitted):
+            events = insert_batch(admitted)
+            delivered = self.link.consume_batch(events)
+            if delivered:
+                self.sink.consume_batch(delivered)
+        if tel is not None:
+            self._t_packets.inc(n)
+            self._t_batches.inc()
         self.sink.advance_clock(self.switch.now_ns)
         if self.compiled.collect_unit == "pkt":
             return self.sink.take_packet_vectors()
@@ -930,6 +995,28 @@ class Dataplane:
         span = (self.telemetry.tracer.span("pipeline.flush")
                 if self.telemetry is not None else nullcontext())
         with span:
+            if self.trace is None:
+                # Batched drain: each stage's flush output crosses the
+                # remaining stages as one slice per hop (the link and
+                # sinks expose consume_batch), instead of one full
+                # _push walk per event.  Event order — and therefore
+                # every downstream state transition — matches the
+                # per-event walk, because each stage preserves order.
+                for i, stage in enumerate(self.stages):
+                    frontier = list(stage.flush())
+                    for nxt in self.stages[i + 1:]:
+                        if not frontier:
+                            break
+                        batch_consume = getattr(nxt, "consume_batch",
+                                                None)
+                        if batch_consume is not None:
+                            frontier = list(batch_consume(frontier))
+                        else:
+                            produced: list = []
+                            for event in frontier:
+                                produced.extend(nxt.consume(event))
+                            frontier = produced
+                return self.sink.finalize()
             for i, stage in enumerate(self.stages):
                 for event in stage.flush():
                     self._push(event, i + 1)

@@ -1,0 +1,32 @@
+"""Warn-once deprecation plumbing for the pre-``repro.api`` facades.
+
+``SuperFE`` / ``SoftwareExtractor`` / ``SuperFERuntime`` predate the
+:func:`repro.api.compile` entry point and stay constructible as shims.
+Each warns on direct construction — but only once per class per process:
+repeated constructions are almost always one un-migrated call site in a
+loop, and a warning per instance drowns the signal it is supposed to
+carry.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+_WARNED: set[str] = set()
+
+
+def warn_direct_construction(cls_name: str) -> None:
+    """Emit the direct-construction :class:`DeprecationWarning` for
+    ``cls_name`` unless it already fired in this process."""
+    if cls_name in _WARNED:
+        return
+    _WARNED.add(cls_name)
+    warnings.warn(
+        f"Direct construction of {cls_name} is deprecated; use "
+        f"repro.api.compile(policy, ...) instead",
+        DeprecationWarning, stacklevel=3)
+
+
+def reset_warned() -> None:
+    """Forget which classes have warned (test isolation)."""
+    _WARNED.clear()

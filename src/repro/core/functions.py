@@ -272,17 +272,45 @@ class _FSum(_ScalarReduce):
     def update(self, value, member) -> None:
         self.value = value if self.value is None else self.value + value
 
+    def update_many(self, values, directions=None) -> None:
+        # builtins.sum is a strict left fold, so this is bit-identical
+        # to the per-value loop for ints (associative anyway) and floats
+        # (same IEEE addition order).  Seeding with values[0] rather than
+        # 0 preserves the first update's "assign, don't add" semantics.
+        if not values:
+            return
+        if self.value is None:
+            self.value = (sum(values[1:], values[0]) if len(values) > 1
+                          else values[0])
+        else:
+            self.value = sum(values, self.value)
+
 
 class _FMax(_ScalarReduce):
     __slots__ = ()
     def update(self, value, member) -> None:
         self.value = value if self.value is None else max(self.value, value)
 
+    def update_many(self, values, directions=None) -> None:
+        # max() keeps the earliest maximal element, exactly like the
+        # sequential fold (ties — including the -0.0/0.0 float tie —
+        # resolve to the same object either way).
+        if not values:
+            return
+        best = max(values)
+        self.value = best if self.value is None else max(self.value, best)
+
 
 class _FMin(_ScalarReduce):
     __slots__ = ()
     def update(self, value, member) -> None:
         self.value = value if self.value is None else min(self.value, value)
+
+    def update_many(self, values, directions=None) -> None:
+        if not values:
+            return
+        best = min(values)
+        self.value = best if self.value is None else min(self.value, best)
 
 
 class _WelfordReduce:
@@ -300,6 +328,9 @@ class _WelfordReduce:
 
     def update(self, value, member) -> None:
         self._w.update(value)
+
+    def update_many(self, values, directions=None) -> None:
+        self._w.update_many(values)
 
 
 class _FMean(_WelfordReduce):
@@ -330,6 +361,11 @@ class _MomentsReduce:
     def update(self, value, member) -> None:
         self._m.update(value)
 
+    def update_many(self, values, directions=None) -> None:
+        update = self._m.update
+        for value in values:
+            update(value)
+
 
 class _FSkew(_MomentsReduce):
     __slots__ = ()
@@ -358,6 +394,11 @@ class _BidirReduce:
 
     def update(self, value, member) -> None:
         self._b.update(value, member.get("direction"))
+
+    def update_many(self, values, directions=None) -> None:
+        update = self._b.update
+        for value, direction in zip(values, directions):
+            update(value, direction)
 
 
 class _FMag(_BidirReduce):
@@ -396,6 +437,11 @@ class _FCard:
     def update(self, value, member) -> None:
         self._hll.update(value)
 
+    def update_many(self, values, directions=None) -> None:
+        update = self._hll.update
+        for value in values:
+            update(value)
+
     def finalize(self) -> float:
         return self._hll.estimate()
 
@@ -419,6 +465,9 @@ class _FArray:
     def update(self, value, member) -> None:
         self.values.append(value)
 
+    def update_many(self, values, directions=None) -> None:
+        self.values.extend(values)
+
     def finalize(self) -> np.ndarray:
         return np.asarray(self.values, dtype=np.float64)
 
@@ -435,6 +484,11 @@ class _HistReduce:
 
     def update(self, value, member) -> None:
         self._h.update(value)
+
+    def update_many(self, values, directions=None) -> None:
+        update = self._h.update
+        for value in values:
+            update(value)
 
 
 class _FtHist(_HistReduce):
@@ -620,6 +674,137 @@ def reducer_share_plan(reducers) -> tuple:
         else:
             plan.append((i, leader, attr))
     return tuple(plan)
+
+
+# --------------------------------------------------------------------------
+# Columnar kernels — batch twins of the builtin map/reduce functions for
+# the vectorized engine path (:meth:`FeatureEngine.consume_batch`).  Every
+# kernel replicates its scalar function's arithmetic and None-emission
+# semantics exactly; the engine's equivalence gate depends on it.  All
+# tables are exact-type keyed so user registrations (including subclasses
+# that override ``update``/``apply``) never take the columnar path.
+# --------------------------------------------------------------------------
+
+def _map_one_batch(fn, src, ts, dirs, n):
+    return [1] * n
+
+
+def _map_identity_batch(fn, src, ts, dirs, n):
+    return src
+
+
+def _map_direction_batch(fn, src, ts, dirs, n):
+    return [v * d for v, d in zip(src, dirs)]
+
+
+def _map_ipt_batch(fn, src, ts, dirs, n):
+    prev = fn._prev
+    out = []
+    append = out.append
+    for tstamp in ts:
+        append(None if prev is None else tstamp - prev)
+        prev = tstamp
+    fn._prev = prev
+    return out
+
+
+def _map_speed_batch(fn, src, ts, dirs, n):
+    prev = fn._prev
+    out = []
+    append = out.append
+    for value, tstamp in zip(src, ts):
+        if prev is None or tstamp <= prev:
+            append(None)
+        else:
+            append(value / ((tstamp - prev) / 1e9))
+        prev = tstamp
+    fn._prev = prev
+    return out
+
+
+def _map_burst_batch(fn, src, ts, dirs, n):
+    prev_dir = fn._prev_dir
+    burst = fn._burst
+    out = []
+    append = out.append
+    for direction in dirs:
+        if prev_dir is not None and direction != prev_dir:
+            burst += 1
+        prev_dir = direction
+        append(burst)
+    fn._prev_dir = prev_dir
+    fn._burst = burst
+    return out
+
+
+#: map class -> kernel(fn, src_values, tstamps, directions, n) returning
+#: the mapped-value list (None marks "no emission", as in apply()).
+_COLUMNAR_MAP_KERNELS: dict[type, object] = {
+    _FOne: _map_one_batch,
+    _FIdentity: _map_identity_batch,
+    _FDirection: _map_direction_batch,
+    _FIpt: _map_ipt_batch,
+    _FSpeed: _map_speed_batch,
+    _FBurst: _map_burst_batch,
+}
+
+#: Map classes whose kernel reads the source-value column.
+_MAP_NEEDS_SRC: frozenset = frozenset((_FIdentity, _FDirection, _FSpeed))
+
+#: Map classes whose kernel reads the timestamp / direction columns.
+_MAP_NEEDS_TS: frozenset = frozenset((_FIpt, _FSpeed))
+_MAP_NEEDS_DIR: frozenset = frozenset((_FDirection, _FBurst))
+
+#: Reducer classes with an exact batch path (update_many).
+_COLUMNAR_REDUCERS: frozenset = frozenset((
+    _FSum, _FMax, _FMin, _FMean, _FVar, _FStd, _FSkew, _FKur,
+    _FMag, _FRadius, _FCov, _FPcc, _FCard, _FArray,
+    _FtHist, _FPdf, _FCdf, _FtPercent))
+
+#: Reducer classes whose update reads the member's direction.
+_DIRECTION_REDUCERS: frozenset = frozenset((_FMag, _FRadius, _FCov, _FPcc))
+
+
+#: Map classes that can emit None ("no value for this member"); every
+#: other builtin emits a value for every member.
+_MAP_MAYBE_NONE: frozenset = frozenset((_FIpt, _FSpeed))
+
+
+def factory_class(factory):
+    """The concrete function class a resolved factory instantiates, or
+    None for opaque (user-registered) factories.  ``make_*_factory``
+    returns the class itself for zero-arg builtins and a ctx-bound
+    partial for the Welford family; anything else is opaque."""
+    if isinstance(factory, type):
+        return factory
+    if isinstance(factory, partial) and isinstance(factory.func, type):
+        return factory.func
+    return None
+
+
+def columnar_map_kernel_for(cls):
+    """The batch kernel for a map class, or None (no exact twin)."""
+    return _COLUMNAR_MAP_KERNELS.get(cls)
+
+
+def map_class_needs(cls) -> tuple[bool, bool, bool]:
+    """(needs_src, needs_tstamp, needs_direction) for a map class."""
+    return (cls in _MAP_NEEDS_SRC, cls in _MAP_NEEDS_TS,
+            cls in _MAP_NEEDS_DIR)
+
+
+def map_class_maybe_none(cls) -> bool:
+    """True when the class's apply() can return None mid-group."""
+    return cls in _MAP_MAYBE_NONE
+
+
+def columnar_reduce_class_ok(cls) -> bool:
+    """True when the reducer class has an exact batch update path."""
+    return cls in _COLUMNAR_REDUCERS
+
+
+def reduce_class_needs_directions(cls) -> bool:
+    return cls in _DIRECTION_REDUCERS
 
 
 # --------------------------------------------------------------------------

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 import networkx as nx
+import numpy as np
 
 from repro.net.packet import Packet
 
@@ -47,6 +48,11 @@ class Granularity:
     packet_key: Callable[[Packet], tuple]
     project: Callable[[tuple], tuple]
     records_direction: bool = True
+    #: Optional columnar twin of ``packet_key``: maps a PacketBatch to the
+    #: list of per-packet key tuples (plain Python ints, identical to
+    #: calling ``packet_key`` row by row).  None → the batch dataplane
+    #: falls back to per-packet keying for this granularity.
+    batch_key: Callable | None = None
 
     #: bytes needed to store one key of this granularity on the switch
     @property
@@ -81,27 +87,62 @@ def _flow_key(pkt: Packet) -> tuple:
     return (dst_ip, src_ip, dst_port, src_port, pkt.proto)
 
 
+def _host_key_batch(batch) -> list[tuple]:
+    return [(ip,) for ip in batch.column("src_ip").tolist()]
+
+
+def _channel_key_batch(batch) -> list[tuple]:
+    return list(zip(*batch.column_lists(("src_ip", "dst_ip"))))
+
+
+def _socket_key_batch(batch) -> list[tuple]:
+    return list(zip(*batch.column_lists(
+        ("src_ip", "dst_ip", "src_port", "dst_port", "proto"))))
+
+
+def _flow_key_batch(batch) -> list[tuple]:
+    # The canonicalization branch of `_flow_key` as a where-swap: a row
+    # swaps endpoints exactly when (src_ip, src_port) > (dst_ip, dst_port)
+    # lexicographically.
+    src_ip = batch.column("src_ip")
+    dst_ip = batch.column("dst_ip")
+    src_port = batch.column("src_port")
+    dst_port = batch.column("dst_port")
+    swap = (src_ip > dst_ip) | ((src_ip == dst_ip) & (src_port > dst_port))
+    return list(zip(
+        np.where(swap, dst_ip, src_ip).tolist(),
+        np.where(swap, src_ip, dst_ip).tolist(),
+        np.where(swap, dst_port, src_port).tolist(),
+        np.where(swap, src_port, dst_port).tolist(),
+        batch.column("proto").tolist(),
+    ))
+
+
 #: Directed chain: host > channel > socket.  Projections take a socket key
 #: (the FG key of the chain) down to the coarser key.
 HOST = Granularity(
     name="host", chain="directed", level=0, key_fields=("src_ip",),
     packet_key=_host_key, project=lambda k: (k[0],),
+    batch_key=_host_key_batch,
 )
 CHANNEL = Granularity(
     name="channel", chain="directed", level=1,
     key_fields=("src_ip", "dst_ip"),
     packet_key=_channel_key, project=lambda k: (k[0], k[1]),
+    batch_key=_channel_key_batch,
 )
 SOCKET = Granularity(
     name="socket", chain="directed", level=2,
     key_fields=("src_ip", "dst_ip", "src_port", "dst_port", "proto"),
     packet_key=_socket_key, project=lambda k: k,
+    batch_key=_socket_key_batch,
 )
 #: Bidirectional flow: its own chain; FG == CG.
 FLOW = Granularity(
     name="flow", chain="bidir", level=0,
     key_fields=("src_ip", "dst_ip", "src_port", "dst_port", "proto"),
     packet_key=_flow_key, project=lambda k: k,
+    batch_key=_flow_key_batch,
 )
 
 GRANULARITIES: dict[str, Granularity] = {

@@ -261,12 +261,20 @@ class _ShardDriver:
                 # queue as positional tuples instead of pickled
                 # dataclass instances, and are rebuilt here.  Tag 0 =
                 # MGPVRecord row (shard, 0, cg_key, cg_hash32, cells,
-                # reason); tag 1 = FGSync row (shard, 1, index, key).
+                # reason); tag 1 = FGSync row (shard, 1, index, key);
+                # tag 2 = columnar MGPVRecord block (shard, 2, cg_key,
+                # cg_hash32, fg_col, meta_cols, reason) — the cells
+                # transposed into one fg-index column plus per-field
+                # metadata columns, rebuilt by the engine.
                 engines = self.engines
                 for row in msg[2]:
-                    if row[1] == 0:
+                    tag = row[1]
+                    if tag == 0:
                         engines[row[0]].consume(
                             MGPVRecord(row[2], row[3], row[4], row[5]))
+                    elif tag == 2:
+                        engines[row[0]].consume_block(
+                            row[2], row[3], row[4], row[5], row[6])
                     else:
                         engines[row[0]].consume(FGSync(row[2], row[3]))
             if slow > 1.0:
@@ -967,9 +975,18 @@ class ShardedCluster:
                    if self._compact else (shard, event))
         elif isinstance(event, MGPVRecord):
             shard = self._route(event.cg_key, event.cg_hash32)
-            row = ((shard, 0, event.cg_key, event.cg_hash32,
-                    event.cells, event.reason)
-                   if self._compact else (shard, event))
+            if not self._compact:
+                row = (shard, event)
+            elif len(event.cells) > 1:
+                # Columnar wire block: transpose the cells once here so
+                # the row pickles as flat int columns (tag 2).
+                fg_col = tuple(cell[0] for cell in event.cells)
+                meta_cols = tuple(zip(*(cell[1] for cell in event.cells)))
+                row = (shard, 2, event.cg_key, event.cg_hash32,
+                       fg_col, meta_cols, event.reason)
+            else:
+                row = (shard, 0, event.cg_key, event.cg_hash32,
+                       event.cells, event.reason)
         else:
             raise TypeError(f"unknown event {event!r}")
         worker = self._owner[shard]
@@ -1423,6 +1440,12 @@ class ParallelSink:
 
     def consume(self, event) -> tuple:
         self.cluster.consume(event)
+        return ()
+
+    def consume_batch(self, events) -> tuple:
+        consume = self.cluster.consume
+        for event in events:
+            consume(event)
         return ()
 
     def flush(self) -> tuple:

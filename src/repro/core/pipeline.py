@@ -21,13 +21,13 @@ single engine.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.compiler import CompiledPolicy, PolicyCompiler
 from repro.core.dataplane import Dataplane, LinkConfig
+from repro.core.deprecation import warn_direct_construction
 from repro.core.functions import ExecContext
 from repro.core.parallel import ExecutionConfig
 from repro.core.policy import Policy
@@ -38,6 +38,46 @@ from repro.nicsim.placement import (
     solve_ilp,
 )
 from repro.switchsim.mgpv import CacheStats, MGPVConfig
+
+
+@dataclass(frozen=True)
+class FeatureFrame:
+    """The typed tabular view of an extraction run: one row per emitted
+    vector, aligned across ``matrix`` (the (n, d) float matrix),
+    ``feature_names`` (the d column labels), ``keys`` (the n group/flow
+    keys) and ``degraded`` (the n-length fault mask — True rows lost
+    granularity or state to an injected fault and carry bounded error).
+
+    This is the ML-facing output shape: the matrix feeds a model as-is,
+    the keys join predictions back to flows, the mask filters or weighs
+    fault-degraded rows.  Built by :meth:`ExtractionResult.frame`.
+    """
+
+    matrix: np.ndarray
+    feature_names: tuple[str, ...]
+    keys: tuple[tuple, ...]
+    degraded: np.ndarray
+
+    def __len__(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.matrix.shape
+
+    def to_numpy(self) -> np.ndarray:
+        """The feature matrix (the frame's own array, not a copy)."""
+        return self.matrix
+
+    def to_dict(self) -> dict:
+        """Column-oriented plain-python export: feature name -> value
+        list, plus ``"key"`` and ``"degraded"`` columns (a shape any
+        dataframe library ingests directly)."""
+        out: dict = {"key": list(self.keys)}
+        for j, name in enumerate(self.feature_names):
+            out[name] = self.matrix[:, j].tolist()
+        out["degraded"] = self.degraded.tolist()
+        return out
 
 
 @dataclass
@@ -54,19 +94,47 @@ class ExtractionResult:
     def __len__(self) -> int:
         return len(self.vectors)
 
-    def to_matrix(self) -> np.ndarray:
-        """Stack the vectors into an (n, d) matrix; raises when vectors
-        have data-dependent (unequal) widths."""
+    def frame(self) -> FeatureFrame:
+        """The typed :class:`FeatureFrame` over these vectors; raises
+        when vectors have data-dependent (unequal) widths."""
         if not self.vectors:
             # Keep the feature dimension so empty results compose with
             # detector code expecting (n, d) input.
-            return np.empty((0, len(self.feature_names)))
+            return FeatureFrame(
+                matrix=np.empty((0, len(self.feature_names))),
+                feature_names=tuple(self.feature_names),
+                keys=(),
+                degraded=np.empty(0, dtype=bool))
         widths = {len(v.values) for v in self.vectors}
         if len(widths) > 1:
             raise ValueError(
                 f"vectors have varying widths {sorted(widths)}; bound "
                 f"array features with synthesize(ft_sample{{n}})")
-        return np.vstack([v.values for v in self.vectors])
+        matrix = np.vstack([v.values for v in self.vectors])
+        names = tuple(self.feature_names)
+        v0 = self.vectors[0]
+        if v0.widths is not None:
+            # Array-valued features span several columns; label each
+            # slot so names stay aligned with the matrix (and to_dict
+            # exports every column, not one per feature).
+            labels: list[str] = []
+            for name, width in zip(v0.names, v0.widths):
+                if width == 1:
+                    labels.append(name)
+                else:
+                    labels.extend(f"{name}[{i}]" for i in range(width))
+            if len(labels) == matrix.shape[1]:
+                names = tuple(labels)
+        return FeatureFrame(
+            matrix=matrix,
+            feature_names=names,
+            keys=tuple(v.key for v in self.vectors),
+            degraded=np.fromiter((v.degraded for v in self.vectors),
+                                 dtype=bool, count=len(self.vectors)))
+
+    def to_matrix(self) -> np.ndarray:
+        """Compat wrapper: the bare matrix of :meth:`frame`."""
+        return self.frame().matrix
 
     def by_key(self) -> dict:
         return {v.key: v.values for v in self.vectors}
@@ -88,10 +156,7 @@ class SuperFE:
                  telemetry=None,
                  _internal: bool = False) -> None:
         if not _internal:
-            warnings.warn(
-                "Direct construction of SuperFE is deprecated; use "
-                "repro.api.compile(policy, ...) instead",
-                DeprecationWarning, stacklevel=2)
+            warn_direct_construction("SuperFE")
         self.policy = policy
         self.compiled = PolicyCompiler().compile(policy)
         self.mgpv_config = self.compiled.sized_mgpv_config(mgpv_config)

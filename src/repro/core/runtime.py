@@ -25,10 +25,10 @@ the runtime only adds the control-plane verbs around it.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, replace as dc_replace
 
 from repro.core.compiler import PolicyCompiler, PolicyError
+from repro.core.deprecation import warn_direct_construction
 from repro.core.dataplane import Dataplane, LinkConfig
 from repro.core.functions import ExecContext
 from repro.core.observe import DeltaPoller
@@ -74,10 +74,7 @@ class SuperFERuntime:
                  execution=None,
                  _internal: bool = False) -> None:
         if not _internal:
-            warnings.warn(
-                "Direct construction of SuperFERuntime is deprecated; "
-                "use repro.api.compile(policy, ...).deploy() instead",
-                DeprecationWarning, stacklevel=2)
+            warn_direct_construction("SuperFERuntime")
         self._division_free = division_free
         self._table_indices = table_indices
         self._table_width = table_width

@@ -14,9 +14,8 @@ the hardware path is tested against.
 
 from __future__ import annotations
 
-import warnings
-
 from repro.core.compiler import PolicyCompiler
+from repro.core.deprecation import warn_direct_construction
 from repro.core.dataplane import Dataplane
 from repro.core.functions import ExecContext
 from repro.core.pipeline import ExtractionResult
@@ -31,10 +30,7 @@ class SoftwareExtractor:
                  telemetry=None,
                  _internal: bool = False) -> None:
         if not _internal:
-            warnings.warn(
-                "Direct construction of SoftwareExtractor is deprecated;"
-                " use repro.api.compile(policy, software=True) instead",
-                DeprecationWarning, stacklevel=2)
+            warn_direct_construction("SoftwareExtractor")
         self.policy = policy
         self.compiled = PolicyCompiler().compile(policy)
         self.ctx = ExecContext(division_free=division_free)

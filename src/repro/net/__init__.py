@@ -1,8 +1,11 @@
-"""Packet substrate: packet/tuple abstraction, synthetic traces, scenario
-generators, a minimal pcap codec, and a replay/amplification model."""
+"""Packet substrate: packet/tuple abstraction, columnar packet batches,
+synthetic traces, scenario generators, a minimal pcap codec, and a
+replay/amplification model."""
 
 from repro.net.packet import (
     Packet,
+    PacketBatch,
+    PACKET_DTYPE,
     FiveTuple,
     PROTO_TCP,
     PROTO_UDP,
@@ -13,6 +16,8 @@ from repro.net.packet import (
 
 __all__ = [
     "Packet",
+    "PacketBatch",
+    "PACKET_DTYPE",
     "FiveTuple",
     "PROTO_TCP",
     "PROTO_UDP",

@@ -17,6 +17,8 @@ import operator
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterator
 
+import numpy as np
+
 PROTO_ICMP = 1
 PROTO_TCP = 6
 PROTO_UDP = 17
@@ -184,3 +186,155 @@ def compile_field_accessor(fields: tuple[str, ...]
 def sort_by_time(packets: Iterator[Packet]) -> list[Packet]:
     """Return packets sorted by arrival timestamp (stable)."""
     return sorted(packets, key=lambda p: p.tstamp)
+
+
+#: Columnar packet layout: one structured-array row per packet, fields in
+#: :class:`Packet` declaration order.  Integer widths match the wire
+#: format (32-bit addresses, 16-bit ports, 8-bit proto/flags); ``tstamp``
+#: and ``size`` are int64 so nanosecond clocks and jumbo sizes round-trip
+#: exactly.  ``.tolist()`` of any column yields plain Python ints equal to
+#: the original :class:`Packet` attributes — the property the columnar
+#: dataplane's bit-identical equivalence gate rests on.
+PACKET_DTYPE = np.dtype([
+    ("tstamp", np.int64),
+    ("size", np.int64),
+    ("src_ip", np.uint32),
+    ("dst_ip", np.uint32),
+    ("src_port", np.uint16),
+    ("dst_port", np.uint16),
+    ("proto", np.uint8),
+    ("tcp_flags", np.uint8),
+    ("direction", np.int8),
+])
+
+_PACKET_FIELDS = tuple(PACKET_DTYPE.names)
+
+_ROW_GETTER = operator.attrgetter(*_PACKET_FIELDS)
+
+
+class PacketBatch:
+    """A columnar batch of packets — the array form of ``list[Packet]``.
+
+    Backed by one numpy structured array (:data:`PACKET_DTYPE`).  The
+    batch is the unit the vectorized dataplane ingests: filters evaluate
+    one boolean mask per predicate, the switch computes group keys and
+    hashes over whole columns, and the per-packet object layer is never
+    materialized on the fast path.  Iteration and integer indexing
+    materialize :class:`Packet` objects on demand, so every per-packet
+    fallback path (chaos stages, tracing, custom filters) accepts a
+    batch transparently.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: np.ndarray) -> None:
+        if data.dtype != PACKET_DTYPE:
+            raise ValueError(
+                f"PacketBatch needs a PACKET_DTYPE structured array, got "
+                f"dtype {data.dtype!r}")
+        self._data = data
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_packets(cls, packets) -> "PacketBatch":
+        """Build a batch from any iterable of :class:`Packet`."""
+        rows = [_ROW_GETTER(p) for p in packets]
+        data = (np.array(rows, dtype=PACKET_DTYPE) if rows
+                else np.empty(0, dtype=PACKET_DTYPE))
+        return cls(data)
+
+    @classmethod
+    def from_arrays(cls, tstamp, size, src_ip, dst_ip,
+                    src_port=0, dst_port=0, proto=PROTO_TCP,
+                    tcp_flags=0, direction=DIR_EGRESS) -> "PacketBatch":
+        """Build a batch from per-field arrays (or scalars, which
+        broadcast).  Validates the same invariants as :class:`Packet`
+        (non-negative sizes, ±1 directions) plus the wire-format value
+        ranges the fixed-width columns require."""
+        tstamp = np.asarray(tstamp, dtype=np.int64)
+        if tstamp.ndim != 1:
+            raise ValueError("tstamp must be a 1-d array")
+        n = len(tstamp)
+        data = np.empty(n, dtype=PACKET_DTYPE)
+        data["tstamp"] = tstamp
+        columns = (("size", size, 0, None),
+                   ("src_ip", src_ip, 0, 0xFFFFFFFF),
+                   ("dst_ip", dst_ip, 0, 0xFFFFFFFF),
+                   ("src_port", src_port, 0, 0xFFFF),
+                   ("dst_port", dst_port, 0, 0xFFFF),
+                   ("proto", proto, 0, 0xFF),
+                   ("tcp_flags", tcp_flags, 0, 0xFF))
+        for name, values, lo, hi in columns:
+            arr = np.asarray(values, dtype=np.int64)
+            if arr.ndim == 0:
+                arr = np.broadcast_to(arr, (n,))
+            elif len(arr) != n:
+                raise ValueError(
+                    f"{name} has {len(arr)} rows, expected {n}")
+            if len(arr) and (arr.min() < lo
+                             or (hi is not None and arr.max() > hi)):
+                raise ValueError(f"{name} values out of range for the "
+                                 f"wire format")
+            data[name] = arr
+        dirs = np.asarray(direction, dtype=np.int64)
+        if dirs.ndim == 0:
+            dirs = np.broadcast_to(dirs, (n,))
+        elif len(dirs) != n:
+            raise ValueError(f"direction has {len(dirs)} rows, "
+                             f"expected {n}")
+        if len(dirs) and not np.isin(dirs, (DIR_EGRESS, DIR_INGRESS)).all():
+            raise ValueError("direction must be +1 or -1")
+        data["direction"] = dirs
+        return cls(data)
+
+    # -- sequence protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __getitem__(self, index):
+        """Integer index → :class:`Packet`; slice/mask/fancy index →
+        :class:`PacketBatch` (a view where numpy returns one)."""
+        if isinstance(index, (int, np.integer)):
+            row = self._data[int(index)]
+            return Packet(*(v.item() for v in row))
+        return PacketBatch(self._data[index])
+
+    def __iter__(self) -> Iterator[Packet]:
+        # One .tolist() per column: the rows come out as plain Python
+        # ints (bit-identical to the originals), and the per-row cost is
+        # one Packet construction instead of nine .item() calls.
+        cols = [self._data[name].tolist() for name in _PACKET_FIELDS]
+        for row in zip(*cols):
+            yield Packet(*row)
+
+    def __repr__(self) -> str:
+        return f"PacketBatch(n={len(self._data)})"
+
+    # -- columnar access ---------------------------------------------------
+
+    @property
+    def data(self) -> np.ndarray:
+        """The backing structured array (read it, don't resize it)."""
+        return self._data
+
+    def column(self, name: str) -> np.ndarray:
+        """One field's column as an ndarray view."""
+        if name not in _PACKET_FIELDS:
+            raise KeyError(f"unknown packet field: {name!r}")
+        return self._data[name]
+
+    def column_lists(self, fields: tuple[str, ...]) -> list[list]:
+        """The requested columns as Python-int lists (``.tolist()`` —
+        exact values, no numpy scalars), the form the stateful switch
+        loop consumes."""
+        return [self._data[name].tolist() for name in fields]
+
+    def compress(self, mask: np.ndarray) -> "PacketBatch":
+        """The sub-batch selected by a boolean mask (filter admission)."""
+        return PacketBatch(self._data[mask])
+
+    def to_packets(self) -> list[Packet]:
+        """Materialize the batch as a list of :class:`Packet`."""
+        return list(self)

@@ -17,11 +17,15 @@ import struct
 import warnings
 from typing import BinaryIO, Iterator
 
+import numpy as np
+
 from repro.net.packet import (
     DIR_EGRESS,
+    PACKET_DTYPE,
     PROTO_TCP,
     PROTO_UDP,
     Packet,
+    PacketBatch,
 )
 
 _MAGIC_NS = 0xA1B23C4D
@@ -81,7 +85,9 @@ def write_pcap(path: str, packets: list[Packet]) -> None:
             fh.write(frame)
 
 
-def _parse_frame(data: bytes, tstamp: int, orig_len: int) -> Packet | None:
+def _parse_row(data: bytes, tstamp: int, orig_len: int) -> tuple | None:
+    """One frame's fields as a plain tuple in :class:`Packet` (and
+    ``PACKET_DTYPE``) declaration order; None for non-IPv4 frames."""
     if len(data) < 34:
         return None
     ethertype = struct.unpack_from(">H", data, 12)[0]
@@ -99,8 +105,13 @@ def _parse_frame(data: bytes, tstamp: int, orig_len: int) -> Packet | None:
     elif proto == PROTO_UDP and len(data) >= l4_off + 4:
         src_port, dst_port = struct.unpack_from(">HH", data, l4_off)
     direction = DIR_EGRESS if data[0] & 0x01 == 0 else -1
-    return Packet(tstamp, orig_len, src_ip, dst_ip, src_port, dst_port,
-                  proto, tcp_flags, direction)
+    return (tstamp, orig_len, src_ip, dst_ip, src_port, dst_port,
+            proto, tcp_flags, direction)
+
+
+def _parse_frame(data: bytes, tstamp: int, orig_len: int) -> Packet | None:
+    row = _parse_row(data, tstamp, orig_len)
+    return Packet(*row) if row is not None else None
 
 
 def _iter_records(fh: BinaryIO, ns_resolution: bool, path: str = ""
@@ -129,20 +140,23 @@ def _iter_records(fh: BinaryIO, ns_resolution: bool, path: str = ""
         yield sec * 1_000_000_000 + nsec, data, orig_len
 
 
+def _read_global_header(fh: BinaryIO, path: str) -> bool:
+    """Validate the 24-byte global header; True for ns resolution."""
+    ghdr = fh.read(_GLOBAL_HDR.size)
+    if len(ghdr) < _GLOBAL_HDR.size:
+        raise ValueError(f"{path}: truncated pcap global header")
+    magic = _GLOBAL_HDR.unpack(ghdr)[0]
+    if magic == _MAGIC_NS:
+        return True
+    if magic == _MAGIC_US:
+        return False
+    raise ValueError(f"{path}: not a pcap file (magic {magic:#010x})")
+
+
 def read_pcap(path: str) -> list[Packet]:
     """Read an IPv4 pcap file; non-IPv4 records are skipped."""
     with open(path, "rb") as fh:
-        ghdr = fh.read(_GLOBAL_HDR.size)
-        if len(ghdr) < _GLOBAL_HDR.size:
-            raise ValueError(f"{path}: truncated pcap global header")
-        magic = _GLOBAL_HDR.unpack(ghdr)[0]
-        if magic == _MAGIC_NS:
-            ns_resolution = True
-        elif magic == _MAGIC_US:
-            ns_resolution = False
-        else:
-            raise ValueError(f"{path}: not a pcap file "
-                             f"(magic {magic:#010x})")
+        ns_resolution = _read_global_header(fh, path)
         packets = []
         for tstamp, data, orig_len in _iter_records(fh, ns_resolution,
                                                     path):
@@ -150,3 +164,31 @@ def read_pcap(path: str) -> list[Packet]:
             if pkt is not None:
                 packets.append(pkt)
         return packets
+
+
+def read_batches(path: str, batch_size: int = 4096
+                 ) -> Iterator[PacketBatch]:
+    """Read an IPv4 pcap file as a stream of columnar
+    :class:`~repro.net.packet.PacketBatch` chunks of at most
+    ``batch_size`` packets (the last may be shorter; non-IPv4 records
+    are skipped).  Frames go straight into structured-array rows — no
+    intermediate :class:`Packet` objects — so a capture can feed
+    ``Extractor.run``/``stream`` on the columnar dataplane tier
+    end to end.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    with open(path, "rb") as fh:
+        ns_resolution = _read_global_header(fh, path)
+        rows: list[tuple] = []
+        for tstamp, data, orig_len in _iter_records(fh, ns_resolution,
+                                                    path):
+            row = _parse_row(data, tstamp, orig_len)
+            if row is None:
+                continue
+            rows.append(row)
+            if len(rows) >= batch_size:
+                yield PacketBatch(np.array(rows, dtype=PACKET_DTYPE))
+                rows = []
+        if rows:
+            yield PacketBatch(np.array(rows, dtype=PACKET_DTYPE))

@@ -29,9 +29,15 @@ import numpy as np
 from repro.core.compiler import CompiledPolicy, PolicyError, Section
 from repro.core.functions import (
     ExecContext,
+    columnar_map_kernel_for,
+    columnar_reduce_class_ok,
+    factory_class,
     make_map_factory,
     make_reduce_factory,
     make_synth_fn,
+    map_class_maybe_none,
+    map_class_needs,
+    reduce_class_needs_directions,
     reducer_share_plan,
 )
 from repro.nicsim.grouptable import GroupTable
@@ -48,12 +54,20 @@ class FeatureVector:
     the group lost finer-granularity attribution (orphaned cells demoted
     to its coarse section) or part of its state to a NIC failure.
     Fault-free runs never set it.
+
+    ``names`` has one entry per *feature*; array-valued features
+    (histograms, samples) contribute several ``values`` slots, in which
+    case ``widths`` records each feature's slot count so consumers can
+    label every column (``ExtractionResult.frame`` does).  It stays
+    ``None`` in the common all-scalar case where names and values
+    already align one to one.
     """
 
     key: tuple
     names: tuple[str, ...]
     values: np.ndarray
     degraded: bool = False
+    widths: tuple[int, ...] | None = None
 
 
 class MemberView:
@@ -126,6 +140,29 @@ class _CellView:
 _POS, _MAPPED_OR_POS, _MAPPED = 0, 1, 2
 _MISSING = object()
 
+# Deferred-work queue tags (FeatureEngine._pending / _drain).
+_CELLS, _CLOCK = 0, 1
+
+
+def _shell_class(factory, attr: str):
+    """The reducer class behind ``factory`` iff its *entire* per-object
+    state is the single slot ``attr`` (the accumulator the share plan
+    overwrites) — such followers can skip ``__init__`` and be allocated
+    bare, since construction would only build an accumulator the share
+    wiring immediately discards.  None means \"construct normally\"."""
+    cls = factory_class(factory)
+    if cls is None:
+        return None
+    slots: set[str] = set()
+    for klass in cls.__mro__:
+        s = klass.__dict__.get("__slots__")
+        if s is None:
+            if klass is not object:
+                return None
+            continue
+        slots.update((s,) if isinstance(s, str) else s)
+    return cls if slots == {attr} else None
+
 
 class _SectionPlan:
     """Precompiled per-section recipe shared by every group of the
@@ -142,7 +179,9 @@ class _SectionPlan:
     else positional), ``_MAPPED`` (mapped else skip).
     """
 
-    __slots__ = ("maps", "reds", "share_plan")
+    __slots__ = ("maps", "reds", "share_plan", "columnar",
+                 "map_factories", "red_factories", "red_feats",
+                 "red_followers", "red_shells")
 
     def __init__(self, section: Section, ctx: ExecContext,
                  meta_index: dict | None = None,
@@ -180,47 +219,165 @@ class _SectionPlan:
         self.reds = tuple(
             (feat, kind, src, pos, factory, i in followers)
             for i, (feat, kind, src, pos, factory) in enumerate(reds))
+        # Flat views for the hot group constructor: factories in plan
+        # order, so a new state is a couple of list comprehensions.
+        self.map_factories = tuple(f for _d, _s, _p, f in self.maps)
+        self.red_factories = tuple(f for _f, _k, _s, _p, f, _fol
+                                   in self.reds)
+        self.red_feats = tuple(f for f, _k, _s, _p, _fac, _fol
+                               in self.reds)
+        self.red_followers = tuple(fol for _f, _k, _s, _p, _fac, fol
+                                   in self.reds)
+        shell_attr = {f_idx: attr for f_idx, _l, attr in self.share_plan}
+        self.red_shells = tuple(
+            _shell_class(factory, shell_attr[i]) if i in shell_attr
+            else None
+            for i, (_f, _k, _s, _p, factory, _fol)
+            in enumerate(self.reds))
+        self.columnar = self._build_columnar(index)
+
+    # Columnar map-source modes (cmaps entries below).
+    _SRC_NONE, _SRC_POS, _SRC_MAPPED = 0, 1, 2
+
+    def _build_columnar(self, index: dict):
+        """Precompile the section's columnar recipe, or None when any
+        function lacks an exact batch kernel (user registrations, shadowed
+        metadata names, unreadable sources) — those sections stay on the
+        per-cell path, whose semantics the kernels must match bit for bit.
+
+        Returns ``(cmaps, creds, ts_pos, dir_pos)`` where each cmaps
+        entry is ``(map_idx, dst, kernel, src_mode, src_arg, fallback)``
+        and each creds entry is ``(kind, src, pos, red_idx, needs_dir)``.
+        """
+        ts_pos = index.get("tstamp")
+        dir_pos = index.get("direction")
+        # A map writing "tstamp"/"direction" would shadow the metadata
+        # the kernels and direction-reducers read positionally.
+        if any(dst in ("tstamp", "direction") for dst, _s, _p, _f
+               in self.maps):
+            return None
+        cmaps = []
+        valid_dsts: dict[str, bool] = {}   # dst -> always emits a value
+        for i, (dst, src, src_pos, factory) in enumerate(self.maps):
+            cls = factory_class(factory)
+            kernel = (columnar_map_kernel_for(cls)
+                      if cls is not None else None)
+            if kernel is None:
+                return None
+            needs_src, needs_ts, needs_dir = map_class_needs(cls)
+            if (needs_ts and ts_pos is None) or \
+                    (needs_dir and dir_pos is None):
+                return None
+            if not needs_src:
+                entry = (i, dst, kernel, self._SRC_NONE, None, None)
+                out_valid = not map_class_maybe_none(cls)
+            elif src_pos is not None:
+                entry = (i, dst, kernel, self._SRC_POS, src_pos, None)
+                out_valid = not map_class_maybe_none(cls)
+            elif src in valid_dsts:
+                fallback = index.get(src)
+                if not valid_dsts[src] and fallback is None:
+                    # The source can be absent for a member and has no
+                    # positional fallback — the per-cell path raises
+                    # KeyError there; keep that behavior.
+                    return None
+                entry = (i, dst, kernel, self._SRC_MAPPED, src, fallback)
+                out_valid = not map_class_maybe_none(cls)
+            else:
+                return None
+            cmaps.append(entry)
+            prior = valid_dsts.get(dst)
+            valid_dsts[dst] = out_valid or bool(prior)
+        creds = []
+        for red_idx, (feat, kind, src, pos, factory, _follower) \
+                in enumerate(self.reds):
+            cls = factory_class(factory)
+            if cls is None or not columnar_reduce_class_ok(cls):
+                return None
+            needs_dir = reduce_class_needs_directions(cls)
+            if needs_dir and dir_pos is None:
+                return None
+            creds.append((kind, src, pos, red_idx, needs_dir))
+        return (tuple(cmaps), tuple(creds), ts_pos, dir_pos)
 
 
 class _GroupState:
-    """Per-group function instances for one section."""
+    """Per-group function instances for one section.
 
-    __slots__ = ("map_fns", "map_plan", "reducers", "upd_reducers",
-                 "red_plan", "last_update")
+    Construction is on the hot path (one per new group), so it only
+    instantiates the function objects; the per-cell dispatch views
+    (``map_plan``/``red_plan``/``map_fns``/``upd_reducers``) are
+    derived from the shared section plan on first use and cached — the columnar path indexes ``map_objs``/``red_objs``
+    directly and never builds them.
+    """
+
+    __slots__ = ("plan", "map_objs", "red_all", "red_objs", "last_update",
+                 "_map_plan", "_red_plan", "_map_fns", "_upd_reducers")
 
     def __init__(self, plan: _SectionPlan) -> None:
-        map_plan = []
-        map_fns = []
-        for dst, src, src_pos, factory in plan.maps:
-            fn = factory()
-            map_plan.append((dst, src, src_pos, fn))
-            map_fns.append((dst, src, fn))
-        self.map_plan = tuple(map_plan)
-        self.map_fns = map_fns
-        # One pass: instantiate, and mark family followers with a None
-        # reducer in the update plans ("state already updated by the
-        # leader" — its finalize reads the shared accumulator, wired
-        # below from the plan's probe).
-        reducers = []
-        upd_reducers = []
-        red_plan = []
-        for feat, kind, src, src_pos, factory, follower in plan.reds:
-            reducer = factory()
-            reducers.append((feat, reducer))
-            lead = None if follower else reducer
-            upd_reducers.append((feat, lead))
-            red_plan.append((kind, src, src_pos, lead))
-        for f_idx, l_idx, attr in plan.share_plan:
-            setattr(reducers[f_idx][1], attr,
-                    getattr(reducers[l_idx][1], attr))
-        self.reducers = reducers
-        self.upd_reducers = tuple(upd_reducers)
-        self.red_plan = tuple(red_plan)
+        self.plan = plan
+        self.map_objs = [f() for f in plan.map_factories]
+        red_all = [f() if shell is None else shell.__new__(shell)
+                   for f, shell in zip(plan.red_factories,
+                                       plan.red_shells)]
+        self.red_all = red_all
+        # Family followers (f_var after f_mean over the same source, …)
+        # share the leader's accumulator and sit as None in the update
+        # view ("state already updated by the leader"); their finalize
+        # reads the shared accumulator wired here.
+        share = plan.share_plan
+        if share:
+            for f_idx, l_idx, attr in share:
+                setattr(red_all[f_idx], attr,
+                        getattr(red_all[l_idx], attr))
+            self.red_objs = [None if fol else r for r, fol
+                             in zip(red_all, plan.red_followers)]
+        else:
+            self.red_objs = red_all
         self.last_update = 0
+        self._map_plan = self._red_plan = None
+        self._map_fns = self._upd_reducers = None
+
+    @property
+    def map_plan(self) -> tuple:
+        mp = self._map_plan
+        if mp is None:
+            mp = self._map_plan = tuple(
+                (dst, src, src_pos, fn)
+                for (dst, src, src_pos, _f), fn
+                in zip(self.plan.maps, self.map_objs))
+        return mp
+
+    @property
+    def map_fns(self) -> list:
+        mf = self._map_fns
+        if mf is None:
+            mf = self._map_fns = [
+                (dst, src, fn) for (dst, src, _p, _f), fn
+                in zip(self.plan.maps, self.map_objs)]
+        return mf
+
+    @property
+    def red_plan(self) -> tuple:
+        rp = self._red_plan
+        if rp is None:
+            rp = self._red_plan = tuple(
+                (kind, src, src_pos, lead)
+                for (_f, kind, src, src_pos, _fac, _fol), lead
+                in zip(self.plan.reds, self.red_objs))
+        return rp
+
+    @property
+    def upd_reducers(self) -> tuple:
+        ur = self._upd_reducers
+        if ur is None:
+            ur = self._upd_reducers = tuple(zip(self.plan.red_feats,
+                                                self.red_objs))
+        return ur
 
     def state_bytes(self) -> int:
         return sum(int(getattr(r, "state_bytes", 8))
-                   for _, r in self.reducers)
+                   for r in self.red_all)
 
 
 @dataclass
@@ -246,9 +403,13 @@ class FeatureEngine:
                  table_width: int = 4) -> None:
         self.compiled = compiled
         self.ctx = ctx or ExecContext(division_free=True)
-        self.stats = EngineStats()
+        self._stats = EngineStats()
+        # Deferred columnar work: (tag, ...) entries replayed in order
+        # by _drain() as one merged grouped pass (see consume_batch).
+        self._pending: list = []
         self._clock = 0     # ns; advanced by cell tstamps or externally
         self._fg_mirror: dict[int, tuple] = {}
+        self._scalar_parts: bool | None = None
         self._synth_cache: dict = {}
         self._pkt_vectors: list[FeatureVector] = []
         self._degraded_cg_keys: set[tuple] = set()
@@ -265,6 +426,7 @@ class FeatureEngine:
         self._reference = os.environ.get("SUPERFE_REFERENCE_PATH") == "1"
 
         self._tables: list[tuple[Section, GroupTable]] = []
+        self._plans: list[_SectionPlan] = []
         for section in compiled.sections:
             level = self._section_level(section, placement)
             plan = _SectionPlan(section, self.ctx, self._meta_index,
@@ -275,6 +437,32 @@ class FeatureEngine:
                 entry_bytes=entry_bytes, level=level,
                 state_factory=(lambda p=plan: _GroupState(p)))
             self._tables.append((section, table))
+            self._plans.append(plan)
+        # Columnar fast path eligibility: every section has an exact
+        # batch recipe and the policy is per-group (per-pkt emission is
+        # inherently per-cell).  Orphan cells still force the per-cell
+        # path per record — checked at record time.
+        self._pkt_mode = compiled.collect_unit == "pkt"
+        self._columnar = (not self._reference and not self._pkt_mode
+                          and all(p.columnar is not None
+                                  for p in self._plans))
+        # Vector-assembly plan, one entry per table: collected feature
+        # names and (red_all index, compiled synth chain) pairs in
+        # reducer order — what _group_vector/_emit_packet_vector would
+        # rediscover per group via name-set membership.
+        self._final_plans: list = []
+        for (section, _table), plan in zip(self._tables, self._plans):
+            if not section.collected:
+                self._final_plans.append(None)
+                continue
+            collected = {f.name for f in section.collected}
+            names = tuple(f.name for f in plan.red_feats
+                          if f.name in collected)
+            finals = tuple(
+                (i, tuple(self._synth(spec) for spec in f.synth_fns))
+                for i, f in enumerate(plan.red_feats)
+                if f.name in collected)
+            self._final_plans.append((names, finals))
 
         # Telemetry instruments (attach_telemetry); None = not attached.
         self._t_tracer = None
@@ -302,7 +490,7 @@ class FeatureEngine:
         for section, table in self._tables:
             reg.gauge_source(
                 f"engine.table.{section.granularity.name}.groups",
-                lambda t=table: len(t))
+                lambda t=table, drain=self._drain: (drain(), len(t))[1])
 
     # -- setup helpers -------------------------------------------------------
 
@@ -347,9 +535,105 @@ class FeatureEngine:
 
     # -- event consumption ---------------------------------------------------
 
+    @property
+    def stats(self) -> EngineStats:
+        """Engine statistics.  Reading drains any deferred columnar
+        work first, so counters always reflect every consumed event."""
+        if self._pending:
+            self._drain()
+        return self._stats
+
+    def _drain(self) -> None:
+        """Replay the deferred columnar work as ONE merged grouped pass.
+
+        Pending entries are cell blocks interleaved with external clock
+        advances, in consumption order.  Grouping and reduction don't
+        depend on where the run was split into blocks — slices preserve
+        cell-stream order and the table accounting is per-cell-total —
+        so the blocks concatenate; only ``last_update`` stamps see the
+        clock, and the piecewise prefix-max computed here (cell
+        timestamps within a block, ``advance_clock`` values between
+        blocks) reproduces the eager per-block stamps bit for bit.
+        """
+        pending = self._pending
+        if not pending:
+            return
+        # Snapshot + clear IN PLACE: consume_batch holds an alias to the
+        # queue across its event loop, and a mid-loop fallback drain
+        # must not strand that alias on a dead list.
+        entries = pending[:]
+        pending.clear()
+        # Common shape: cell blocks with clock markers only at the
+        # edges (the dataplane advances the clock once after its batch
+        # tier).  Leading markers fold into the clock floor and trailing
+        # ones apply after the merged pass, so the per-cell stamp array
+        # is skipped and _process_cells_block computes the prefix max
+        # itself; only a marker *between* cell blocks forces the
+        # stamped path.
+        first_cell = last_cell = None
+        for i, entry in enumerate(entries):
+            if entry[0] is _CELLS:
+                if first_cell is None:
+                    first_cell = i
+                last_cell = i
+        clock = self._clock
+        if first_cell is None:
+            for _tag, now in entries:
+                if now > clock:
+                    clock = now
+            self._clock = clock
+            return
+        if not any(entry[0] is _CLOCK
+                   for entry in entries[first_cell:last_cell]):
+            for entry in entries[:first_cell]:
+                if entry[1] > clock:
+                    clock = entry[1]
+            self._clock = clock
+            if first_cell == last_cell:
+                _tag, keys, metas, cgs = entries[first_cell]
+            else:
+                keys, metas, cgs = [], [], []
+                for entry in entries[first_cell:last_cell + 1]:
+                    keys.extend(entry[1])
+                    metas.extend(entry[2])
+                    cgs.extend(entry[3])
+            self._process_cells_block(keys, metas, cgs)
+            clock = self._clock
+            for entry in entries[last_cell + 1:]:
+                if entry[1] > clock:
+                    clock = entry[1]
+            self._clock = clock
+            return
+        ts_idx = self._ts_idx
+        keys = []
+        metas = []
+        cgs = []
+        stamps: list = []
+        append = stamps.append
+        for entry in entries:
+            if entry[0] is _CLOCK:
+                if entry[1] > clock:
+                    clock = entry[1]
+                continue
+            _tag, bkeys, bmetas, bcgs = entry
+            keys.extend(bkeys)
+            metas.extend(bmetas)
+            cgs.extend(bcgs)
+            if ts_idx is None:
+                stamps.extend([clock] * len(bmetas))
+            else:
+                for meta in bmetas:
+                    ts = meta[ts_idx]
+                    if ts > clock:
+                        clock = ts
+                    append(clock)
+        self._clock = clock
+        if keys:
+            self._process_cells_block(keys, metas, cgs, stamps)
+
     def consume(self, event: Event) -> None:
         if isinstance(event, FGSync):
-            self.stats.syncs += 1
+            self._stats.syncs += 1
             self._fg_mirror[event.index] = event.key
             if self._t_syncs is not None:
                 self._t_syncs.inc()
@@ -372,10 +656,101 @@ class FeatureEngine:
             self.consume(event)
         return self
 
+    def consume_batch(self, events) -> None:
+        """Consume a slice of events (the Stage batch fast path).
+
+        Orphan-free records accumulate into one columnar block whose
+        cells are reduced as per-group array slices across record
+        boundaries.  FG syncs apply eagerly — each record's FG indices
+        resolve against the mirror state at its own position in the
+        stream, so deferring the reduce work never changes which group a
+        cell lands in.  Blocks are not reduced here: they queue on the
+        deferred-work list, and :meth:`_drain` (finalize / snapshot /
+        stats / any per-cell fallback) replays the whole run as one
+        merged grouped pass.  Any record the block can't express exactly
+        (orphan cells, per-pkt emission, reference mode) drains the
+        queue and takes the ordered per-event path.
+        """
+        if not self._columnar:
+            consume = self.consume
+            for event in events:
+                consume(event)
+            return
+        stats = self._stats
+        mirror = self._fg_mirror
+        pending = self._pending
+        t_records = self._t_records
+        t_syncs = self._t_syncs
+        t_cells = self._t_record_cells
+        # Per-cell block columns: resolved FG key, metadata tuple, and
+        # the owning record's CG identity (for the hash shortcut).
+        keys: list = []
+        metas: list = []
+        cgs: list = []
+        mirror_get = mirror.get
+        for event in events:
+            if type(event) is MGPVRecord:
+                cells = event.cells
+                if not cells:
+                    stats.records += 1
+                    if t_records is not None:
+                        t_records.inc()
+                        t_cells.observe(0)
+                    continue
+                fgs, ms = zip(*cells)
+                kk = list(map(mirror_get, fgs))
+                if None in kk:
+                    # Orphan cell(s): flush what accumulated and take
+                    # the ordered per-event degradation path.
+                    if keys:
+                        pending.append((_CELLS, keys, metas, cgs))
+                        keys, metas, cgs = [], [], []
+                    self.consume(event)
+                    continue
+                keys.extend(kk)
+                metas.extend(ms)
+                stats.records += 1
+                if t_records is not None:
+                    t_records.inc()
+                    t_cells.observe(len(cells))
+                cg = (event.cg_key, event.cg_hash32)
+                cgs.extend([cg] * len(cells))
+            elif type(event) is FGSync:
+                stats.syncs += 1
+                mirror[event.index] = event.key
+                if t_syncs is not None:
+                    t_syncs.inc()
+            else:
+                if keys:
+                    pending.append((_CELLS, keys, metas, cgs))
+                    keys, metas, cgs = [], [], []
+                self.consume(event)
+        if keys:
+            pending.append((_CELLS, keys, metas, cgs))
+
+    def consume_block(self, cg_key: tuple, cg_hash32: int, fg_col: tuple,
+                      meta_cols: tuple, reason: str) -> None:
+        """Consume one MGPV record shipped in columnar wire form:
+        ``fg_col`` is the per-cell FG-index column and ``meta_cols`` one
+        column per metadata field (the compact shard-transport layout of
+        :mod:`repro.core.parallel`).  Semantically identical to consuming
+        the equivalent :class:`MGPVRecord`."""
+        if meta_cols:
+            cells = tuple(zip(fg_col, zip(*meta_cols)))
+        else:
+            cells = tuple((fg, ()) for fg in fg_col)
+        self.consume(MGPVRecord(cg_key, cg_hash32, cells, reason))
+
     def _process_record(self, record: MGPVRecord) -> None:
         if self._reference:
             return self._process_record_reference(record)
-        stats = self.stats
+        if self._columnar and self._process_record_columnar(record):
+            return
+        # Per-cell path: replay any deferred columnar work first so the
+        # cells still process in stream order.
+        if self._pending:
+            self._drain()
+        stats = self._stats
         stats.records += 1
         mirror = self._fg_mirror
         tables = self._tables
@@ -464,26 +839,236 @@ class FeatureEngine:
                 self._emit_packet_vector(fg_key, states)
         stats.skipped_updates += skips
 
+    def _process_record_columnar(self, record: MGPVRecord) -> bool:
+        """Queue one record's cells on the deferred-work list (drained
+        as one merged grouped pass).  Returns False (leaving all state
+        untouched) for records the block kernels can't express exactly:
+        any orphan cell takes the degradation path, which is inherently
+        per-cell."""
+        cells = record.cells
+        if not cells:
+            self._stats.records += 1
+            return True
+        mirror = self._fg_mirror
+        # Orphan precheck before any mutation: one lost FG sync sends
+        # the whole record down the per-cell path (exact degradation
+        # semantics matter more than speed there).
+        keys = []
+        for fg_idx, _meta in cells:
+            fg_key = mirror.get(fg_idx)
+            if fg_key is None:
+                return False
+            keys.append(fg_key)
+        self._stats.records += 1
+        cg = (record.cg_key, record.cg_hash32)
+        self._pending.append((_CELLS, keys,
+                              [meta for _fg, meta in cells],
+                              [cg] * len(cells)))
+        return True
+
+    def _process_cells_block(self, keys: list, metas: list,
+                             cgs: list, stamps: list | None = None
+                             ) -> None:
+        """Reduce a block of cells (possibly spanning records) as
+        per-group array slices: one table lookup plus a bulk repeat-hit
+        account per (group, section), map kernels over the group's
+        metadata columns, and one ``update_many`` per reducer instead of
+        one call per cell.
+
+        Bit-identical to the per-cell loop by construction: each section
+        groups cells by its own *projected* key — states shared across
+        fine groups (a coarse section under a finer FG) still see their
+        updates in exact cell-stream order — slices preserve cell order
+        within a group, first-appearance order preserves table insertion
+        order, and ``last_update``/clock reproduce the per-cell prefix
+        maximum.  ``keys`` holds each cell's resolved FG key (orphans
+        are excluded by the callers), ``metas`` its metadata tuple, and
+        ``cgs`` its record's ``(cg_key, cg_hash32)`` hash shortcut.
+        ``stamps`` is the precomputed per-cell ``last_update`` array
+        (:meth:`_drain` passes it, having already advanced the clock);
+        without it the block computes the clock prefix max itself.
+        """
+        n = len(keys)
+        stats = self._stats
+        stats.cells += n
+        cols = tuple(zip(*metas))
+        # Clock prefix maximum: the scalar loop advances the clock per
+        # cell before stamping last_update, so a group's final stamp is
+        # the prefix max at its last cell.
+        ts_idx = self._ts_idx
+        clock = self._clock
+        if stamps is not None:
+            prefix = stamps
+        elif ts_idx is not None:
+            # Running max over the timestamp column in C; the prior
+            # clock is the floor for every position.
+            arr = np.fromiter(cols[ts_idx], dtype=np.int64, count=n)
+            np.maximum.accumulate(arr, out=arr)
+            if clock:
+                np.maximum(arr, clock, out=arr)
+            prefix = arr.tolist()
+            clock = prefix[-1]
+            self._clock = clock
+        else:
+            prefix = None
+        skips = 0
+        src_none = _SectionPlan._SRC_NONE
+        src_pos = _SectionPlan._SRC_POS
+        fg_name = self.compiled.fg.name
+        for (section, table), plan in zip(self._tables, self._plans):
+            cmaps, creds, ts_pos, dir_pos = plan.columnar
+            # Group cell indices by this section's projected key in
+            # first-appearance order.  The FG-granularity section's
+            # projection is the identity, so it groups on the key as-is;
+            # coarser sections memoize the projection per FG key — it is
+            # a pure function of the key.
+            groups: dict = {}
+            if section.granularity.name == fg_name:
+                for i, key in enumerate(keys):
+                    lst = groups.get(key)
+                    if lst is None:
+                        groups[key] = [i]
+                    else:
+                        lst.append(i)
+            else:
+                project = section.granularity.project
+                proj: dict = {}
+                for i, fg_key in enumerate(keys):
+                    key = proj.get(fg_key)
+                    if key is None:
+                        key = proj[fg_key] = project(fg_key)
+                    lst = groups.get(key)
+                    if lst is None:
+                        groups[key] = [i]
+                    else:
+                        lst.append(i)
+            lookup = table.lookup_or_insert_located
+            account = table.account_hits
+            for key, idxs in groups.items():
+                k = len(idxs)
+                whole = k == n
+                cg_key, cg_hash32 = cgs[idxs[0]]
+                state, _created, in_bucket = lookup(
+                    key, cg_hash32 if key == cg_key else None)
+                if k > 1:
+                    account(in_bucket, k - 1)
+                state.last_update = (clock if prefix is None
+                                     else prefix[idxs[-1]])
+                # Per-group column-slice memo: several consumers (map
+                # sources, sibling reducers over one source) slice the
+                # same column; cut the list comp to once per column.
+                csl: dict = {}
+                ts_g = dir_g = None
+                if ts_pos is not None:
+                    c = cols[ts_pos]
+                    ts_g = csl[ts_pos] = (c if whole
+                                          else [c[i] for i in idxs])
+                if dir_pos is not None:
+                    c = cols[dir_pos]
+                    dir_g = csl[dir_pos] = (c if whole
+                                            else [c[i] for i in idxs])
+                mapped: dict[str, list] = {}
+                map_objs = state.map_objs
+                for m_idx, dst, kernel, mode, arg, fallback in cmaps:
+                    if mode == src_none:
+                        src_vals = None
+                    elif mode == src_pos:
+                        src_vals = csl.get(arg)
+                        if src_vals is None:
+                            c = cols[arg]
+                            src_vals = csl[arg] = (
+                                c if whole else [c[i] for i in idxs])
+                    else:
+                        base = mapped[arg]
+                        if fallback is None:
+                            src_vals = base
+                        else:
+                            fb = csl.get(fallback)
+                            if fb is None:
+                                c = cols[fallback]
+                                fb = csl[fallback] = (
+                                    c if whole else [c[i] for i in idxs])
+                            src_vals = [m if m is not None else fb[j]
+                                        for j, m in enumerate(base)]
+                    out = kernel(map_objs[m_idx], src_vals, ts_g,
+                                 dir_g, k)
+                    prev = mapped.get(dst)
+                    if prev is None:
+                        mapped[dst] = out
+                    else:
+                        mapped[dst] = [v if v is not None else p
+                                       for v, p in zip(out, prev)]
+                red_objs = state.red_objs
+                for kind, src, pos, red_idx, needs_dir in creds:
+                    reducer = red_objs[red_idx]
+                    if kind == _POS:
+                        if reducer is not None:
+                            vals = csl.get(pos)
+                            if vals is None:
+                                c = cols[pos]
+                                vals = csl[pos] = (
+                                    c if whole else [c[i] for i in idxs])
+                            reducer.update_many(
+                                vals, dir_g if needs_dir else None)
+                    elif kind == _MAPPED_OR_POS:
+                        if reducer is not None:
+                            base = mapped[src]
+                            fb = csl.get(pos)
+                            if fb is None:
+                                c = cols[pos]
+                                fb = csl[pos] = (
+                                    c if whole else [c[i] for i in idxs])
+                            vals = [m if m is not None else fb[j]
+                                    for j, m in enumerate(base)]
+                            reducer.update_many(
+                                vals, dir_g if needs_dir else None)
+                    else:
+                        base = mapped.get(src)
+                        if base is None:
+                            skips += k
+                        elif needs_dir:
+                            vals = []
+                            dirs = []
+                            for m, d in zip(base, dir_g):
+                                if m is not None:
+                                    vals.append(m)
+                                    dirs.append(d)
+                            skips += k - len(vals)
+                            if reducer is not None and vals:
+                                reducer.update_many(vals, dirs)
+                        else:
+                            vals = [m for m in base if m is not None]
+                            skips += k - len(vals)
+                            if reducer is not None and vals:
+                                reducer.update_many(vals)
+        stats.skipped_updates += skips
+
     def _process_record_reference(self, record: MGPVRecord) -> None:
         """The pre-optimization per-cell path (``SUPERFE_REFERENCE_PATH=1``
         oracle): a fields dict and fresh member views per cell, one table
         lookup per cell per section."""
-        self.stats.records += 1
+        self._stats.records += 1
         fields_order = self.compiled.metadata_fields
         for fg_idx, meta in record.cells:
-            self.stats.cells += 1
+            self._stats.cells += 1
             fields = dict(zip(fields_order, meta))
             fg_key = self._fg_mirror.get(fg_idx)
             if fg_key is None:
-                self.stats.orphan_cells += 1
+                self._stats.orphan_cells += 1
                 self._demote_cell(record.cg_key, fields)
                 continue
             self._process_cell(fg_key, fields)
 
     def advance_clock(self, now_ns: int) -> None:
         """Advance the engine's notion of time; cells carrying a
-        ``tstamp`` field advance it automatically."""
-        self._clock = max(self._clock, now_ns)
+        ``tstamp`` field advance it automatically.  While columnar
+        blocks are queued the advance is recorded as a marker in the
+        queue so the deferred merge replays clock motion in stream
+        order."""
+        if self._pending:
+            self._pending.append((_CLOCK, now_ns))
+        elif now_ns > self._clock:
+            self._clock = now_ns
 
     def _update_section(self, state: _GroupState, fields: dict) -> None:
         state.last_update = self._clock
@@ -495,7 +1080,7 @@ class FeatureEngine:
                 view.set(dst, value)
         for feat, reducer in state.upd_reducers:
             if not view.has(feat.src):
-                self.stats.skipped_updates += 1
+                self._stats.skipped_updates += 1
                 continue
             if reducer is not None:
                 reducer.update(view.get(feat.src), view)
@@ -530,37 +1115,35 @@ class FeatureEngine:
             self._update_section(state, fields)
             updated = True
         if updated:
-            self.stats.degraded_cells += 1
+            self._stats.degraded_cells += 1
             self._degraded_cg_keys.add(cg_key)
         else:
-            self.stats.unrecoverable_cells += 1
+            self._stats.unrecoverable_cells += 1
 
     # -- output --------------------------------------------------------------
 
-    def _finalize_feature(self, feat, reducer):
-        value = reducer.finalize()
-        for spec in feat.synth_fns:
-            value = self._synth(spec)(value)
-        return value
-
     @staticmethod
-    def _vector_values(parts: list) -> np.ndarray:
+    def _vector_parts(parts: list) -> tuple[np.ndarray, tuple | None]:
         """Concatenate finalized feature values into one float64 vector;
         the common all-scalar case builds the array in one shot instead
-        of wrapping every feature in a length-1 ndarray."""
+        of wrapping every feature in a length-1 ndarray.  When any
+        feature is array-valued, also return the per-feature slot
+        widths (None in the scalar case — names already align)."""
         for part in parts:
             if isinstance(part, (np.ndarray, list, tuple)):
-                return np.concatenate(
-                    [np.atleast_1d(np.asarray(p, dtype=np.float64))
-                     for p in parts])
-        return np.array(parts, dtype=np.float64)
+                arrs = [np.atleast_1d(np.asarray(p, dtype=np.float64))
+                        for p in parts]
+                return (np.concatenate(arrs),
+                        tuple(a.shape[0] for a in arrs))
+        return np.array(parts, dtype=np.float64), None
 
     def _emit_packet_vector(self, fg_key: tuple,
                             states: list | None = None) -> None:
         names: list[str] = []
         parts: list[np.ndarray] = []
         for pos, (section, table) in enumerate(self._tables):
-            if not section.collected:
+            fp = self._final_plans[pos]
+            if fp is None:
                 continue
             if states is not None:
                 # Hot path: the caller just updated these states — skip
@@ -571,17 +1154,21 @@ class FeatureEngine:
                 state = table.get(key)
             if state is None:
                 continue
-            collected = {f.name for f in section.collected}
-            for feat, reducer in state.reducers:
-                if feat.name in collected:
-                    names.append(feat.name)
-                    parts.append(self._finalize_feature(feat, reducer))
+            sec_names, finals = fp
+            red_all = state.red_all
+            names.extend(sec_names)
+            for idx, synths in finals:
+                value = red_all[idx].finalize()
+                for fn in synths:
+                    value = fn(value)
+                parts.append(value)
         if parts:
-            self.stats.vectors_emitted += 1
+            self._stats.vectors_emitted += 1
+            values, widths = self._vector_parts(parts)
             self._pkt_vectors.append(FeatureVector(
-                key=fg_key, names=tuple(names),
-                values=self._vector_values(parts),
-                degraded=self._vector_degraded(fg_key)))
+                key=fg_key, names=tuple(names), values=values,
+                degraded=self._vector_degraded(fg_key),
+                widths=widths))
 
     def _vector_degraded(self, key: tuple) -> bool:
         """True when the key's CG group absorbed demoted orphan cells —
@@ -603,6 +1190,8 @@ class FeatureEngine:
         collect granularity, including features of enclosing coarser
         groups.
         """
+        if self._pending:
+            self._drain()
         unit = self.compiled.collect_unit
         if unit == "pkt":
             return list(self._pkt_vectors)
@@ -611,11 +1200,11 @@ class FeatureEngine:
                           if sec.granularity.name == unit)
         unit_section, unit_table = unit_entry
         vectors = []
-        for key, _state in unit_table.items():
-            vec = self._group_vector(key, unit_section)
+        for key, state in unit_table.items():
+            vec = self._group_vector(key, unit_section, state)
             if vec is not None:
                 vectors.append(vec)
-        self.stats.vectors_emitted += len(vectors)
+        self._stats.vectors_emitted += len(vectors)
         return vectors
 
     def evict_idle(self, now_ns: int, timeout_ns: int
@@ -631,6 +1220,8 @@ class FeatureEngine:
         """
         if timeout_ns <= 0:
             raise ValueError("timeout must be positive")
+        if self._pending:
+            self._drain()
         unit = self.compiled.collect_unit
         vectors: list[FeatureVector] = []
         if unit != "pkt":
@@ -644,7 +1235,7 @@ class FeatureEngine:
                 if vec is not None:
                     vectors.append(vec)
                 unit_table.remove(key)
-            self.stats.vectors_emitted += len(vectors)
+            self._stats.vectors_emitted += len(vectors)
         for section, table in self._tables:
             if unit != "pkt" and section.granularity.name == unit:
                 continue
@@ -654,30 +1245,47 @@ class FeatureEngine:
                 table.remove(key)
         return vectors
 
-    def _group_vector(self, key: tuple,
-                      unit_section: Section) -> FeatureVector | None:
+    def _group_vector(self, key: tuple, unit_section: Section,
+                      unit_state=None) -> FeatureVector | None:
         """Assemble one collect-unit group's vector (with enclosing
-        coarser-group features), as finalize() does per group."""
+        coarser-group features), as finalize() does per group.
+        ``unit_state`` short-cuts the unit section's own table lookup
+        when the caller is already iterating that table."""
         names: list[str] = []
         parts: list[np.ndarray] = []
-        for section, table in self._tables:
-            if not section.collected:
+        append = parts.append
+        for (section, table), fp in zip(self._tables, self._final_plans):
+            if fp is None:
                 continue
-            sec_key = (key if section is unit_section
-                       else section.granularity.project(key))
-            state = table.get(sec_key)
+            if section is unit_section:
+                state = unit_state if unit_state is not None \
+                    else table.get(key)
+            else:
+                state = table.get(section.granularity.project(key))
             if state is None:
                 continue
-            collected = {f.name for f in section.collected}
-            for feat, reducer in state.reducers:
-                if feat.name in collected:
-                    names.append(feat.name)
-                    parts.append(self._finalize_feature(feat, reducer))
+            sec_names, finals = fp
+            red_all = state.red_all
+            names.extend(sec_names)
+            for idx, synths in finals:
+                value = red_all[idx].finalize()
+                for fn in synths:
+                    value = fn(value)
+                append(value)
         if not parts:
             return None
-        return FeatureVector(key=key, names=tuple(names),
-                             values=self._vector_values(parts),
-                             degraded=self._vector_degraded(key))
+        # Shape of the parts is type-stable per policy: probe the first
+        # vector, then build the all-scalar case in one C call.
+        if self._scalar_parts is None:
+            self._scalar_parts = not any(
+                isinstance(p, (np.ndarray, list, tuple)) for p in parts)
+        if self._scalar_parts:
+            values, widths = np.array(parts, dtype=np.float64), None
+        else:
+            values, widths = self._vector_parts(parts)
+        return FeatureVector(key=key, names=tuple(names), values=values,
+                             degraded=self._vector_degraded(key),
+                             widths=widths)
 
     # -- failure handling -------------------------------------------------------
 
@@ -692,14 +1300,16 @@ class FeatureEngine:
         whatever cells were still en route) and clear every table and
         the FG mirror, as a restart would.  Already-emitted per-packet
         vectors and cumulative stats survive — they left the device."""
+        if self._pending:
+            self._drain()
         residual: list[FeatureVector] = []
         if self.compiled.collect_unit != "pkt":
             unit = self.compiled.collect_unit
             unit_section, unit_table = next(
                 (sec, tbl) for sec, tbl in self._tables
                 if sec.granularity.name == unit)
-            for key, _state in unit_table.items():
-                vec = self._group_vector(key, unit_section)
+            for key, state in unit_table.items():
+                vec = self._group_vector(key, unit_section, state)
                 if vec is not None:
                     vec.degraded = True
                     residual.append(vec)
@@ -729,10 +1339,14 @@ class FeatureEngine:
     def total_state_bytes(self) -> int:
         """Bytes of live reducer state across all group tables (Fig 15's
         memory axis)."""
+        if self._pending:
+            self._drain()
         return sum(state.state_bytes()
                    for _, table in self._tables
                    for _, state in table.items())
 
     def table_stats(self) -> dict:
+        if self._pending:
+            self._drain()
         return {section.granularity.name: table.stats
                 for section, table in self._tables}

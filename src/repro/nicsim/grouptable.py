@@ -134,6 +134,21 @@ class GroupTable:
             self.stats.dram_hits += 1
             self.stats.access_cycles += self.dram.latency_cycles
 
+    def account_hits(self, in_bucket: bool, count: int) -> None:
+        """Bulk :meth:`account_hit`: ``count`` repeat accesses in one
+        counter update (the columnar engine path accounts a whole group
+        slice at once; totals match ``count`` single calls exactly)."""
+        if count <= 0:
+            return
+        stats = self.stats
+        stats.lookups += count
+        stats.access_cycles += self.level.latency_cycles * count
+        if in_bucket:
+            stats.bucket_hits += count
+        else:
+            stats.dram_hits += count
+            stats.access_cycles += self.dram.latency_cycles * count
+
     def get(self, key):
         bucket = self._buckets.get(self._bucket_idx(key))
         return ((bucket.get(key) if bucket is not None else None)

@@ -134,6 +134,31 @@ class NICCluster:
         else:
             raise TypeError(f"unknown event {event!r}")
 
+    def consume_batch(self, events) -> None:
+        """Route a whole delivered event slice (dataplane batch tier):
+        events partition per engine in arrival order and each engine
+        reduces its subsequence as one columnar block.  Routing is
+        per-event exactly as :meth:`consume`; engines hold disjoint
+        state, so only the per-engine order is observable — and that is
+        preserved."""
+        project = self.compiled.cg.project
+        route = self._route_key
+        slices: dict[int, list] = {}
+        for event in events:
+            if isinstance(event, FGSync):
+                nic = route(project(event.key))
+            elif isinstance(event, MGPVRecord):
+                nic = route(event.cg_key, event.cg_hash32)
+            else:
+                raise TypeError(f"unknown event {event!r}")
+            lst = slices.get(nic)
+            if lst is None:
+                slices[nic] = [event]
+            else:
+                lst.append(event)
+        for nic, evs in slices.items():
+            self.engines[nic].consume_batch(evs)
+
     def run(self, events) -> "NICCluster":
         for event in events:
             self.consume(event)

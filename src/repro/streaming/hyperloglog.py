@@ -73,6 +73,53 @@ def hash_key(key) -> int:
     return fmix32(hash(key) & 0xFFFFFFFF)
 
 
+def fmix32_array(values):
+    """Vectorized :func:`fmix32` over a uint64 ndarray.
+
+    Works in 64-bit lanes masked back to 32 bits after every multiply —
+    bit-identical to the scalar finalizer for any input already reduced
+    to 32 bits.  Imports numpy lazily so the scalar hash path keeps its
+    zero-dependency profile.
+    """
+    import numpy as np
+
+    mask = np.uint64(0xFFFFFFFF)
+    h = values & mask
+    h ^= h >> np.uint64(16)
+    h = (h * np.uint64(0x85EBCA6B)) & mask
+    h ^= h >> np.uint64(13)
+    h = (h * np.uint64(0xC2B2AE35)) & mask
+    h ^= h >> np.uint64(16)
+    return h
+
+
+def hash_key_columns(columns):
+    """Vectorized :func:`hash_key` over the tuple branch: ``columns`` is
+    a sequence of integer ndarrays (one per tuple position, all the same
+    length) and the result is a uint64 array of 32-bit hashes such that
+    ``out[i] == hash_key(tuple(col[i] for col in columns))`` exactly.
+
+    Only the all-int tuple shape is supported — which is every group key
+    the granularity layer produces (plain int tuples; see
+    :mod:`repro.core.granularity`).
+    """
+    import numpy as np
+
+    if not columns:
+        raise ValueError("need at least one key column")
+    mask = np.uint64(0xFFFFFFFF)
+    h = np.full(len(columns[0]), 0x9E3779B9, dtype=np.uint64)
+    for col in columns:
+        part = np.asarray(col).astype(np.uint64) & mask
+        h ^= fmix32_array(part)
+        h ^= h >> np.uint64(16)
+        h = (h * np.uint64(0x85EBCA6B)) & mask
+        h ^= h >> np.uint64(13)
+        h = (h * np.uint64(0xC2B2AE35)) & mask
+        h ^= h >> np.uint64(16)
+    return h
+
+
 _ALPHA = {16: 0.673, 32: 0.697, 64: 0.709}
 
 

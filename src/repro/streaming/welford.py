@@ -40,6 +40,23 @@ class Welford:
         self.mean += delta / self.n
         self.m2 += delta * (x - self.mean)
 
+    def update_many(self, values) -> None:
+        """Batch update: the same sequential recurrence with the state
+        held in locals for the duration of the slice (bit-identical to
+        calling :meth:`update` per value — the recurrence is order-
+        sensitive, so there is no closed form to jump to)."""
+        n = self.n
+        mean = self.mean
+        m2 = self.m2
+        for x in values:
+            n += 1
+            delta = x - mean
+            mean += delta / n
+            m2 += delta * (x - mean)
+        self.n = n
+        self.mean = mean
+        self.m2 = m2
+
     @property
     def variance(self) -> float:
         return self.m2 / self.n if self.n > 0 else 0.0
@@ -120,6 +137,45 @@ class WelfordDivisionFree:
         self.mean = mean
         self._rem = rem
         self.m2 += float(x - old_mean) * float(x - mean)
+
+    def update_many(self, values) -> None:
+        """Batch update over a value slice: the exact :meth:`update`
+        body with ``n``/``mean``/``m2``/``rem`` as loop locals.  The
+        comparison-based mean step and the remainder bank make the
+        recurrence strictly order-sequential, so the win is attribute-
+        access elimination, not vectorization — and the bits match the
+        one-at-a-time path exactly."""
+        n = self.n
+        mean = self.mean
+        m2 = self.m2
+        rem = self._rem
+        for x in values:
+            n += 1
+            x = int(x)
+            old_mean = mean
+            delta = x - mean
+            mag = delta if delta >= 0 else -delta
+            if mag < n:
+                rem += delta
+            elif mag < 2 * n:
+                step = 1 if delta > 0 else -1
+                mean += step
+                rem += delta - step * n
+            else:
+                step = delta // n if delta >= 0 else -((-delta) // n)
+                mean += step
+                rem += delta - step * n
+            while rem >= n:
+                mean += 1
+                rem -= n
+            while rem <= -n:
+                mean -= 1
+                rem += n
+            m2 += float(x - old_mean) * float(x - mean)
+        self.n = n
+        self.mean = mean
+        self.m2 = m2
+        self._rem = rem
 
     @property
     def variance(self) -> float:

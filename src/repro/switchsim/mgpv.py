@@ -28,12 +28,13 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
+from itertools import islice
 from time import perf_counter_ns
 from typing import Iterable, Iterator, Union
 
 from repro.core.granularity import Granularity
-from repro.net.packet import Packet, compile_field_accessor
-from repro.streaming.hyperloglog import hash_key
+from repro.net.packet import PLAIN_FIELDS, Packet, compile_field_accessor
+from repro.streaming.hyperloglog import hash_key, hash_key_columns
 
 #: Flows whose (cg_key, hash, slot, fg-slot) route is interned before the
 #: cache is wiped.  The route is a pure function of the FG key, so the
@@ -290,6 +291,212 @@ class MGPVCache:
         if not self.stats.pkts_in % 64:    # stride guard inlined
             self._sample_occupancy()
         return events
+
+    def insert_batch(self, batch, out: list[Event] | None = None
+                     ) -> list[Event]:
+        """Columnar twin of :meth:`insert` over a whole
+        :class:`~repro.net.packet.PacketBatch`: keys come from the
+        granularity's vectorized ``batch_key`` kernel, routes for
+        cache-missing flows are hashed in one :func:`hash_key_columns`
+        sweep, and metadata cells are materialized from column lists —
+        the stateful slot/buffer walk then runs as a tight loop with no
+        Packet objects in sight.  Event stream, counters, and cache state
+        transitions are identical to inserting the packets one at a time
+        (the reference mode and non-columnar key/metadata configurations
+        fall back to exactly that).
+        """
+        events: list[Event] = [] if out is None else out
+        batch_key = self.fg.batch_key
+        if (self._reference or batch_key is None
+                or not all(f in PLAIN_FIELDS for f in self.metadata_fields)):
+            for pkt in batch:
+                self.insert(pkt, events)
+            return events
+        n = len(batch)
+        if not n:
+            return events
+
+        fg_keys = batch_key(batch)
+        tstamps, sizes = batch.column_lists(("tstamp", "size"))
+        if self.metadata_fields:
+            meta_rows = list(zip(*batch.column_lists(self.metadata_fields)))
+        else:
+            meta_rows = [()] * n
+
+        # Resolve each distinct flow's routing tuple once: cached routes
+        # are reused, the rest are hashed column-wise in two sweeps (CG
+        # keys, then the FG keys that differ from their CG projection).
+        routes: dict[tuple, tuple] = {}
+        key_cache = self._key_cache
+        missing = []
+        for k in dict.fromkeys(fg_keys):
+            route = key_cache.get(k)
+            if route is None:
+                missing.append(k)
+            else:
+                routes[k] = route
+        if missing:
+            cfg = self.config
+            project = self._cg_project
+            cg_keys = [project(k) for k in missing]
+            cg_hashes = hash_key_columns(list(zip(*cg_keys))).tolist()
+            distinct = [i for i, (f, c) in enumerate(zip(missing, cg_keys))
+                        if f != c]
+            if distinct:
+                fg_hashes = hash_key_columns(
+                    list(zip(*(missing[i] for i in distinct)))).tolist()
+                fg_idx_by_row = dict(zip(
+                    distinct,
+                    (h % cfg.fg_table_size for h in fg_hashes)))
+            else:
+                fg_idx_by_row = {}
+            for i, (fg_key, cg_key) in enumerate(zip(missing, cg_keys)):
+                hash32 = cg_hashes[i]
+                fg_idx = fg_idx_by_row.get(i, hash32 % cfg.fg_table_size)
+                route = (cg_key, hash32, hash32 % cfg.n_short, fg_idx)
+                routes[fg_key] = route
+                if len(key_cache) >= _KEY_CACHE_CAP:
+                    key_cache.clear()
+                key_cache[fg_key] = route
+
+        # Per-row route references resolved in one C pass (the dict is
+        # fully populated above, so this cannot miss).
+        rr = list(map(routes.__getitem__, fg_keys))
+
+        stats = self.stats
+        slots = self._slots
+        fg_table = self._fg_keys
+        occupied = self._occupied
+        if self.config.aging_timeout_ns is not None:
+            # Aging interleaves a cursor scan that reads the running
+            # clock between rows — keep the straightforward loop with
+            # per-row attribute sync for that configuration.
+            for i in range(n):
+                ts = tstamps[i]
+                if ts > self._now:
+                    self._now = ts
+                stats.pkts_in += 1
+                stats.bytes_in += sizes[i]
+                self._aging_scan(events)
+                self._insert_routed(fg_keys[i], rr[i], ts, meta_rows[i],
+                                    events)
+                if not stats.pkts_in % 64:
+                    self._sample_occupancy()
+            return events
+
+        # Hot loop: nothing below reads pkts_in/bytes_in or the clock
+        # mid-row (eviction and emission account their own fields), so
+        # the rows run in chunks delimited by the 64-packet occupancy
+        # sample stride — the stride check, the packet/byte totals, and
+        # the clock running-max leave the per-row body entirely and
+        # resolve in C over each chunk's slices.  The `is not` guards
+        # shortcut the tuple comparisons — routes are interned, so a
+        # resident entry's key is usually the identical object.
+        cfg = self.config
+        short_size = cfg.short_size
+        long_size = cfg.long_size
+        long_stack = self._long_stack
+        now = self._now
+        pkts_in = stats.pkts_in
+        rows = zip(tstamps, rr, fg_keys, meta_rows)
+        start = 0
+        while start < n:
+            chunk = 64 - (pkts_in % 64)
+            if start + chunk > n:
+                chunk = n - start
+            for ts, route, fg_key, meta in islice(rows, chunk):
+                cg_key, h32, slot_idx, fg_idx = route
+
+                entry = slots[slot_idx]
+                if entry is None:
+                    entry = _Entry(cg_key, h32, ts)
+                    slots[slot_idx] = entry
+                    occupied.add(slot_idx)
+                else:
+                    ek = entry.cg_key
+                    if ek is not cg_key and ek != cg_key:
+                        events.append(self._evict(slot_idx, "collision"))
+                        entry = _Entry(cg_key, h32, ts)
+                        slots[slot_idx] = entry
+                        occupied.add(slot_idx)
+
+                resident = fg_table[fg_idx]
+                if resident is not fg_key and resident != fg_key:
+                    self._resolve_fg(fg_key, fg_idx, slot_idx, events)
+                    entry = slots[slot_idx]
+                    if entry is None or entry.cg_key != cg_key:
+                        entry = _Entry(cg_key, h32, ts)
+                        slots[slot_idx] = entry
+                        occupied.add(slot_idx)
+                entry.fg_indices.add(fg_idx)
+                entry.last_access = ts
+
+                # _append_cell inlined (same transitions, accounting).
+                cell = (fg_idx, meta)
+                if entry.long_idx is not None:
+                    long = entry.long
+                    long.append(cell)
+                    if len(long) >= long_size:
+                        events.append(self._emit(entry, "long_full"))
+                        long_stack.append(entry.long_idx)
+                        entry.long_idx = None
+                        entry.short = []
+                        entry.long = []
+                else:
+                    short = entry.short
+                    short.append(cell)
+                    if len(short) >= short_size:
+                        allowed = (self._long_allowed is None
+                                   or self.long_buffers_in_use
+                                   < self._long_allowed)
+                        if long_stack and allowed:
+                            entry.long_idx = long_stack.pop()
+                            stats.long_allocs += 1
+                        else:
+                            stats.long_alloc_failures += 1
+                            events.append(self._emit(entry, "short_full"))
+                            entry.short = []
+            end = start + chunk
+            mx = max(tstamps[start:end])
+            if mx > now:
+                now = mx
+            pkts_in += chunk
+            start = end
+            if not pkts_in % 64:
+                stats.pkts_in = pkts_in
+                self._now = now
+                self._sample_occupancy()
+        stats.pkts_in = pkts_in
+        stats.bytes_in += sum(sizes)
+        self._now = now
+        return events
+
+    def _insert_routed(self, fg_key: tuple, route: tuple, ts: int,
+                       meta: tuple, events: list[Event]) -> None:
+        """One pre-routed row of :meth:`insert_batch`'s aging loop —
+        exactly the slot/FG/cell transitions of :meth:`insert` after
+        route resolution."""
+        cg_key, hash32, slot_idx, fg_idx = route
+        slots = self._slots
+        entry = slots[slot_idx]
+        if entry is not None and entry.cg_key != cg_key:
+            events.append(self._evict(slot_idx, "collision"))
+            entry = None
+        if entry is None:
+            entry = _Entry(cg_key, hash32, ts)
+            slots[slot_idx] = entry
+            self._occupied.add(slot_idx)
+
+        if self._fg_keys[fg_idx] != fg_key:
+            self._resolve_fg(fg_key, fg_idx, slot_idx, events)
+            entry = slots[slot_idx]
+            if entry is None or entry.cg_key != cg_key:
+                entry = _Entry(cg_key, hash32, ts)
+                slots[slot_idx] = entry
+                self._occupied.add(slot_idx)
+        entry.fg_indices.add(fg_idx)
+        entry.last_access = ts
+        self._append_cell(slot_idx, entry, (fg_idx, meta), events)
 
     def _insert_reference(self, pkt: Packet, out: list[Event] | None = None
                           ) -> list[Event]:

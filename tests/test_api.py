@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 import repro.api as api
+from repro.core.deprecation import reset_warned
 from repro.core.parallel import ExecutionConfig
 from repro.core.pipeline import SuperFE
 from repro.core.runtime import SuperFERuntime
@@ -237,6 +238,12 @@ class TestStreamIngestion:
 
 
 class TestDeprecationShims:
+    @pytest.fixture(autouse=True)
+    def _fresh_warn_registry(self):
+        reset_warned()
+        yield
+        reset_warned()
+
     def test_superfe_direct_construction_warns(self, policy):
         with pytest.warns(DeprecationWarning, match="repro.api"):
             SuperFE(policy)
@@ -248,6 +255,17 @@ class TestDeprecationShims:
     def test_runtime_direct_construction_warns(self, policy):
         with pytest.warns(DeprecationWarning, match="repro.api"):
             SuperFERuntime(policy)
+
+    def test_warns_once_per_class(self, policy, recwarn):
+        with pytest.warns(DeprecationWarning, match="SuperFE"):
+            SuperFE(policy)
+        recwarn.clear()
+        SuperFE(policy)     # second construction: already warned
+        assert not [w for w in recwarn
+                    if issubclass(w.category, DeprecationWarning)]
+        # ...but a different class still gets its own warning.
+        with pytest.warns(DeprecationWarning, match="SoftwareExtractor"):
+            SoftwareExtractor(policy)
 
     def test_deprecated_path_still_works(self, policy, packets):
         with pytest.warns(DeprecationWarning):
