@@ -355,6 +355,13 @@ class Extractor:
     - :meth:`baseline` — the software oracle for the same policy;
     - :meth:`deploy` — a continuously running control-plane runtime;
     - :meth:`manifests` / :meth:`dataplane` — introspection.
+
+    On the process execution backend the extractor keeps a persistent
+    worker pool: the first :meth:`run`/:meth:`stream` spawns the
+    workers, later calls reuse them (engines reset per run, processes
+    kept warm, shm transport rings kept mapped).  :meth:`close` — or
+    use the extractor as a context manager — releases the pool; an
+    unclosed extractor's pool is reclaimed on garbage collection.
     """
 
     def __init__(self, impl, policy: Policy, *, software: bool) -> None:
@@ -501,6 +508,22 @@ class Extractor:
         )
         kwargs.update(overrides)
         return SuperFERuntime(self.policy, _internal=True, **kwargs)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the persistent worker pool (no-op for in-process
+        backends).  Idempotent; the extractor stays usable — a later
+        run simply respawns the pool."""
+        close = getattr(self._impl, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "Extractor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         kind = "software" if self.software else "superfe"

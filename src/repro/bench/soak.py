@@ -104,6 +104,7 @@ def run_soak(n_flows: int = 200,
         packets)
     chaos_sum = vectors_checksum(chaos.vectors)
     health = chaos.dataplane.health()
+    transport = health.get("transport")
     supervision = health["supervision"]
     recovery = supervision["restart_latency"]
     poison = supervision["poison_batches"]
@@ -155,6 +156,15 @@ def run_soak(n_flows: int = 200,
         "workers": workers,
         "request_timeout_s": request_timeout_s,
         "stall_seconds": stall_seconds,
+        # Shard transport of the chaos pass (the supervised deployment):
+        # mode plus the frame/byte/fallback ledger from health().
+        "transport": (None if transport is None else {
+            "mode": transport["mode"],
+            "frames": transport["frames"],
+            "bytes": transport["bytes"],
+            "fallback_chunks": transport["fallback_chunks"],
+            "parked_frames": transport["parked_frames"],
+        }),
         "serial": {
             "seconds": round(serial_s, 4),
             "pps": round(n_packets / serial_s, 1),

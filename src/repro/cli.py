@@ -282,10 +282,23 @@ def _cmd_bench_parallel(args) -> int:
           f"{record['n_packets']} packets / {record['n_nics']} NICs")
     for run in record["runs"]:
         marker = "==" if run["equivalent"] else "!="
+        transport = run.get("transport")
+        wire = ("" if transport is None
+                else f", {transport['mode']} "
+                     f"{transport['bytes_per_batch']:,.0f} B/batch")
         print(f"{run['workers']} workers: {run['pps']:,.0f} pps "
-              f"({run['speedup']:.2f}x, checksum {marker} serial)")
-    print(f"wrote {args.out} (cpu_count={record['cpu_count']})")
-    return 0 if record["equivalent"] else 1
+              f"({run['speedup']:.2f}x, checksum {marker} serial"
+              f"{wire})")
+    gate = record["speedup_gate"]
+    print(f"speedup gate [{gate['status']}]: {gate['reason']}")
+    print(f"wrote {args.out} (cpu_count={record['cpu_count']}, "
+          f"transport={record['transport']})")
+    if not record["equivalent"]:
+        return 1
+    if args.enforce_gate and gate["status"] == "failed":
+        print(f"--enforce-gate: {gate['reason']}", file=sys.stderr)
+        return 3
+    return 0
 
 
 def _cmd_bench_soak(args) -> int:
@@ -464,6 +477,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--telemetry",
                    help="also dump the traced pass's metrics/spans as "
                         "JSON Lines to this path")
+    p.add_argument("--enforce-gate", action="store_true",
+                   help="exit 3 when the speedup gate fails (a skipped "
+                        "gate on a starved host still exits 0 — its "
+                        "reason is recorded in the JSON)")
     p.set_defaults(func=_cmd_bench_parallel)
 
     p = sub.add_parser("bench-soak",

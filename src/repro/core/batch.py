@@ -40,8 +40,11 @@ class Batcher:
     released as one chunk — the same trade the MGPV cache makes for the
     switch→NIC link, applied to any per-item overhead.  The parallel
     execution engine (:mod:`repro.core.parallel`) batches its worker
-    dispatch through this, paying one queue/pickling round per chunk
-    instead of per event.
+    dispatch through this: each released chunk becomes one transport
+    frame (a shared-memory ring write, or one out-of-band buffer over
+    the queue — see :mod:`repro.core.transport`), so chunk size is the
+    frame size and the per-chunk cost is one encode + one copy instead
+    of per-event pickling.
     """
 
     __slots__ = ("capacity", "_items")

@@ -747,6 +747,7 @@ class Dataplane:
               trace: Trace | None = None,
               fault_plan=None,
               execution: ExecutionConfig | None = None,
+              pool=None,
               telemetry: Telemetry | None = None) -> "Dataplane":
         """Wire the Fig 1 graph for a compiled policy.
 
@@ -764,7 +765,9 @@ class Dataplane:
         ``SUPERFE_EXEC_BACKEND`` / ``SUPERFE_EXEC_WORKERS`` environment
         (the CI matrix hook).  ``telemetry`` attaches a
         :class:`~repro.core.telemetry.Telemetry` bundle to every stage
-        (see :meth:`attach_telemetry`).
+        (see :meth:`attach_telemetry`).  ``pool`` hands the parallel
+        sink a persistent :class:`~repro.core.parallel.WorkerPool` to
+        lease instead of spawning per-run workers.
         """
         if n_nics < 1:
             raise ValueError(f"n_nics must be >= 1, got {n_nics}")
@@ -789,7 +792,8 @@ class Dataplane:
         elif n_nics > 1:
             if execution is not None and execution.is_parallel:
                 sink = ParallelSink(ShardedCluster(
-                    compiled, n_nics, execution, **engine_kwargs))
+                    compiled, n_nics, execution, pool=pool,
+                    **engine_kwargs))
             else:
                 sink = ClusterSink(NICCluster(compiled, n_nics,
                                               **engine_kwargs))

@@ -44,6 +44,19 @@ Failover (``fail_nic``) needs no barrier: the crash request rides the
 owner's FIFO queue behind every event routed before the kill, so the
 residual snapshot is exactly the serial one.
 
+Transport (process backend): dispatch batches do not pickle their
+events.  The coordinator flattens each chunk into one int64 frame and
+ships it through a per-worker shared-memory ring
+(:mod:`repro.core.transport`), posting only a tiny ``("frame", seq)``
+pointer on the FIFO queue; hosts without usable shared memory degrade
+to the same frame as a single ``bytes`` payload over the queue
+(``oob``), and chunks a frame cannot represent exactly (non-int cell
+values) fall back to the legacy pickled row protocol per chunk.
+Workers for the process backend come from a persistent
+:class:`WorkerPool` — spawned once, ``reset`` per run, rebalanced
+across runs by observed per-shard load, and stopped by an explicit
+``close()`` (or a pid-guarded finalizer).
+
 Supervision (process backend, on by default): the coordinator keeps a
 per-worker *journal* — the FIFO transcript of every state-mutating
 message it sent (sequence-numbered batches, clock advances, crash
@@ -73,11 +86,20 @@ import signal
 import threading
 import time
 import traceback
+import weakref
 from collections import deque
 from dataclasses import dataclass
 
 from repro.core.compiler import CompiledPolicy
 from repro.core.functions import ExecContext
+from repro.core.transport import (
+    FRAME_OVERHEAD,
+    TRANSPORTS,
+    ShmRing,
+    apply_frame,
+    encode_rows,
+    resolve_transport,
+)
 from repro.nicsim.engine import EngineStats, FeatureEngine, FeatureVector
 from repro.nicsim.loadbalance import reconcile_residual, route_shard
 from repro.switchsim.mgpv import Event, FGSync, MGPVRecord
@@ -93,7 +115,11 @@ _REPLY_TIMEOUT_S = 300.0
 #: ``ExecutionConfig.request_timeout_s`` nor the env override is set.
 DEFAULT_REQUEST_TIMEOUT_S = 30.0
 
-_BATCH_KINDS = ("batch", "pbatch")
+#: Frames the coordinator parks for one hot ring before dispatch
+#: applies backpressure (blocks for ring space) instead.
+_PENDING_LIMIT = 64
+
+_BATCH_KINDS = ("batch", "pbatch", "frame", "oframe")
 
 
 class ExecutorError(RuntimeError):
@@ -148,6 +174,16 @@ class ExecutionConfig:
       one worker before the cluster gives up and raises.
     - ``poison_threshold`` — consecutive blames on the same batch before
       it is quarantined and salvaged as degraded coarse vectors.
+
+    Transport knobs (process backend):
+
+    - ``transport`` — how dispatch batches cross the worker boundary:
+      ``"shm"`` (shared-memory ring frames), ``"oob"`` (the same frame
+      as one bytes payload over the queue), ``"legacy"`` (pickled
+      rows).  ``None`` (default) defers to ``SUPERFE_TRANSPORT``, then
+      auto-selects: ``shm`` where shared memory works, degrading to
+      ``oob`` with a single warning where it does not.
+    - ``ring_bytes`` — per-worker ring capacity for the shm transport.
     """
 
     workers: int = 1
@@ -157,6 +193,8 @@ class ExecutionConfig:
     supervise: bool | None = None
     max_restarts: int = 5
     poison_threshold: int = 3
+    transport: str | None = None
+    ring_bytes: int = 1 << 20
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -181,6 +219,17 @@ class ExecutionConfig:
             raise ValueError(
                 "supervise=True needs backend='process' — only a "
                 "process worker can be killed and restarted")
+        if self.transport is not None and self.transport not in TRANSPORTS:
+            raise ValueError(f"unknown shard transport "
+                             f"{self.transport!r}; have {TRANSPORTS}")
+        if (self.transport in ("shm", "oob")
+                and self.backend != "process"):
+            raise ValueError(
+                f"transport={self.transport!r} needs backend='process' "
+                f"— in-process backends have no serialization boundary")
+        if self.ring_bytes < 4 * FRAME_OVERHEAD:
+            raise ValueError(f"ring_bytes must be >= "
+                             f"{4 * FRAME_OVERHEAD}, got {self.ring_bytes}")
 
     @property
     def is_parallel(self) -> bool:
@@ -215,7 +264,12 @@ class ExecutionConfig:
     @classmethod
     def from_env(cls, env=None) -> "ExecutionConfig | None":
         """Build from ``SUPERFE_EXEC_BACKEND`` / ``SUPERFE_EXEC_WORKERS``
-        (the CI matrix hook); None when the backend variable is unset."""
+        / ``SUPERFE_TRANSPORT`` (the CI matrix hooks); None when the
+        backend variable is unset.  The transport variable only binds on
+        the process backend — in-process backends have no wire, so a
+        matrix-wide ``SUPERFE_TRANSPORT`` must not break their legs —
+        and an unknown value raises here, at configuration time, not at
+        first dispatch."""
         env = os.environ if env is None else env
         backend = (env.get("SUPERFE_EXEC_BACKEND") or "").strip().lower()
         if not backend:
@@ -223,6 +277,13 @@ class ExecutionConfig:
         workers = int(env.get("SUPERFE_EXEC_WORKERS") or 0)
         if workers < 1:
             workers = os.cpu_count() or 1
+        transport = (env.get("SUPERFE_TRANSPORT") or "").strip().lower()
+        if transport and backend == "process":
+            if transport not in TRANSPORTS:
+                raise ValueError(f"SUPERFE_TRANSPORT must be one of "
+                                 f"{TRANSPORTS}, got {transport!r}")
+            return cls(workers=workers, backend=backend,
+                       transport=transport)
         return cls(workers=workers, backend=backend)
 
 
@@ -236,7 +297,12 @@ class _ShardDriver:
     so the three run identical code."""
 
     def __init__(self, compiled: CompiledPolicy, ctx: ExecContext | None,
-                 engine_kwargs: dict, shards: tuple[int, ...]) -> None:
+                 engine_kwargs: dict, shards: tuple[int, ...],
+                 ring: ShmRing | None = None) -> None:
+        self._compiled = compiled
+        self._ctx = ctx
+        self._engine_kwargs = engine_kwargs
+        self.ring = ring
         self.engines = {s: FeatureEngine(compiled, ctx=ctx, **engine_kwargs)
                         for s in shards}
         self._pv_cursors = {s: 0 for s in shards}
@@ -247,13 +313,21 @@ class _ShardDriver:
         """Returns ``(replied, payload)``; async messages reply False."""
         kind = msg[0]
         if kind in _BATCH_KINDS:
-            # Batch messages are ("batch"|"pbatch", seq, rows): seq is
-            # the coordinator's journal sequence number (None when
-            # unsupervised), echoed back in error reports so failures
-            # are attributable to one batch.
+            # Batch messages are ("batch"|"pbatch", seq, rows),
+            # ("frame", seq) — the rows travelled through the shm ring
+            # as one int64 frame, popped here — or ("oframe", seq,
+            # payload) — the same frame bytes shipped inline over the
+            # queue (single-buffer fallback): seq is the coordinator's
+            # journal sequence number (None when unsupervised), echoed
+            # back in error reports so failures are attributable to one
+            # batch.
             slow = self._slow_factor
             t0 = time.perf_counter() if slow > 1.0 else 0.0
-            if kind == "batch":
+            if kind == "frame":
+                apply_frame(self.ring.pop(), self.engines)
+            elif kind == "oframe":
+                apply_frame(msg[2], self.engines)
+            elif kind == "batch":
                 for shard, event in msg[2]:
                     self.engines[shard].consume(event)
             else:
@@ -323,17 +397,37 @@ class _ShardDriver:
         if kind == "chaos_slow":
             self._slow_factor = float(msg[1])
             return False, None
+        if kind == "reset":
+            # Pool reuse: a new run leases this worker.  ("reset",
+            # shards, next_ring_seq) rebuilds fresh engines for the new
+            # shard set and fast-forwards the ring consumer to the
+            # producer's sequence counter (the ring outlives the run;
+            # its byte positions and seq numbers keep counting).
+            shards = tuple(msg[1])
+            self.engines = {
+                s: FeatureEngine(self._compiled, ctx=self._ctx,
+                                 **self._engine_kwargs)
+                for s in shards}
+            self._pv_cursors = {s: 0 for s in shards}
+            self._slow_factor = 1.0
+            if self.ring is not None:
+                self.ring.reset_consumer(msg[2])
+            if self.telemetry is not None:
+                for engine in self.engines.values():
+                    engine.attach_telemetry(self.telemetry)
+            return True, True
         raise RuntimeError(f"unknown worker message {kind!r}")
 
 
-def _worker_loop(compiled, ctx, engine_kwargs, shards, inbox, outbox):
+def _worker_loop(compiled, ctx, engine_kwargs, shards, inbox, outbox,
+                 ring=None):
     """Thread/process entry point: drain the FIFO inbox until ``stop``.
     Errors are reported on the outbox as structured dicts (message kind,
     batch seq, shard set, pid, traceback), where the coordinator's next
     synchronous request surfaces them as :class:`ExecutorError`."""
     pid = os.getpid()
     try:
-        driver = _ShardDriver(compiled, ctx, engine_kwargs, shards)
+        driver = _ShardDriver(compiled, ctx, engine_kwargs, shards, ring)
     except Exception:
         outbox.put(("error", {
             "kind": "startup", "seq": None, "shards": tuple(shards),
@@ -386,12 +480,17 @@ class _QueueWorker:
     """A thread or forked-process worker behind a FIFO message queue."""
 
     def __init__(self, backend: str, compiled, ctx, engine_kwargs,
-                 shards, index: int) -> None:
+                 shards, index: int, ring: ShmRing | None = None) -> None:
         self.shards = shards
         self.backend = backend
         self.index = index
         self.name = f"shard-worker-{index}"
         self._stopped = False
+        self.ring = ring
+        # Instrumentation: message kinds posted over the queue, for the
+        # zero-pickled-payload transport proof (frames never count as
+        # "pbatch"/"batch" here — only the 16-byte pointer message).
+        self.kind_counts: dict[str, int] = {}
         args = (compiled, ctx, engine_kwargs, shards)
         if backend == "thread":
             self.inbox: object = queue_mod.SimpleQueue()
@@ -404,7 +503,8 @@ class _QueueWorker:
             self.inbox = mp_ctx.Queue(maxsize=_QUEUE_DEPTH)
             self.outbox = mp_ctx.Queue()
             self._handle = mp_ctx.Process(
-                target=_worker_loop, args=(*args, self.inbox, self.outbox),
+                target=_worker_loop,
+                args=(*args, self.inbox, self.outbox, ring),
                 name=self.name, daemon=True)
         self._handle.start()
 
@@ -440,6 +540,8 @@ class _QueueWorker:
         :class:`WorkerDied`, a full inbox past the deadline raises
         :class:`WorkerStalled`.  Without one, the put blocks as long as
         the worker stays alive (the legacy backpressure bound)."""
+        k = msg[0]
+        self.kind_counts[k] = self.kind_counts.get(k, 0) + 1
         if self.backend == "thread":
             self.inbox.put(msg)        # SimpleQueue: unbounded
             return
@@ -536,6 +638,246 @@ def _fork_context():
             "the process execution backend needs the fork start method "
             "(Linux) — did you mean backend='serial' or "
             "backend='thread'?") from None
+
+
+# ---------------------------------------------------------------------------
+# Persistent worker pool
+# ---------------------------------------------------------------------------
+
+def _shutdown_workers(workers: list, rings: list, creator_pid: int) -> None:
+    """``weakref.finalize`` target for :class:`WorkerPool`: stop the
+    current worker incarnations and unlink their shm rings.  Guarded to
+    the creating process — a forked child inheriting the finalizer must
+    never unlink the parent's live segments (fork children exit via
+    ``os._exit`` so finalizers normally don't run there; this is
+    belt-and-braces)."""
+    if os.getpid() != creator_pid:
+        return
+    for w in workers:
+        try:
+            w.stop()
+        except Exception:
+            pass
+    for ring in rings:
+        if ring is not None:
+            ring.close()
+    workers.clear()
+    rings.clear()
+
+
+class WorkerPool:
+    """Long-lived process workers reused across extraction runs.
+
+    Spawning a fork worker costs a page-table copy plus engine
+    construction; a streaming service replaying millions of users pays
+    it per ``run()`` unless the pool outlives the run.  The pool owns
+    the workers and their shm rings; a :class:`ShardedCluster` *leases*
+    them for one run (``lease`` -> dispatch -> ``release``) and a
+    ``("reset", shards, ring_seq)`` sync message gives each worker fresh
+    engines without respawning the process.
+
+    ``release`` records per-shard event counts from the finished run;
+    the next ``lease`` feeds them to an LPT (longest-processing-time)
+    greedy assignment so hot shards spread across workers — occupancy-
+    based rebalancing that is *result-invariant* (shard->worker
+    placement never changes event order within a shard, and merge order
+    is shard-index order regardless of owner).
+    """
+
+    def __init__(self, compiled, execution: ExecutionConfig,
+                 ctx=None, engine_kwargs: dict | None = None) -> None:
+        if execution.backend != "process":
+            raise ExecutorError(
+                f"WorkerPool needs backend='process', got "
+                f"{execution.backend!r}")
+        self.execution = execution
+        self.transport = resolve_transport(execution.transport,
+                                           execution.backend)
+        self._compiled = compiled
+        self._ctx = ctx
+        self._engine_kwargs = engine_kwargs or {}
+        # Mutated in place (never rebound) so the finalizer always sees
+        # the current incarnations.
+        self._workers: list[_QueueWorker] = []
+        self._rings: list[ShmRing | None] = []
+        self._n_nics = 0
+        self._owner: list[int] = []
+        self._shard_loads: dict[int, int] = {}
+        self.leased = False
+        self.closed = False
+        self.spawns = 0
+        self.leases = 0
+        self.rebalances = 0
+        self._finalizer = weakref.finalize(
+            self, _shutdown_workers, self._workers, self._rings,
+            os.getpid())
+
+    def _new_ring(self, index: int) -> ShmRing | None:
+        if self.transport != "shm":
+            return None
+        return ShmRing(self.execution.ring_bytes, label=f"w{index}")
+
+    def _spawn(self, index: int, shards: tuple[int, ...]) -> None:
+        ring = self._new_ring(index)
+        try:
+            worker = _QueueWorker("process", self._compiled, self._ctx,
+                                  self._engine_kwargs, shards, index,
+                                  ring)
+        except BaseException:
+            if ring is not None:
+                ring.close()
+            raise
+        self._workers.append(worker)
+        self._rings.append(ring)
+        self.spawns += 1
+
+    def _assign(self, n_nics: int, n_workers: int) -> list[int]:
+        """shard -> worker.  Without load history: round-robin (the
+        legacy placement, also what serial-equivalence tests pin).
+        With history: LPT greedy — heaviest shard first onto the
+        least-loaded worker (ties broken by worker index for
+        determinism); +1 per shard keeps empty shards spread too."""
+        if not self._shard_loads:
+            return [s % n_workers for s in range(n_nics)]
+        order = sorted(range(n_nics),
+                       key=lambda s: (-self._shard_loads.get(s, 0), s))
+        totals = [0] * n_workers
+        owner = [0] * n_nics
+        for s in order:
+            w = min(range(n_workers), key=lambda i: (totals[i], i))
+            owner[s] = w
+            totals[w] += self._shard_loads.get(s, 0) + 1
+        return owner
+
+    def lease(self, n_nics: int):
+        """Claim the pool for one run.  Returns ``(workers, owner,
+        rings)``.  Reuses live workers when the shape matches (reset in
+        place); respawns when the shard/worker geometry changed or a
+        worker died between runs."""
+        if self.closed:
+            raise ExecutorError("worker pool is closed")
+        if self.leased:
+            raise ExecutorError(
+                "worker pool is already leased — one run at a time")
+        n_workers = max(1, min(self.execution.workers, n_nics))
+        owner = self._assign(n_nics, n_workers)
+        shards_of = [tuple(s for s in range(n_nics) if owner[s] == w)
+                     for w in range(n_workers)]
+        if self._workers and (self._n_nics != n_nics
+                              or len(self._workers) != n_workers):
+            self._stop_workers()
+        if not self._workers:
+            for w in range(n_workers):
+                self._spawn(w, shards_of[w])
+        else:
+            if any(w.shards != shards_of[i]
+                   for i, w in enumerate(self._workers)):
+                self.rebalances += 1
+            for i, worker in enumerate(self._workers):
+                worker.shards = shards_of[i]
+                ring = self._rings[i]
+                seq = ring.next_seq if ring is not None else 0
+                try:
+                    deadline = time.monotonic() + _REPLY_TIMEOUT_S
+                    worker.post(("reset", shards_of[i], seq),
+                                deadline=deadline)
+                    worker.reply(deadline=deadline)
+                except ExecutorError:
+                    # Dead or wedged between runs: replace with a fresh
+                    # incarnation (fresh ring, seq 0).
+                    worker.kill()
+                    if ring is not None:
+                        ring.close()
+                    fresh_ring = self._new_ring(i)
+                    self._workers[i] = _QueueWorker(
+                        "process", self._compiled, self._ctx,
+                        self._engine_kwargs, shards_of[i], i, fresh_ring)
+                    self._rings[i] = fresh_ring
+                    self.spawns += 1
+        self._n_nics = n_nics
+        self._owner = owner
+        self.leased = True
+        self.leases += 1
+        # Copies, not the live lists: the pool clears its own lists on
+        # shutdown, and the lessee's post-close observability (health
+        # reports, message-kind ledgers) must survive that.
+        return list(self._workers), list(owner), list(self._rings)
+
+    def release(self, shard_loads: dict[int, int] | None = None) -> None:
+        """Return the pool after a run; ``shard_loads`` (shard -> event
+        count) feeds the next lease's rebalancing."""
+        if shard_loads:
+            for s, n in shard_loads.items():
+                self._shard_loads[s] = n
+        self.leased = False
+
+    def respawn(self, index: int):
+        """Supervisor path: replace a killed worker with a fresh one on
+        a fresh ring (the old ring's unconsumed frames die with the old
+        incarnation; journal replay redelivers)."""
+        old = self._workers[index]
+        old.kill()
+        old_ring = self._rings[index]
+        if old_ring is not None:
+            old_ring.close()
+        ring = self._new_ring(index)
+        worker = _QueueWorker("process", self._compiled, self._ctx,
+                              self._engine_kwargs, old.shards, index, ring)
+        self._workers[index] = worker
+        self._rings[index] = ring
+        self.spawns += 1
+        return worker, ring
+
+    def _stop_workers(self) -> None:
+        for w in self._workers:
+            w.stop()
+        for ring in self._rings:
+            if ring is not None:
+                ring.close()
+        self._workers.clear()
+        self._rings.clear()
+
+    def close(self) -> None:
+        """Stop every worker and unlink the rings.  Idempotent."""
+        if self.closed:
+            return
+        self.closed = True
+        self.leased = False
+        self._stop_workers()
+        self._finalizer.detach()
+
+    def report(self) -> dict:
+        return {
+            "transport": self.transport,
+            "workers": len(self._workers),
+            "alive": sum(1 for w in self._workers if w.is_alive()),
+            "spawns": self.spawns,
+            "leases": self.leases,
+            "rebalances": self.rebalances,
+            "closed": self.closed,
+            "shard_loads": dict(self._shard_loads),
+        }
+
+
+def _rows_to_events(rows) -> list:
+    """Rebuild event objects from compact wire rows (all three tags) —
+    the poison-salvage path, which must reconstruct exactly what the
+    worker would have consumed."""
+    events = []
+    for row in rows:
+        tag = row[1]
+        if tag == 0:
+            events.append(MGPVRecord(row[2], row[3], row[4], row[5]))
+        elif tag == 2:
+            fg_col, meta_cols = row[4], row[5]
+            if meta_cols:
+                cells = tuple(zip(fg_col, zip(*meta_cols)))
+            else:
+                cells = tuple((fg, ()) for fg in fg_col)
+            events.append(MGPVRecord(row[2], row[3], cells, row[6]))
+        else:
+            events.append(FGSync(row[2], row[3]))
+    return events
 
 
 # ---------------------------------------------------------------------------
@@ -680,22 +1022,28 @@ class ShardSupervisor:
                 continue
             try:
                 if entry.kind in _BATCH_KINDS:
-                    w.post(entry.message(seq),
-                           deadline=cluster._op_deadline())
+                    # Frame kinds re-encode into the fresh ring (the
+                    # old ring's bytes died with the old worker);
+                    # delivery is eager so the careful-mode barrier
+                    # really lands after the batch.
+                    cluster._deliver_journal(worker, seq, entry)
                     replayed += 1
                     if careful:
-                        w.post(("barrier",),
-                               deadline=cluster._op_deadline())
+                        cluster._post_control(
+                            worker, ("barrier",),
+                            deadline=cluster._op_deadline())
                         w.reply(deadline=cluster._op_deadline())
                 elif entry.expects_reply:
-                    w.post(entry.message(seq),
-                           deadline=cluster._op_deadline())
+                    cluster._post_control(
+                        worker, entry.message(seq),
+                        deadline=cluster._op_deadline())
                     value = w.reply(deadline=cluster._op_deadline())
                     if seq == capture_seq:
                         captured = value
                 else:
-                    w.post(entry.message(seq),
-                           deadline=cluster._op_deadline())
+                    cluster._post_control(
+                        worker, entry.message(seq),
+                        deadline=cluster._op_deadline())
             except ExecutorError as exc:
                 if (getattr(exc, "seq", None) is None and careful
                         and entry.kind in _BATCH_KINDS):
@@ -703,7 +1051,8 @@ class ShardSupervisor:
                 raise
         # Closing barrier: confirms the fresh incarnation survived and
         # applied the whole transcript before normal traffic resumes.
-        w.post(("barrier",), deadline=cluster._op_deadline())
+        cluster._post_control(worker, ("barrier",),
+                              deadline=cluster._op_deadline())
         w.reply(deadline=cluster._op_deadline())
         self.redispatched += replayed
         if self._t_redispatched is not None and replayed:
@@ -762,15 +1111,8 @@ class ShardSupervisor:
             self._t_poison.inc()
 
     def _entry_events(self, entry: _JournalEntry) -> list:
-        if entry.kind == "pbatch":
-            events = []
-            for row in entry.payload:
-                if row[1] == 0:
-                    events.append(MGPVRecord(row[2], row[3], row[4],
-                                             row[5]))
-                else:
-                    events.append(FGSync(row[2], row[3]))
-            return events
+        if entry.kind in ("pbatch", "frame", "oframe"):
+            return _rows_to_events(entry.payload)
         return [event for _shard, event in entry.payload]
 
     def _ensure_poison_engine(self) -> FeatureEngine:
@@ -840,6 +1182,7 @@ class ShardedCluster:
     def __init__(self, compiled: CompiledPolicy, n_nics: int,
                  execution: ExecutionConfig,
                  ctx: ExecContext | None = None,
+                 pool: "WorkerPool | None" = None,
                  **engine_kwargs) -> None:
         # Imported lazily: core.batch pulls in core.pipeline, which is
         # still mid-import when dataplane loads this module.
@@ -863,19 +1206,47 @@ class ShardedCluster:
         # own mirror dies with its worker on the process backend).
         self._mirrors: list[dict[int, tuple]] = [{} for _ in range(n_nics)]
         self.n_workers = max(1, min(execution.workers, n_nics))
-        self._owner = [shard % self.n_workers for shard in range(n_nics)]
-        shards_of = [tuple(s for s in range(n_nics)
-                           if s % self.n_workers == w)
-                     for w in range(self.n_workers)]
-        if execution.backend == "serial":
-            self._workers: list = [
-                _InlineWorker(compiled, ctx, engine_kwargs, shards)
-                for shards in shards_of]
+        self._pool: WorkerPool | None = None
+        self._owns_pool = False
+        if execution.backend == "process":
+            # Process workers come from a WorkerPool: a caller-provided
+            # persistent one (reused across runs) or a private one that
+            # lives exactly as long as this cluster.
+            if pool is None:
+                pool = WorkerPool(compiled, execution, ctx=ctx,
+                                  engine_kwargs=dict(engine_kwargs))
+                self._owns_pool = True
+            self._pool = pool
+            self._workers, self._owner, self._rings = pool.lease(n_nics)
+            self._transport = pool.transport
         else:
-            self._workers = [
-                _QueueWorker(execution.backend, compiled, ctx,
-                             engine_kwargs, shards, w)
-                for w, shards in enumerate(shards_of)]
+            self._owner = [shard % self.n_workers
+                           for shard in range(n_nics)]
+            shards_of = [tuple(s for s in range(n_nics)
+                               if s % self.n_workers == w)
+                         for w in range(self.n_workers)]
+            if execution.backend == "serial":
+                self._workers: list = [
+                    _InlineWorker(compiled, ctx, engine_kwargs, shards)
+                    for shards in shards_of]
+            else:
+                self._workers = [
+                    _QueueWorker(execution.backend, compiled, ctx,
+                                 engine_kwargs, shards, w)
+                    for w, shards in enumerate(shards_of)]
+            self._rings = [None] * self.n_workers
+            self._transport = "legacy"
+        # Frames parked when a ring is momentarily full, per worker;
+        # drained before any control/sync post so the per-worker FIFO
+        # order (the serial-equivalence invariant) is preserved.
+        self._pending: list[deque] = [deque()
+                                      for _ in range(self.n_workers)]
+        self.frames_shipped = 0
+        self.bytes_shipped = 0
+        self.fallback_chunks = 0
+        self.parked_frames = 0
+        self.oversize_chunks = 0
+        self._shard_events = [0] * n_nics
         if execution.dispatch_batch is None:
             self._batchers: list = [AdaptiveBatcher()
                                     for _ in range(self.n_workers)]
@@ -911,6 +1282,10 @@ class ShardedCluster:
         self._t_events = None
         self._t_chunk_events = None
         self._t_failovers = None
+        self._t_tbytes = None
+        self._t_tframes = None
+        self._t_fallback = None
+        self._t_parked = None
         self._snapshots_cache: list[dict] = []
         self._telemetry_on = False
         self._telemetry_config = None
@@ -931,6 +1306,19 @@ class ShardedCluster:
         self._t_chunk_events = reg.histogram("dispatch.chunk.events",
                                              DEFAULT_COUNT_BOUNDS)
         self._t_failovers = reg.counter("cluster.failovers")
+        if self._transport != "legacy":
+            self._t_tbytes = reg.counter("transport.bytes")
+            self._t_tframes = reg.counter("transport.frames")
+            self._t_fallback = reg.counter("transport.fallback_chunks")
+            self._t_parked = reg.counter("transport.parked_frames")
+            for index, ring in enumerate(self._rings):
+                if ring is None:
+                    continue
+                reg.gauge_source(
+                    f"transport.ring.{index}.occupancy",
+                    lambda i=index: float(
+                        self._rings[i].occupancy
+                        if self._rings[i] is not None else 0))
         self._telemetry_on = True
         self._telemetry_config = telemetry.config
         if self.supervisor is not None:
@@ -989,6 +1377,7 @@ class ShardedCluster:
                        event.cells, event.reason)
         else:
             raise TypeError(f"unknown event {event!r}")
+        self._shard_events[shard] += 1
         worker = self._owner[shard]
         chunk = self._batchers[worker].add(row)
         if chunk is not None:
@@ -1014,15 +1403,45 @@ class ShardedCluster:
         worker instead of an unbounded wait.  No effect unsupervised."""
         self._deadline = deadline
 
-    def _dispatch(self, worker: int, chunk: list) -> None:
-        kind = "pbatch" if self._compact else "batch"
+    def _encode_chunk(self, worker: int, chunk: list):
+        """Pick the wire shape for one chunk: ``(kind, payload)`` where
+        payload is the encoded frame bytes (frame/oframe) or None
+        (pickled rows).  Chunks the codec cannot represent (non-int
+        values, e.g. hand-fed float cells) fall back to legacy rows —
+        per chunk, counted, correctness-first."""
+        if not self._compact or self._transport == "legacy":
+            return ("pbatch" if self._compact else "batch"), None
         if self._t_tracer is not None:
             start = time.perf_counter_ns()
-            self._post_batch(worker, kind, chunk)
+            payload = encode_rows(chunk)
+            self._t_tracer.record("transport.encode", start,
+                                  time.perf_counter_ns())
+        else:
+            payload = encode_rows(chunk)
+        if payload is None:
+            self.fallback_chunks += 1
+            if self._t_fallback is not None:
+                self._t_fallback.inc()
+            return "pbatch", None
+        if self._transport == "shm":
+            ring = self._rings[worker]
+            if ring is None or not ring.fits(len(payload)):
+                # A chunk bigger than the whole ring can never ship as
+                # a ring frame; send this one inline instead.
+                self.oversize_chunks += 1
+                return "oframe", payload
+            return "frame", payload
+        return "oframe", payload
+
+    def _dispatch(self, worker: int, chunk: list) -> None:
+        kind, payload = self._encode_chunk(worker, chunk)
+        if self._t_tracer is not None:
+            start = time.perf_counter_ns()
+            self._post_batch(worker, kind, chunk, payload)
             self._t_tracer.record("shard.dispatch", start,
                                   time.perf_counter_ns())
         else:
-            self._post_batch(worker, kind, chunk)
+            self._post_batch(worker, kind, chunk, payload)
         self.batches_dispatched += 1
         self.events_dispatched += len(chunk)
         if self._t_batches is not None:
@@ -1030,15 +1449,19 @@ class ShardedCluster:
             self._t_events.inc(len(chunk))
             self._t_chunk_events.observe(len(chunk))
 
-    def _post_batch(self, worker: int, kind: str, chunk: list) -> None:
+    def _post_batch(self, worker: int, kind: str, chunk: list,
+                    payload: bytes | None = None) -> None:
         sup = self.supervisor
         if sup is None:
-            self._workers[worker].post((kind, None, chunk))
+            self._deliver(worker, kind, None, chunk, payload)
             return
         # Journal before posting: once recorded, the batch is delivered
         # exactly once — either by this post or by the replay a failed
         # post triggers (recover() rebuilds the worker from the journal,
         # which now includes this batch, so there is no re-post here).
+        # Frames journal their *rows* (the payload is re-encoded into
+        # the fresh incarnation's ring at replay time — ring positions
+        # do not survive a restart).
         seq = sup.record(worker, kind, chunk)
         w = self._workers[worker]
         if not w.is_alive():
@@ -1047,9 +1470,128 @@ class ShardedCluster:
                 worker=worker, pid=w.pid))
             return
         try:
-            w.post((kind, seq, chunk), deadline=self._op_deadline())
+            self._deliver(worker, kind, seq, chunk, payload,
+                          deadline=self._op_deadline())
         except ExecutorError as exc:
             sup.recover(worker, exc)
+
+    def _deliver(self, worker: int, kind: str, seq, chunk: list,
+                 payload: bytes | None, deadline: float | None = None,
+                 lazy: bool = True) -> None:
+        """Put one batch on the wire.  Ring frames are lazy by default:
+        when the ring is full the frame parks in the per-worker pending
+        queue instead of blocking the coordinator (occupancy-based
+        backpressure deferral); parked frames drain opportunistically on
+        later dispatches and mandatorily before any control message."""
+        if kind == "frame":
+            pending = self._pending[worker]
+            if pending:
+                pending.append((seq, payload))
+                self.parked_frames += 1
+                if self._t_parked is not None:
+                    self._t_parked.inc()
+            elif not self._push_frame(worker, seq, payload, deadline):
+                pending.append((seq, payload))
+                self.parked_frames += 1
+                if self._t_parked is not None:
+                    self._t_parked.inc()
+            if not lazy or len(self._pending[worker]) > _PENDING_LIMIT:
+                self._drain_pending(worker, deadline=deadline)
+            else:
+                self._drain_pending(worker, deadline=deadline,
+                                    block=False)
+            return
+        # Queue-carried kinds keep FIFO order with any parked frames.
+        self._drain_pending(worker, deadline=deadline)
+        if kind == "oframe":
+            self.frames_shipped += 1
+            self.bytes_shipped += len(payload)
+            if self._t_tframes is not None:
+                self._t_tframes.inc()
+                self._t_tbytes.inc(len(payload))
+            self._workers[worker].post(("oframe", seq, payload),
+                                       deadline=deadline)
+            return
+        self._workers[worker].post((kind, seq, chunk), deadline=deadline)
+
+    def _push_frame(self, worker: int, seq, payload: bytes,
+                    deadline: float | None) -> bool:
+        """Copy one frame into the worker's ring and post its 16-byte
+        pointer message; False when the ring has no room right now."""
+        ring = self._rings[worker]
+        if self._t_tracer is not None:
+            start = time.perf_counter_ns()
+            ok = ring.try_push(payload, ring.next_seq)
+            self._t_tracer.record("transport.copy", start,
+                                  time.perf_counter_ns())
+        else:
+            ok = ring.try_push(payload, ring.next_seq)
+        if not ok:
+            return False
+        ring.next_seq += 1
+        self.frames_shipped += 1
+        self.bytes_shipped += len(payload)
+        if self._t_tframes is not None:
+            self._t_tframes.inc()
+            self._t_tbytes.inc(len(payload))
+        self._workers[worker].post(("frame", seq), deadline=deadline)
+        return True
+
+    def _drain_pending(self, worker: int, deadline: float | None = None,
+                       block: bool = True) -> None:
+        """Push parked frames in order.  Blocking drains bound their
+        wait (the op deadline, or the reply timeout) and watch worker
+        liveness so a dead consumer surfaces as :class:`WorkerDied`
+        instead of an infinite ring-full spin."""
+        pending = self._pending[worker]
+        if not pending:
+            return
+        limit = (deadline if deadline is not None
+                 else time.monotonic() + _REPLY_TIMEOUT_S)
+        while pending:
+            seq, payload = pending[0]
+            if self._push_frame(worker, seq, payload, deadline):
+                pending.popleft()
+                continue
+            if not block:
+                return
+            w = self._workers[worker]
+            if not w.is_alive():
+                raise WorkerDied(
+                    f"{w.name} (pid {w.pid}) died with "
+                    f"{len(pending)} frames parked", worker=worker,
+                    shards=w.shards, pid=w.pid, kind="frame", seq=seq)
+            if time.monotonic() > limit:
+                raise WorkerStalled(
+                    f"{w.name} (pid {w.pid}) ring stayed full past the "
+                    f"deadline with {len(pending)} frames parked",
+                    worker=worker, shards=w.shards, pid=w.pid,
+                    kind="frame", seq=seq)
+            time.sleep(0.0005)
+
+    def _post_control(self, worker: int, msg: tuple,
+                      deadline: float | None = None) -> None:
+        """Post a non-batch message, draining parked frames first so it
+        cannot overtake data already dispatched (FIFO invariant)."""
+        self._drain_pending(worker, deadline=deadline)
+        self._workers[worker].post(msg, deadline=deadline)
+
+    def _deliver_journal(self, worker: int, seq: int,
+                         entry) -> None:
+        """Replay path: redeliver one journaled batch to the fresh
+        incarnation.  Frame kinds re-encode from the journaled rows —
+        the old ring's bytes died with the old worker."""
+        kind, payload = entry.kind, None
+        if kind in ("frame", "oframe"):
+            payload = encode_rows(entry.payload)
+            if payload is None:            # defensive: codec regression
+                kind = "pbatch"
+            elif kind == "frame" and (
+                    self._rings[worker] is None
+                    or not self._rings[worker].fits(len(payload))):
+                kind = "oframe"
+        self._deliver(worker, kind, seq, entry.payload, payload,
+                      deadline=self._op_deadline(), lazy=False)
 
     def _flush_dispatch(self) -> None:
         for worker, batcher in enumerate(self._batchers):
@@ -1065,6 +1607,7 @@ class ShardedCluster:
         captured and returned in place of the lost one."""
         sup = self.supervisor
         if sup is None:
+            self._drain_pending(worker)
             return self._workers[worker].request(msg)
         seq = (sup.record(worker, msg[0],
                           msg[1] if len(msg) > 1 else None,
@@ -1078,7 +1621,9 @@ class ShardedCluster:
                     raise WorkerDied(
                         f"{w.name} (pid {w.pid}) is dead",
                         worker=worker, pid=w.pid)
-                w.post(msg, deadline=self._op_deadline())
+                deadline = self._op_deadline()
+                self._drain_pending(worker, deadline=deadline)
+                w.post(msg, deadline=deadline)
                 return w.reply(deadline=self._op_deadline())
             except ExecutorError as exc:
                 attempts += 1
@@ -1099,7 +1644,8 @@ class ShardedCluster:
         if self.supervisor is not None:
             return [self._sync_request(w, msg, journal=journal)
                     for w in range(self.n_workers)]
-        for worker in self._workers:
+        for index, worker in enumerate(self._workers):
+            self._drain_pending(index)
             worker.post(msg)
         return [worker.reply() for worker in self._workers]
 
@@ -1116,12 +1662,20 @@ class ShardedCluster:
         """Replace one worker with a fresh incarnation on the same shard
         set, re-arming its telemetry and chaos-slow state; the caller
         (the supervisor) replays the journal next."""
-        old = self._workers[worker]
-        old.kill()
-        fresh = _QueueWorker(self.execution.backend, self.compiled,
-                             self._ctx, self._engine_kwargs,
-                             old.shards, worker)
-        self._workers[worker] = fresh
+        # Parked-but-undelivered frames die here: every one of them is
+        # already journaled, so replay redelivers through the fresh ring.
+        self._pending[worker].clear()
+        if self._pool is not None:
+            fresh, ring = self._pool.respawn(worker)
+            self._workers[worker] = fresh
+            self._rings[worker] = ring
+        else:
+            old = self._workers[worker]
+            old.kill()
+            fresh = _QueueWorker(self.execution.backend, self.compiled,
+                                 self._ctx, self._engine_kwargs,
+                                 old.shards, worker)
+            self._workers[worker] = fresh
         if self._telemetry_config is not None:
             fresh.post(("telemetry_on", self._telemetry_config))
         factor = self._slow_factors.get(worker)
@@ -1160,8 +1714,8 @@ class ShardedCluster:
         self._check_worker(worker)
         self._require_supervision("worker_stall")
         try:
-            self._workers[worker].post(("chaos_stall", float(seconds)),
-                                       deadline=self._op_deadline())
+            self._post_control(worker, ("chaos_stall", float(seconds)),
+                               deadline=self._op_deadline())
         except ExecutorError as exc:
             self.supervisor.recover(worker, exc)
 
@@ -1176,8 +1730,8 @@ class ShardedCluster:
         factor = float(factor)
         self._slow_factors[worker] = factor
         try:
-            self._workers[worker].post(("chaos_slow", factor),
-                                       deadline=self._op_deadline())
+            self._post_control(worker, ("chaos_slow", factor),
+                               deadline=self._op_deadline())
         except ExecutorError as exc:
             if self.supervisor is None:
                 raise
@@ -1276,6 +1830,7 @@ class ShardedCluster:
         sup = self.supervisor
         for index, worker in enumerate(self._workers):
             if sup is None:
+                self._drain_pending(index)
                 worker.post(("clock", now_ns))
                 continue
             sup.record(index, "clock", now_ns)
@@ -1284,8 +1839,8 @@ class ShardedCluster:
                     raise WorkerDied(
                         f"{worker.name} (pid {worker.pid}) is dead",
                         worker=index, pid=worker.pid)
-                worker.post(("clock", now_ns),
-                            deadline=self._op_deadline())
+                self._post_control(index, ("clock", now_ns),
+                                   deadline=self._op_deadline())
             except ExecutorError as exc:
                 sup.recover(index, exc)
 
@@ -1306,11 +1861,26 @@ class ShardedCluster:
                 pass
         finally:
             self._closed = True
-            for worker in self._workers:
+            for pending in self._pending:
+                pending.clear()
+            if self._pool is not None:
+                # Return the lease (feeding per-shard loads into the
+                # pool's rebalancer); a private pool also shuts down —
+                # a shared one keeps its workers warm for the next run.
                 try:
-                    worker.stop()
+                    self._pool.release(
+                        {s: n for s, n in enumerate(self._shard_events)
+                         if n})
                 except Exception:
                     pass
+                if self._owns_pool:
+                    self._pool.close()
+            else:
+                for worker in self._workers:
+                    try:
+                        worker.stop()
+                    except Exception:
+                        pass
 
     # -- observability --------------------------------------------------------
 
@@ -1345,6 +1915,35 @@ class ShardedCluster:
             total.vectors_emitted += s.vectors_emitted
         return total
 
+    def transport_report(self) -> dict:
+        """How dispatch batches actually crossed the worker boundary:
+        the resolved mode, frame/byte ledger, fallback counts, and (for
+        shm) live ring occupancy — the observable proof of the
+        zero-copy claim (``queue_message_kinds`` shows only pointer and
+        control messages on the shm hot path)."""
+        kinds: dict[str, int] = {}
+        for worker in self._workers:
+            for kind, count in getattr(worker, "kind_counts",
+                                       {}).items():
+                kinds[kind] = kinds.get(kind, 0) + count
+        report = {
+            "mode": self._transport,
+            "frames": self.frames_shipped,
+            "bytes": self.bytes_shipped,
+            "fallback_chunks": self.fallback_chunks,
+            "oversize_chunks": self.oversize_chunks,
+            "parked_frames": self.parked_frames,
+            "queue_message_kinds": kinds,
+        }
+        if self._transport == "shm":
+            report["ring_bytes"] = self.execution.ring_bytes
+            report["ring_occupancy"] = [
+                ring.occupancy if ring is not None else 0
+                for ring in self._rings]
+        if self._pool is not None:
+            report["pool"] = self._pool.report()
+        return report
+
     def health(self) -> dict:
         """Liveness and supervision report: per-worker state, restart
         ledger, and the quarantined poison batches (the only events a
@@ -1364,6 +1963,7 @@ class ShardedCluster:
             "n_workers": self.n_workers,
             "closed": self._closed,
             "workers": workers,
+            "transport": self.transport_report(),
             "supervision": None,
         }
         sup = self.supervisor
@@ -1410,6 +2010,11 @@ class ShardedCluster:
                                else "auto"),
                 "batches": self.batches_dispatched,
                 "events": self.events_dispatched,
+                "transport": self._transport,
+                "bytes": self.bytes_shipped,
+                "frames": self.frames_shipped,
+                "fallback_chunks": self.fallback_chunks,
+                "parked_frames": self.parked_frames,
             },
         }
         sup = self.supervisor

@@ -176,6 +176,36 @@ class SuperFE:
         self.fault_plan = fault_plan
         self.execution = execution
         self.telemetry = telemetry
+        # Persistent process-worker pool, spawned lazily on the first
+        # parallel dataplane and reused by every later run()/stream
+        # (spawn once, reset per run).  Released by close().
+        self._pool = None
+
+    def _lease_pool(self):
+        """The persistent pool for this deployment's parallel runs, or
+        None when the deployment is not process-parallel (or the pool
+        is mid-lease — a concurrent second dataplane falls back to
+        per-run workers rather than sharing a leased pool)."""
+        execution = self.execution
+        if execution is None:
+            from repro.core.parallel import ExecutionConfig
+            execution = ExecutionConfig.from_env()
+        if (execution is None or execution.backend != "process"
+                or self.n_nics < 2):
+            return None
+        if self._pool is not None and self._pool.closed:
+            self._pool = None
+        if self._pool is None:
+            from repro.core.parallel import WorkerPool
+            engine_kwargs = dict(placement=self.placement,
+                                 table_indices=self._table_indices,
+                                 table_width=self._table_width)
+            self._pool = WorkerPool(self.compiled, execution,
+                                    ctx=self.ctx,
+                                    engine_kwargs=engine_kwargs)
+        if self._pool.leased:
+            return None
+        return self._pool
 
     def dataplane(self) -> Dataplane:
         """Wire a fresh dataplane graph for this deployment."""
@@ -190,6 +220,7 @@ class SuperFE:
             link_config=self.link_config,
             fault_plan=self.fault_plan,
             execution=self.execution,
+            pool=self._lease_pool(),
             telemetry=self.telemetry)
 
     def run(self, packets) -> ExtractionResult:
@@ -199,8 +230,9 @@ class SuperFE:
         vectors = dataplane.flush()
         sink = (dataplane.cluster if dataplane.cluster is not None
                 else dataplane.engine)
-        # Release worker processes/threads; stats and counters stay
-        # readable from their cached last state.
+        # Release the run's workers (back into the persistent pool on
+        # the process backend); stats and counters stay readable from
+        # their cached last state.
         dataplane.close()
         return ExtractionResult(
             vectors=vectors,
@@ -210,6 +242,13 @@ class SuperFE:
             compiled=self.compiled,
             dataplane=dataplane,
         )
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent; a fresh
+        pool respawns lazily if the deployment runs again)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
 
     def manifests(self) -> tuple[str, str]:
         """The generated FE-Switch / FE-NIC program summaries."""

@@ -225,7 +225,7 @@ class PacketBatch:
     batch transparently.
     """
 
-    __slots__ = ("_data",)
+    __slots__ = ("_data", "_col_cache")
 
     def __init__(self, data: np.ndarray) -> None:
         if data.dtype != PACKET_DTYPE:
@@ -233,6 +233,12 @@ class PacketBatch:
                 f"PacketBatch needs a PACKET_DTYPE structured array, got "
                 f"dtype {data.dtype!r}")
         self._data = data
+        # Per-field .tolist() memo: sliced batches get re-read column by
+        # column in dispatch (filter mask, switch keys, hash columns),
+        # and the conversion dominated dispatch profiles.  The backing
+        # array is treated as immutable (see ``data``), so caching is
+        # safe.
+        self._col_cache: dict[str, list] = {}
 
     # -- constructors ------------------------------------------------------
 
@@ -305,7 +311,7 @@ class PacketBatch:
         # One .tolist() per column: the rows come out as plain Python
         # ints (bit-identical to the originals), and the per-row cost is
         # one Packet construction instead of nine .item() calls.
-        cols = [self._data[name].tolist() for name in _PACKET_FIELDS]
+        cols = [self._column_list(name) for name in _PACKET_FIELDS]
         for row in zip(*cols):
             yield Packet(*row)
 
@@ -325,14 +331,27 @@ class PacketBatch:
             raise KeyError(f"unknown packet field: {name!r}")
         return self._data[name]
 
+    def _column_list(self, name: str) -> list:
+        cached = self._col_cache.get(name)
+        if cached is None:
+            cached = self._data[name].tolist()
+            self._col_cache[name] = cached
+        return cached
+
     def column_lists(self, fields: tuple[str, ...]) -> list[list]:
         """The requested columns as Python-int lists (``.tolist()`` —
         exact values, no numpy scalars), the form the stateful switch
-        loop consumes."""
-        return [self._data[name].tolist() for name in fields]
+        loop consumes.  Memoized per field: sliced batches are read
+        several times per dispatch and the conversion is the cost."""
+        return [self._column_list(name) for name in fields]
 
     def compress(self, mask: np.ndarray) -> "PacketBatch":
-        """The sub-batch selected by a boolean mask (filter admission)."""
+        """The sub-batch selected by a boolean mask (filter admission).
+        An all-true mask is the common fast path (most batches admit
+        every packet) and returns ``self`` — no copy, and the column
+        memo survives."""
+        if mask.all():
+            return self
         return PacketBatch(self._data[mask])
 
     def to_packets(self) -> list[Packet]:
