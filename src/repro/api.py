@@ -26,6 +26,7 @@ import threading
 import time
 from typing import Iterable, Iterator
 
+from repro.core import flightrec
 from repro.core.parallel import BACKENDS, ExecutionConfig
 from repro.core.pipeline import ExtractionResult, FeatureFrame, SuperFE
 from repro.core.policy import Policy
@@ -34,8 +35,8 @@ from repro.core.telemetry import Telemetry, TelemetryConfig
 from repro.net.packet import PacketBatch
 from repro.nicsim.engine import FeatureVector
 
-__all__ = ["Extractor", "FeatureFrame", "PacketBatch", "compile",
-           "OVERLOAD_POLICIES"]
+__all__ = ["Extractor", "FeatureFrame", "OpsServer", "PacketBatch",
+           "compile", "serve_ops", "OVERLOAD_POLICIES"]
 
 #: What ingestion does when the bounded stream queue is full: ``block``
 #: applies backpressure to the source, ``shed`` drops the whole batch,
@@ -250,6 +251,9 @@ class _StreamSession:
             if self._t_shed is not None:
                 self._t_shed.record(time.perf_counter_ns(),
                                     len(chunk))
+            flightrec.record("ingest.shed", packets=len(chunk),
+                             batch=self.batches_in,
+                             queue_depth=self._queue.qsize())
             return
         # degrade: keep a stride sample, drop the rest, and block for
         # the survivors — coverage shrinks but every group stays seen.
@@ -259,6 +263,9 @@ class _StreamSession:
         if self._t_shed is not None:
             self._t_shed.record(time.perf_counter_ns(),
                                 len(chunk) - len(kept))
+        flightrec.record("ingest.degrade", packets=len(chunk) - len(kept),
+                         kept=len(kept), batch=self.batches_in,
+                         stride=self.degrade_stride)
         self._put_blocking(kept)
 
     # -- consumer side -----------------------------------------------------
@@ -308,6 +315,9 @@ class _StreamSession:
             self.deadline_missed += 1
             if self._t_missed is not None:
                 self._t_missed.inc()
+            flightrec.record("ingest.deadline_missed",
+                             batch=self.batches_processed,
+                             deadline_s=self.deadline_s)
         self.batches_processed += 1
         self.packets_processed += len(chunk)
         if self._t_batches is not None:
@@ -461,8 +471,8 @@ class Extractor:
         """Liveness report for this extractor's most recent (or live)
         :meth:`stream` session: ingestion ledger (queue depth, shed
         rate, deadline misses) plus the executor's supervision report
-        (worker liveness, restarts, poison batches) when the deployment
-        runs the parallel sink."""
+        (worker liveness, restarts, poison batches, transport ledger)
+        when the deployment runs the parallel sink."""
         session = self._session
         report: dict = {
             "state": "idle" if session is None else session.state,
@@ -474,6 +484,22 @@ class Extractor:
             if probe is not None:
                 report["cluster"] = probe()
         return report
+
+    def flight(self, last: int | None = None) -> list[dict]:
+        """The flight-recorder excerpt for this extractor: the
+        coordinator's per-process ring plus, when a stream session's
+        parallel dataplane is live, the shard workers' last-gathered
+        excerpts.  Each event carries its ``pid``; ``last`` bounds the
+        dump to the most recent N events."""
+        session = self._session
+        if session is not None:
+            probe = getattr(session.dataplane, "flight_events", None)
+            if probe is not None:
+                events = probe()
+                if last is not None and last >= 0:
+                    events = events[-last:] if last else []
+                return events
+        return flightrec.snapshot(last)
 
     # -- derived deployments ----------------------------------------------
 
@@ -529,3 +555,124 @@ class Extractor:
         kind = "software" if self.software else "superfe"
         return (f"Extractor({kind}, "
                 f"features={len(self.feature_names)})")
+
+
+# ---------------------------------------------------------------------------
+# Live ops surface
+# ---------------------------------------------------------------------------
+
+def _ops_snapshot(extractor: Extractor):
+    """The freshest metric snapshot reachable without disturbing the
+    data path: the live session dataplane's cluster-wide merge when one
+    exists, else the extractor's coordinator registry."""
+    session = extractor._session
+    if session is not None:
+        probe = getattr(session.dataplane, "telemetry_snapshot", None)
+        if probe is not None:
+            snap = probe()
+            if snap is not None:
+                return snap
+    tel = extractor.telemetry
+    return tel.snapshot() if tel is not None else None
+
+
+class OpsServer:
+    """A stdlib-only HTTP ops endpoint for one :class:`Extractor`.
+
+    Serves, on a daemon thread:
+
+    - ``GET /metrics`` — the merged telemetry snapshot as Prometheus
+      text exposition (``# no telemetry attached`` comment when the
+      extractor has none);
+    - ``GET /health`` — :meth:`Extractor.health` as JSON;
+    - ``GET /debug/flight`` — :meth:`Extractor.flight` as JSON.
+
+    Built by :func:`serve_ops`; call :meth:`close` (or use as a context
+    manager) to stop serving.  ``url`` is the bound base address —
+    pass ``port=0`` to bind an ephemeral port.
+    """
+
+    def __init__(self, extractor: Extractor, host: str, port: int) -> None:
+        import json
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        from repro.core.telemetry import prometheus_text
+
+        server_ref = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def log_message(self, fmt, *args):     # noqa: ARG002
+                pass                               # quiet by design
+
+            def _send(self, body: str, content_type: str,
+                      status: int = 200) -> None:
+                payload = body.encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def do_GET(self):                      # noqa: N802
+                try:
+                    if self.path == "/metrics":
+                        snap = _ops_snapshot(server_ref.extractor)
+                        body = (prometheus_text(snap) if snap is not None
+                                else "# no telemetry attached\n")
+                        self._send(body, "text/plain; version=0.0.4")
+                    elif self.path == "/health":
+                        body = json.dumps(server_ref.extractor.health(),
+                                          indent=1, default=str)
+                        self._send(body, "application/json")
+                    elif self.path == "/debug/flight":
+                        body = json.dumps(server_ref.extractor.flight(),
+                                          indent=1, default=str)
+                        self._send(body, "application/json")
+                    else:
+                        self._send("not found\n", "text/plain", 404)
+                except BrokenPipeError:
+                    pass
+                except Exception as exc:           # surface, don't die
+                    try:
+                        self._send(f"error: {exc}\n", "text/plain", 500)
+                    except OSError:
+                        pass
+
+        self.extractor = extractor
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self.host, self.port = self._server.server_address[:2]
+        self.url = f"http://{self.host}:{self.port}"
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="superfe-ops",
+            daemon=True)
+        self._thread.start()
+
+    def close(self) -> None:
+        """Stop serving and release the socket.  Idempotent."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+            self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "OpsServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._server is None else "serving"
+        return f"OpsServer({self.url}, {state})"
+
+
+def serve_ops(extractor: Extractor, host: str = "127.0.0.1",
+              port: int = 0) -> OpsServer:
+    """Serve the live ops surface for ``extractor`` on a daemon
+    thread; returns the bound :class:`OpsServer` (see its ``url``).
+    ``port=0`` picks an ephemeral port."""
+    if not isinstance(extractor, Extractor):
+        raise TypeError(f"serve_ops needs an Extractor, got "
+                        f"{type(extractor).__name__}")
+    return OpsServer(extractor, host, port)

@@ -205,6 +205,71 @@ def run_overhead(n_flows: int = 400,
     }
 
 
+def run_trace_overhead(n_flows: int = 400,
+                       n_nics: int = 4,
+                       trace_profile: str = "ENTERPRISE",
+                       seed: int = 17,
+                       repeats: int = 5,
+                       workers: int = 2) -> dict:
+    """Measure the cost of causal trace propagation on the process
+    backend.
+
+    Times the same shard-parallel extraction with stride-sampled
+    telemetry attached twice — ``trace=False`` vs ``trace=True`` (ctx
+    on every dispatched batch, dispatch/engine/merge span events) — in
+    strict alternation, exactly like :func:`run_overhead`.  The CI
+    matrix leg fails when ``overhead_fraction`` exceeds its budget
+    (5%).  Both arms must produce bit-identical vectors: the context
+    rides the frame header, never the payload.
+    """
+    from repro.core.parallel import ExecutionConfig
+
+    policy = scaling_policy()
+    packets = generate_trace(trace_profile, n_flows=n_flows, seed=seed)
+    n_packets = len(packets)
+
+    def build(trace: bool):
+        return api.compile(
+            policy, n_nics=n_nics,
+            execution=ExecutionConfig(workers=workers,
+                                      backend="process"),
+            telemetry=Telemetry(TelemetryConfig(sample_rate=1 / 64,
+                                                trace=trace)))
+
+    off = build(False)
+    on = build(True)
+    try:
+        off_sum = vectors_checksum(off.run(packets).vectors)  # warm
+        on_sum = vectors_checksum(on.run(packets).vectors)
+        best_off = best_on = float("inf")
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            off.run(packets)
+            best_off = min(best_off, time.perf_counter() - start)
+            start = time.perf_counter()
+            on.run(packets)
+            best_on = min(best_on, time.perf_counter() - start)
+    finally:
+        off.close()
+        on.close()
+    overhead = best_on / best_off - 1.0
+    return {
+        "bench": "trace_overhead",
+        "cpu_count": os.cpu_count(),
+        "trace": trace_profile,
+        "n_flows": n_flows,
+        "n_packets": n_packets,
+        "n_nics": n_nics,
+        "workers": workers,
+        "backend": "process",
+        "repeats": repeats,
+        "pps_off": round(n_packets / best_off, 1),
+        "pps_traced": round(n_packets / best_on, 1),
+        "overhead_fraction": round(overhead, 4),
+        "equivalent": off_sum == on_sum,
+    }
+
+
 def _reference_checksum(policy, packets, n_nics: int) -> str:
     """Checksum of the pre-optimization oracle's vectors.
 

@@ -5,10 +5,18 @@ figure under ``benchmarks/results/``; :func:`build_report` stitches them
 into a single document ordered like the paper's evaluation section, so
 ``python -m repro report`` produces the complete paper-vs-measured
 artifact in one file.
+
+:func:`build_bench_report` is the companion for the committed
+``BENCH_*.json`` records (hotpath / parallel / soak): it loads every
+record, validates the schema each bench promised, and renders one
+cross-bench trend table — pps, speedup, and p99 latency per stage —
+so CI and reviewers read a single surface instead of three JSON blobs
+(``python -m repro bench-report``).
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 #: Presentation order: the paper's evaluation sequence, then ablations.
@@ -75,3 +83,159 @@ def build_report(results_dir: pathlib.Path | str | None = None) -> str:
     for name in sorted(available):
         parts.append(available[name].read_text().rstrip())
     return "\n\n".join(parts) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Cross-bench trend report over the committed BENCH_*.json records
+# ---------------------------------------------------------------------------
+
+class BenchReportError(ValueError):
+    """A BENCH_*.json record is missing or malformed."""
+
+
+#: Keys every bench record of that kind must carry (its published
+#: schema) — validation fails loudly instead of rendering a hole.
+_BENCH_SCHEMAS = {
+    "hotpath": ("bench", "stages", "latency_ns", "equivalent",
+                "speedup_vs_baseline", "columnar_speedup", "n_packets"),
+    "parallel": ("bench", "serial", "runs", "equivalent",
+                 "speedup_gate", "n_packets"),
+    "soak": ("bench", "chaos", "overload", "supervision_overhead",
+             "recovered", "n_packets"),
+}
+
+
+def load_bench_records(root: pathlib.Path | str = ".") -> dict:
+    """Load and validate every ``BENCH_<kind>.json`` under ``root``.
+
+    Returns ``{kind: record}``.  Raises :class:`BenchReportError` when
+    no records exist, one fails to parse, or a known kind is missing a
+    schema key.
+    """
+    directory = pathlib.Path(root)
+    records: dict[str, dict] = {}
+    problems: list[str] = []
+    paths = sorted(directory.glob("BENCH_*.json"))
+    if not paths:
+        raise BenchReportError(
+            f"no BENCH_*.json records under {directory}; run the "
+            f"bench-* subcommands first")
+    for path in paths:
+        kind = path.stem[len("BENCH_"):]
+        try:
+            with open(path) as fh:
+                record = json.load(fh)
+        except (OSError, ValueError) as exc:
+            problems.append(f"{path.name}: unreadable ({exc})")
+            continue
+        if not isinstance(record, dict):
+            problems.append(f"{path.name}: not a JSON object")
+            continue
+        # CI writes variant stems next to the canonical ones
+        # (BENCH_hotpath_smoke, BENCH_parallel_gate, ...): they
+        # validate against their family's schema when they declare
+        # that family's bench, and pass through on self-declaration
+        # alone otherwise (BENCH_hotpath_overhead may hold a sibling
+        # trace_overhead record).
+        family = kind if kind in _BENCH_SCHEMAS else next(
+            (key for key in _BENCH_SCHEMAS
+             if kind.startswith(key + "_")), None)
+        declared = record.get("bench")
+        # bench-parallel declares the historical "parallel_scaling".
+        family_declared = family is not None and (
+            declared == family or str(declared).startswith(family))
+        if family is None or (kind != family and not family_declared):
+            if "bench" not in record:
+                problems.append(f"{path.name}: missing bench")
+            else:
+                records[kind] = record
+            continue
+        required = _BENCH_SCHEMAS[family]
+        missing = [key for key in required if key not in record]
+        if missing:
+            problems.append(
+                f"{path.name}: missing {', '.join(missing)}")
+            continue
+        if not family_declared:
+            problems.append(
+                f"{path.name}: declares bench={declared!r}, "
+                f"expected {family!r}")
+            continue
+        records[kind] = record
+    if problems:
+        raise BenchReportError("; ".join(problems))
+    return records
+
+
+def _fmt(value, spec: str = "") -> str:
+    if value is None:
+        return "-"
+    return format(value, spec)
+
+
+def _bench_rows(records: dict) -> list[tuple]:
+    """(bench, stage, pps, speedup, p99_ns, note) rows in a stable
+    presentation order."""
+    rows: list[tuple] = []
+    hot = records.get("hotpath")
+    if hot is not None:
+        speedups = {"end_to_end": hot["speedup_vs_baseline"],
+                    "end_to_end_batch": hot.get("columnar_speedup")}
+        for stage, row in hot["stages"].items():
+            rows.append(("hotpath", stage, row["pps"],
+                         speedups.get(stage), None, None))
+        for span, pct in sorted(hot["latency_ns"].items()):
+            rows.append(("hotpath", f"span:{span}", None, None,
+                         pct["p99"], None))
+    par = records.get("parallel")
+    if par is not None:
+        rows.append(("parallel", "serial", par["serial"]["pps"],
+                     1.0, None, None))
+        for run in par["runs"]:
+            transport = run.get("transport") or {}
+            rows.append(("parallel", f"{run['workers']} workers",
+                         run["pps"], run["speedup"], None,
+                         transport.get("mode")))
+    soak = records.get("soak")
+    if soak is not None:
+        chaos = soak["chaos"]
+        recovery = chaos.get("recovery") or {}
+        rows.append(("soak", "chaos", chaos["pps"], None,
+                     (recovery.get("max_ms", 0) or 0) * 1e6 or None,
+                     f"{chaos['restarts']} restart(s)"))
+        overload = soak["overload"]
+        rows.append(("soak", f"overload:{overload['policy']}", None,
+                     None, None,
+                     f"shed_rate={overload['shed_rate']:.2%}"))
+        overhead = soak["supervision_overhead"]
+        rows.append(("soak", "supervision", None, None, None,
+                     f"{overhead['overhead_pct']:+.1f}% vs "
+                     f"unsupervised"))
+    return rows
+
+
+def build_bench_report(root: pathlib.Path | str = ".") -> str:
+    """One cross-bench trend table over the committed records."""
+    records = load_bench_records(root)
+    rows = _bench_rows(records)
+    header = (f"{'bench':10s} {'stage':26s} {'pps':>12s} "
+              f"{'speedup':>8s} {'p99_ns':>12s}  note")
+    lines = ["cross-bench trend (committed BENCH_*.json)", header,
+             "-" * len(header)]
+    for bench, stage, pps, speedup, p99, note in rows:
+        lines.append(
+            f"{bench:10s} {stage:26s} "
+            f"{_fmt(pps, ',.0f'):>12s} "
+            f"{_fmt(speedup, '.2f'):>8s} "
+            f"{_fmt(p99, ',.0f'):>12s}  {note or ''}".rstrip())
+    checks = []
+    for kind in sorted(records):
+        record = records[kind]
+        if "equivalent" not in record and "recovered" not in record:
+            continue
+        flag = record.get("equivalent",
+                          record.get("recovered"))
+        checks.append(f"{kind}={'ok' if flag else 'FAIL'}")
+    lines.append("")
+    lines.append("equivalence/recovery: " + ", ".join(checks))
+    return "\n".join(lines) + "\n"

@@ -68,12 +68,23 @@ def run_soak(n_flows: int = 200,
              batch_size: int = 256,
              queue_batches: int = 2,
              overload: str = "shed",
-             telemetry_path: str | None = None) -> dict:
+             telemetry_path: str | None = None,
+             trace_out: str | None = None,
+             flight_out: str | None = None,
+             slo_rules=None) -> dict:
     """Serial baseline + chaos recovery + overload streaming + overhead.
 
     ``stall_seconds`` defaults to twice the request deadline so the
     stall reliably trips it (the supervisor restarts the worker instead
-    of waiting the stall out).
+    of waiting the stall out).  ``telemetry_path`` attaches
+    stride-sampled tracing to the chaos pass (metrics + spans + ctx
+    events as JSON Lines); ``trace_out`` additionally exports the
+    stitched span tree as Chrome ``trace_event`` JSON; ``flight_out``
+    dumps the cross-process flight-recorder excerpt.  ``slo_rules`` (a
+    parsed rule list or a ``metric<=limit,...`` spec string) is
+    evaluated against the chaos pass's snapshot plus the bench extras
+    (``restart_rate``, ``shed_rate``, ``fallback_chunks``) — breaches
+    land in the record and in the flight ring.
     """
     if workers < 2:
         raise ValueError("soak needs >= 2 workers (one crash target, "
@@ -95,9 +106,11 @@ def run_soak(n_flows: int = 200,
     # -- pass 1: chaos (crash + stall, supervised recovery) ------------
     plan = _chaos_plan(n_packets, workers, stall_seconds)
     telemetry = None
-    if telemetry_path is not None:
+    tracing = telemetry_path is not None or trace_out is not None
+    if tracing or slo_rules is not None:
         from repro.core.telemetry import Telemetry, TelemetryConfig
-        telemetry = Telemetry(TelemetryConfig(sample_rate=1 / 32))
+        telemetry = Telemetry(TelemetryConfig(sample_rate=1 / 32,
+                                              trace=tracing))
     chaos_s, chaos = _timed_run(
         api.compile(policy, n_nics=n_nics, execution=execution,
                     fault_plan=plan, telemetry=telemetry),
@@ -110,12 +123,33 @@ def run_soak(n_flows: int = 200,
     poison = supervision["poison_batches"]
     quarantined_events = sum(p["events"] for p in poison)
     degraded = sum(1 for v in chaos.vectors if v.degraded)
+    snapshot = chaos.dataplane.telemetry_snapshot()
+    tevents = chaos.dataplane.telemetry_trace_events()
+    flight = chaos.dataplane.flight_events()
+    trace_summary = None
+    if tracing:
+        from repro.core.tracecontext import build_tree, stitched_seqs
+        tree = build_tree(tevents)
+        stitched = stitched_seqs(tevents)
+        trace_summary = {
+            "events": tree["n_events"],
+            "orphans": tree["n_orphans"],
+            "stitched_batches": len(stitched),
+        }
+        if trace_out is not None:
+            from repro.core.tracecontext import write_chrome_trace
+            write_chrome_trace(trace_out, tevents)
+    if flight_out is not None:
+        import json
+        with open(flight_out, "w") as fh:
+            json.dump(flight, fh, indent=1, default=str)
+            fh.write("\n")
     if telemetry_path is not None:
         from repro.core.telemetry import write_jsonl
-        write_jsonl(telemetry_path,
-                    chaos.dataplane.telemetry_snapshot(),
+        write_jsonl(telemetry_path, snapshot,
                     chaos.dataplane.telemetry_spans(),
-                    meta={"bench": "soak", "pass": "chaos"})
+                    meta={"bench": "soak", "pass": "chaos"},
+                    tevents=tevents)
     chaos.dataplane.close()
 
     # -- pass 2: overload (streaming ingestion, small queue) -----------
@@ -127,6 +161,24 @@ def run_soak(n_flows: int = 200,
         for v in chunk]
     stream_s = time.perf_counter() - stream_start
     ingest = extractor.health()["ingest"]
+
+    # SLO rules see the chaos pass's snapshot plus the bench-level
+    # extras — including the overload pass's shed rate, which is why
+    # evaluation waits until both passes have run.
+    slo_report = None
+    if slo_rules is not None:
+        from repro.core.telemetry import evaluate_slo, parse_slo_rules
+        rules = (parse_slo_rules(slo_rules)
+                 if isinstance(slo_rules, str) else list(slo_rules))
+        extras = {
+            "restart_rate": supervision["restarts"] / max(chaos_s, 1e-9),
+            "shed_rate": ingest["shed_rate"],
+            "fallback_chunks": (0 if transport is None
+                                else transport["fallback_chunks"]),
+        }
+        breaches = evaluate_slo(snapshot or {}, rules, extras=extras)
+        slo_report = {"rules": [r.spec for r in rules],
+                      "breaches": breaches}
 
     # -- pass 3: supervision overhead (no faults) ----------------------
     sup_s, sup_res = _timed_run(
@@ -187,6 +239,11 @@ def run_soak(n_flows: int = 200,
             "recovery": recovery,
             "n_vectors": len(chaos.vectors),
             "degraded_vectors": degraded,
+            # Cross-process observability of the chaos pass: the span
+            # tree summary (when tracing) and the last flight-recorder
+            # events — the same excerpt an ExecutorError would carry.
+            "trace": trace_summary,
+            "flight": flight[-32:],
             "loss_bound": {
                 "quarantined_events": quarantined_events,
                 "fraction": round(quarantined_events / n_packets, 6),
@@ -210,5 +267,6 @@ def run_soak(n_flows: int = 200,
             "unsupervised_s": round(unsup_s, 4),
             "overhead_pct": round(100.0 * (sup_s - unsup_s) / unsup_s, 2),
         },
+        "slo": slo_report,
         "recovered": restarts >= 2 and equivalent,
     }

@@ -191,6 +191,17 @@ def _cmd_extract(args) -> int:
         print(render_counters(
             degradation_report(result.dataplane.counters()),
             title="chaos report (injected / recovered / degraded)"))
+        # The executor's own ledger, surfaced without a Python call:
+        # transport mode/fallbacks and the supervision restart history.
+        health = result.dataplane.health()
+        if health is not None:
+            sections = {"transport": health.get("transport") or {}}
+            supervision = health.get("supervision")
+            if supervision is not None:
+                sections["supervision"] = supervision
+            print(render_counters(
+                sections, title="cluster health (transport / "
+                                "supervision)"))
     if args.telemetry:
         from repro.core.telemetry import write_jsonl
         lines = write_jsonl(
@@ -261,6 +272,115 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _trace_events_from_file(path: str) -> list[dict]:
+    """Load ctx-tagged trace events from either export format: a
+    Chrome ``trace_event`` JSON document (``write_chrome_trace``) or a
+    telemetry JSON Lines dump with ``tevent`` lines."""
+    import json
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except ValueError:
+        doc = None                  # not one document: JSON Lines
+    if isinstance(doc, dict):
+        events = []
+        for rec in doc.get("traceEvents", []):
+            info = rec.get("args", {})
+            events.append({
+                "name": rec["name"],
+                "start_ns": int(rec["ts"] * 1000),
+                "dur_ns": int(rec["dur"] * 1000),
+                "span_id": int(info["span_id"], 16),
+                "parent_id": int(info["parent_span_id"], 16),
+                "trace_id": int(info["trace_id"], 16),
+                "seq": info["seq"],
+                "pid": rec["pid"],
+            })
+        return events
+    from repro.core.telemetry import read_jsonl
+    return read_jsonl(path)["tevents"]
+
+
+def _cmd_telemetry_trace(args) -> int:
+    from repro.core.tracecontext import render_tree, write_chrome_trace
+    try:
+        events = _trace_events_from_file(args.input)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"bad trace dump: {exc}", file=sys.stderr)
+        return 2
+    if not events:
+        print(f"{args.input} holds no trace events (was the run "
+              f"traced? TelemetryConfig(trace=True))", file=sys.stderr)
+        return 2
+    print(render_tree(events))
+    if args.chrome_out:
+        write_chrome_trace(args.chrome_out, events)
+        print(f"wrote Chrome trace to {args.chrome_out} "
+              f"(open in chrome://tracing or Perfetto)")
+    return 0
+
+
+def _cmd_telemetry_watch(args) -> int:
+    import json
+    import time as time_mod
+    import urllib.error
+    import urllib.request
+
+    base = args.url.rstrip("/")
+
+    def fetch(path: str):
+        with urllib.request.urlopen(base + path, timeout=5) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+
+    ticks = 0
+    while True:
+        try:
+            health = fetch("/health")
+            flight = fetch("/debug/flight")
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            print(f"watch: {base} unreachable: {exc}", file=sys.stderr)
+            return 1
+        ingest = health.get("ingest") or {}
+        cluster = health.get("cluster") or {}
+        supervision = cluster.get("supervision") or {}
+        transport = cluster.get("transport") or {}
+        workers = cluster.get("workers") or []
+        line = (f"[{time_mod.strftime('%H:%M:%S')}] "
+                f"state={health.get('state', '?')} "
+                f"queue={ingest.get('queue_depth', '-')}"
+                f"/{ingest.get('queue_capacity', '-')} "
+                f"shed={ingest.get('shed_rate', 0.0):.2%} "
+                f"workers={sum(1 for w in workers if w.get('alive'))}"
+                f"/{len(workers)} "
+                f"restarts={supervision.get('restarts', 0)} "
+                f"fallbacks={transport.get('fallback_chunks', 0)}")
+        print(line, flush=True)
+        for event in flight[-args.flight:] if args.flight else []:
+            print(f"    {event.get('kind', '?'):24s} "
+                  + " ".join(f"{k}={v}" for k, v in sorted(event.items())
+                             if k not in ("kind", "t")), flush=True)
+        ticks += 1
+        if args.count and ticks >= args.count:
+            return 0
+        time_mod.sleep(args.interval)
+
+
+def _cmd_bench_report(args) -> int:
+    from repro.bench.report import BenchReportError, build_bench_report
+    try:
+        text = build_bench_report(args.dir)
+    except BenchReportError as exc:
+        print(f"bench-report: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote bench report to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def _cmd_bench_parallel(args) -> int:
     import json
 
@@ -301,8 +421,26 @@ def _cmd_bench_parallel(args) -> int:
     return 0
 
 
+def _soak_flight_dump(record: dict) -> None:
+    """Print the chaos pass's flight-recorder excerpt on failure exits
+    — the same last-N events an ExecutorError would carry."""
+    for event in record["chaos"].get("flight", []):
+        print("  flight: "
+              + " ".join(f"{k}={v}" for k, v in sorted(event.items())),
+              file=sys.stderr)
+
+
 def _cmd_bench_soak(args) -> int:
     import json
+
+    slo_rules = None
+    if args.slo_gate:
+        from repro.core.telemetry import TelemetryError, parse_slo_rules
+        try:
+            slo_rules = parse_slo_rules(args.slo_gate)
+        except TelemetryError as exc:
+            print(f"bad --slo-gate: {exc}", file=sys.stderr)
+            return 2
 
     from repro.bench.soak import run_soak
     record = run_soak(n_flows=args.flows, n_nics=args.nics,
@@ -311,7 +449,10 @@ def _cmd_bench_soak(args) -> int:
                       request_timeout_s=args.request_timeout,
                       stall_seconds=args.stall_seconds,
                       overload=args.overload,
-                      telemetry_path=args.telemetry)
+                      telemetry_path=args.telemetry,
+                      trace_out=args.trace_out,
+                      flight_out=args.flight_out,
+                      slo_rules=slo_rules)
     with open(args.out, "w") as fh:
         json.dump(record, fh, indent=2)
         fh.write("\n")
@@ -333,16 +474,37 @@ def _cmd_bench_soak(args) -> int:
     print(f"supervision overhead: {overhead['overhead_pct']:+.1f}% "
           f"({overhead['supervised_s']:.3f}s vs "
           f"{overhead['unsupervised_s']:.3f}s unsupervised)")
+    trace_summary = chaos.get("trace")
+    if trace_summary is not None:
+        print(f"trace: {trace_summary['events']} spans, "
+              f"{trace_summary['stitched_batches']} batch(es) stitched "
+              f"across the process boundary, "
+              f"{trace_summary['orphans']} orphan(s)")
+    if args.trace_out:
+        print(f"wrote Chrome trace to {args.trace_out}")
+    if args.flight_out:
+        print(f"wrote flight-recorder dump to {args.flight_out}")
     print(f"wrote {args.out} "
           f"(effective_cores={record['effective_cores']})")
     if not chaos["equivalent"]:
         print("FAIL: chaos-pass vectors diverge from the serial "
               "baseline", file=sys.stderr)
+        _soak_flight_dump(record)
         return 1
     if chaos["restarts"] < 1:
         print("FAIL: chaos plan produced no supervisor restarts",
               file=sys.stderr)
+        _soak_flight_dump(record)
         return 1
+    slo = record.get("slo")
+    if slo is not None:
+        if slo["breaches"]:
+            for breach in slo["breaches"]:
+                print(f"SLO BREACH: {breach['spec']} — measured "
+                      f"{breach['value']:g}", file=sys.stderr)
+            _soak_flight_dump(record)
+            return 4
+        print(f"slo gate passed ({len(slo['rules'])} rule(s))")
     return 0
 
 
@@ -414,6 +576,27 @@ def _cmd_bench_hotpath(args) -> int:
             return 1
         print(f"telemetry overhead gate passed "
               f"({frac:.1%} <= {budget:.0%})")
+    if args.trace_gate is not None:
+        from repro.bench.hotpath import run_trace_overhead
+        traced = run_trace_overhead(n_flows=args.flows,
+                                    n_nics=args.nics,
+                                    trace_profile=args.trace,
+                                    seed=args.seed,
+                                    repeats=args.repeats)
+        frac = traced["overhead_fraction"]
+        budget = args.trace_gate / 100.0
+        print(f"trace propagation ({traced['workers']} workers, "
+              f"process): {traced['pps_traced']:,.0f} pps vs "
+              f"{traced['pps_off']:,.0f} pps off ({frac:+.1%} overhead)")
+        if not traced["equivalent"]:
+            print("FAIL: tracing-on vectors diverge from tracing-off",
+                  file=sys.stderr)
+            return 1
+        if frac > budget:
+            print(f"FAIL: trace propagation overhead {frac:.1%} "
+                  f"exceeds the {budget:.0%} budget", file=sys.stderr)
+            return 1
+        print(f"trace overhead gate passed ({frac:.1%} <= {budget:.0%})")
     return 0
 
 
@@ -502,8 +685,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="overload policy for the streaming pass")
     p.add_argument("--out", default="BENCH_soak.json")
     p.add_argument("--telemetry",
-                   help="also dump the chaos pass's metrics/spans as "
-                        "JSON Lines to this path")
+                   help="also dump the chaos pass's metrics/spans/"
+                        "trace events as JSON Lines to this path")
+    p.add_argument("--trace-out",
+                   help="export the chaos pass's stitched span tree "
+                        "as Chrome trace_event JSON to this path")
+    p.add_argument("--flight-out",
+                   help="dump the chaos pass's cross-process "
+                        "flight-recorder excerpt as JSON to this path")
+    p.add_argument("--slo-gate", metavar="RULES",
+                   help="comma-separated metric<=limit rules evaluated "
+                        "on the chaos pass's telemetry snapshot "
+                        "(e.g. 'supervisor.restarts<=3,"
+                        "fallback_chunks<=0'); exit 4 on breach")
     p.set_defaults(func=_cmd_bench_soak)
 
     p = sub.add_parser("bench-hotpath",
@@ -531,7 +725,21 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="PCT",
                    help="measure enabled-but-unsampled telemetry "
                         "overhead and fail when it exceeds PCT percent")
+    p.add_argument("--trace-gate", type=float, default=None,
+                   metavar="PCT",
+                   help="measure causal-trace propagation overhead on "
+                        "the process backend and fail when it exceeds "
+                        "PCT percent")
     p.set_defaults(func=_cmd_bench_hotpath)
+
+    p = sub.add_parser("bench-report",
+                       help="validate the committed BENCH_*.json "
+                            "records and print one cross-bench trend "
+                            "table")
+    p.add_argument("--dir", default=".",
+                   help="directory holding BENCH_*.json (default .)")
+    p.add_argument("--out", help="write to a file instead of stdout")
+    p.set_defaults(func=_cmd_bench_report)
 
     p = sub.add_parser("report",
                        help="assemble benchmark results into one report")
@@ -591,6 +799,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=("dashboard", "prometheus"),
                    default="dashboard")
     p.set_defaults(func=_cmd_telemetry)
+
+    # Nested verbs: `repro telemetry trace` / `repro telemetry watch`.
+    # Without a verb the parent dashboard behavior above applies.
+    tsub = p.add_subparsers(dest="telemetry_command")
+    t = tsub.add_parser("trace",
+                        help="reconstruct the cross-process span tree "
+                             "from a trace dump")
+    t.add_argument("--input", required=True,
+                   help="Chrome trace JSON (--trace-out) or telemetry "
+                        "JSON Lines dump with tevent lines")
+    t.add_argument("--chrome-out",
+                   help="also export as Chrome trace_event JSON here")
+    t.set_defaults(func=_cmd_telemetry_trace)
+    t = tsub.add_parser("watch",
+                        help="poll a running serve_ops endpoint and "
+                             "render a live terminal status line")
+    t.add_argument("--url", required=True,
+                   help="ops endpoint base URL (api.serve_ops)")
+    t.add_argument("--interval", type=float, default=2.0,
+                   help="poll interval in seconds (default 2.0)")
+    t.add_argument("--count", type=int, default=0,
+                   help="stop after N polls (default 0 = forever)")
+    t.add_argument("--flight", type=int, default=0, metavar="N",
+                   help="also print the last N flight-recorder events "
+                        "each poll")
+    t.set_defaults(func=_cmd_telemetry_watch)
     return parser
 
 

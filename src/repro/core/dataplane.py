@@ -1089,3 +1089,25 @@ class Dataplane:
         if self.telemetry is None:
             return []
         return list(self.telemetry.tracer.spans)
+
+    def telemetry_trace_events(self) -> list[dict]:
+        """Ctx-tagged trace events from every process: the
+        coordinator's tracer plus each shard worker's (shipped back
+        alongside telemetry snapshots).  Empty unless tracing is on."""
+        worker_events = getattr(self.sink, "trace_events", None)
+        if worker_events is not None:
+            # The parallel sink's gather already includes the
+            # coordinator tracer (it shares our Telemetry object).
+            return worker_events()
+        if self.telemetry is not None:
+            return list(self.telemetry.tracer.events)
+        return []
+
+    def flight_events(self) -> list[dict]:
+        """Flight-recorder events from every process, coordinator ring
+        first.  Always available — the recorder needs no telemetry."""
+        probe = getattr(self.sink, "flight_events", None)
+        if probe is not None:
+            return probe()
+        from repro.core import flightrec
+        return flightrec.snapshot()

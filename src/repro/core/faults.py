@@ -30,6 +30,8 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, field
 
+from repro.core import flightrec
+
 #: Action kinds that may carry an ``until_packet`` window (reverted when
 #: the stream reaches it); the rest are one-shot.
 WINDOWED_KINDS = ("link_loss", "mgpv_squeeze", "queue_clamp",
@@ -278,6 +280,12 @@ class FaultInjector:
             self._apply(idx, action)
 
     def _apply(self, idx: int, action: FaultAction) -> None:
+        # Recorded before the action lands so the blame path sees the
+        # injected fault even when the action is the thing that kills
+        # the process it would have been recorded in.
+        flightrec.record("fault.applied", fault=action.kind, index=idx,
+                         at_packet=action.at_packet, worker=action.worker,
+                         nic=action.nic)
         dp = self.dataplane
         if action.kind == "link_loss":
             dp.link.set_fault_loss(action.rate, action.drop_kind,
@@ -301,6 +309,8 @@ class FaultInjector:
             self._t_applied.inc()
 
     def _revert(self, action: FaultAction) -> None:
+        flightrec.record("fault.reverted", fault=action.kind,
+                         worker=action.worker, nic=action.nic)
         dp = self.dataplane
         if action.kind == "link_loss":
             dp.link.clear_fault_loss()

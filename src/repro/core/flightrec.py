@@ -1,0 +1,151 @@
+"""Flight recorder: a bounded in-process ring of recent structured events.
+
+Every process (coordinator and each shard worker) keeps one small
+:class:`FlightRecorder` — a ``deque(maxlen=capacity)`` of flat dicts —
+that control-plane code appends to whenever something operationally
+interesting happens: a fault is applied, a worker restarts, a batch is
+quarantined, the ingest queue sheds, the transport degrades, an SLO
+breaches.  The ring is *allocation-capped*: events are plain dicts of
+scalars, string values are truncated, the field count per event is
+bounded, and the deque discards the oldest event on overflow (counted
+in :attr:`FlightRecorder.dropped`).
+
+The recorder is deliberately **not** on the packet hot path.  Its
+consumers are the blame paths: every
+:class:`~repro.core.parallel.ExecutorError` attaches the last-N events
+from both sides of the process boundary, poison-quarantine records
+carry them, ``Extractor.flight()`` dumps them on demand, and the
+``/debug/flight`` ops endpoint serves them live.
+
+A module-level singleton (:func:`get_recorder`) gives every subsystem
+the same per-process ring without threading a handle through each
+constructor.  Shard workers call :func:`reset` first thing in their
+loop so the ring they inherit from the fork starts empty.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "FlightRecorder",
+    "get_recorder",
+    "record",
+    "snapshot",
+    "reset",
+]
+
+#: Default ring capacity (events).  Small on purpose: the recorder is a
+#: crash-context excerpt, not a log.
+DEFAULT_CAPACITY = 256
+
+#: Longest stored string value; longer values are truncated with an
+#: ellipsis so one giant traceback can't balloon the ring.
+_MAX_STR = 200
+
+#: Most fields kept per event (sorted by key for determinism).
+_MAX_FIELDS = 12
+
+
+def _coerce(value):
+    """Clamp an event field to a small picklable scalar."""
+    if value is None or isinstance(value, (bool, int, float)):
+        return value
+    text = value if isinstance(value, str) else repr(value)
+    if len(text) > _MAX_STR:
+        return text[:_MAX_STR - 1] + "…"
+    return text
+
+
+class FlightRecorder:
+    """Bounded ring of recent structured events for one process."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.dropped = 0
+        #: Pid that built this ring — lets a forked child detect that
+        #: the singleton it inherited belongs to the parent.
+        self.pid = os.getpid()
+        self._seq = 0
+        self._events: deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def record(self, kind: str, /, **fields) -> dict:
+        """Append one event; returns the stored dict.
+
+        ``kind`` is positional-only so a field may also be named
+        ``kind``; fields colliding with the reserved keys (``kind``,
+        ``t``, ``pid``, ``seq``) are stored with a trailing underscore
+        instead of clobbering them.
+        """
+        event = {
+            "kind": _coerce(kind),
+            "t": time.time(),
+            "pid": os.getpid(),
+        }
+        for i, key in enumerate(sorted(fields)):
+            if i >= _MAX_FIELDS:
+                break
+            key_str = str(key)
+            if key_str in ("kind", "t", "pid", "seq"):
+                key_str += "_"
+            event[key_str] = _coerce(fields[key])
+        with self._lock:
+            event["seq"] = self._seq
+            self._seq += 1
+            if len(self._events) == self.capacity:
+                self.dropped += 1
+            self._events.append(event)
+        return event
+
+    def snapshot(self, last: int | None = None) -> list[dict]:
+        """Copy of the most recent ``last`` events, oldest first."""
+        with self._lock:
+            events = list(self._events)
+        if last is not None and last >= 0:
+            events = events[-last:] if last else []
+        return [dict(e) for e in events]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self.dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+_RECORDER = FlightRecorder()
+
+
+def get_recorder() -> FlightRecorder:
+    """The per-process singleton ring."""
+    return _RECORDER
+
+
+def record(kind: str, /, **fields) -> dict:
+    """Append one event to the per-process ring."""
+    return _RECORDER.record(kind, **fields)
+
+
+def snapshot(last: int | None = None) -> list[dict]:
+    """Recent events from the per-process ring, oldest first."""
+    return _RECORDER.snapshot(last)
+
+
+def reset(capacity: int = DEFAULT_CAPACITY) -> FlightRecorder:
+    """Replace the singleton with a fresh empty ring.
+
+    Called by forked shard workers so the ring copied from the parent
+    doesn't masquerade as worker-side history.
+    """
+    global _RECORDER
+    _RECORDER = FlightRecorder(capacity)
+    return _RECORDER

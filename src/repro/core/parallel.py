@@ -90,8 +90,15 @@ import weakref
 from collections import deque
 from dataclasses import dataclass
 
+from repro.core import flightrec
 from repro.core.compiler import CompiledPolicy
 from repro.core.functions import ExecContext
+from repro.core.tracecontext import (
+    derive_span_id,
+    make_event,
+    new_trace_id,
+    root_span_id,
+)
 from repro.core.transport import (
     FRAME_OVERHEAD,
     TRANSPORTS,
@@ -127,18 +134,24 @@ class ExecutorError(RuntimeError):
 
     Carries enough blame to act on: ``worker`` (pool index), ``shards``
     (the shard set it owned), ``pid``, ``kind`` (the message kind in
-    flight), and ``seq`` (the journal sequence number of the failing
-    batch, when the worker could attribute it)."""
+    flight), ``seq`` (the journal sequence number of the failing batch,
+    when the worker could attribute it), and ``flight`` — a
+    flight-recorder excerpt: the last-N structured events from both
+    sides of the process boundary (coordinator always; the worker's
+    ring when its error report carried one), so "what happened in the
+    seconds before this" travels with the exception."""
 
     def __init__(self, message: str, *, worker: int | None = None,
                  shards=None, pid: int | None = None,
-                 kind: str | None = None, seq: int | None = None) -> None:
+                 kind: str | None = None, seq: int | None = None,
+                 flight=None) -> None:
         super().__init__(message)
         self.worker = worker
         self.shards = shards
         self.pid = pid
         self.kind = kind
         self.seq = seq
+        self.flight = list(flight) if flight else []
 
 
 class WorkerDied(ExecutorError):
@@ -323,11 +336,19 @@ class _ShardDriver:
             # batch.
             slow = self._slow_factor
             t0 = time.perf_counter() if slow > 1.0 else 0.0
+            tel = self.telemetry
+            tracing = tel is not None and tel.tracing
+            start_ns = time.perf_counter_ns() if tracing else 0
+            ctx = None
             if kind == "frame":
-                apply_frame(self.ring.pop(), self.engines)
+                payload = self.ring.pop()
+                ctx = self.ring.last_ctx
+                apply_frame(payload, self.engines)
             elif kind == "oframe":
+                ctx = msg[3] if len(msg) > 3 else None
                 apply_frame(msg[2], self.engines)
             elif kind == "batch":
+                ctx = msg[3] if len(msg) > 3 else None
                 for shard, event in msg[2]:
                     self.engines[shard].consume(event)
             else:
@@ -340,6 +361,7 @@ class _ShardDriver:
                 # cg_hash32, fg_col, meta_cols, reason) — the cells
                 # transposed into one fg-index column plus per-field
                 # metadata columns, rebuilt by the engine.
+                ctx = msg[3] if len(msg) > 3 else None
                 engines = self.engines
                 for row in msg[2]:
                     tag = row[1]
@@ -351,6 +373,18 @@ class _ShardDriver:
                             row[2], row[3], row[4], row[5], row[6])
                     else:
                         engines[row[0]].consume(FGSync(row[2], row[3]))
+            if tracing and ctx is not None:
+                # Worker-side stage span: the batch's engine work,
+                # stitched to the coordinator's dispatch span through
+                # the propagated context.  The span id is derived, not
+                # allocated, so journal replay reproduces it exactly.
+                trace_id, parent_id, cseq = ctx
+                end_ns = time.perf_counter_ns()
+                tel.tracer.record_event(make_event(
+                    "worker.engine", start_ns, end_ns - start_ns,
+                    span_id=derive_span_id(trace_id, "worker.engine",
+                                           cseq, parent_id),
+                    parent_id=parent_id, trace_id=trace_id, seq=cseq))
             if slow > 1.0:
                 # Multiplicative slowdown (worker_slow chaos): stretch
                 # the batch's real compute time by the factor.
@@ -386,8 +420,16 @@ class _ShardDriver:
                 engine.attach_telemetry(self.telemetry)
             return False, None
         if kind == "telemetry":
-            return True, (self.telemetry.snapshot()
-                          if self.telemetry is not None else None)
+            # Reply bundles the metric snapshot with the worker's
+            # ctx-tagged trace events and its flight-recorder excerpt —
+            # one round trip gathers all three observability surfaces.
+            if self.telemetry is None:
+                return True, None
+            return True, {
+                "snapshot": self.telemetry.snapshot(),
+                "tevents": list(self.telemetry.tracer.events),
+                "flight": flightrec.snapshot(last=64),
+            }
         if kind == "chaos_stall":
             # Chaos hook: hold the FIFO hostage for msg[1] seconds so
             # the coordinator's deadline machinery has something real
@@ -426,12 +468,20 @@ def _worker_loop(compiled, ctx, engine_kwargs, shards, inbox, outbox,
     batch seq, shard set, pid, traceback), where the coordinator's next
     synchronous request surfaces them as :class:`ExecutorError`."""
     pid = os.getpid()
+    # A forked worker inherits the coordinator's flight ring; reset it
+    # so this process records only its own history.  Thread workers
+    # share the coordinator's process (and its ring) — the pid guard
+    # keeps them from wiping it.
+    if flightrec.get_recorder().pid != pid:
+        flightrec.reset()
     try:
         driver = _ShardDriver(compiled, ctx, engine_kwargs, shards, ring)
     except Exception:
+        flightrec.record("worker.error", kind="startup")
         outbox.put(("error", {
             "kind": "startup", "seq": None, "shards": tuple(shards),
-            "pid": pid, "traceback": traceback.format_exc()}))
+            "pid": pid, "traceback": traceback.format_exc(),
+            "flight": flightrec.snapshot(last=32)}))
         return
     while True:
         msg = inbox.get()
@@ -441,11 +491,13 @@ def _worker_loop(compiled, ctx, engine_kwargs, shards, inbox, outbox,
         try:
             replied, payload = driver.handle(msg)
         except Exception:
+            seq = msg[1] if kind in _BATCH_KINDS else None
+            flightrec.record("worker.error", kind=kind, seq=seq)
             outbox.put(("error", {
-                "kind": kind,
-                "seq": msg[1] if kind in _BATCH_KINDS else None,
+                "kind": kind, "seq": seq,
                 "shards": tuple(shards), "pid": pid,
-                "traceback": traceback.format_exc()}))
+                "traceback": traceback.format_exc(),
+                "flight": flightrec.snapshot(last=32)}))
             continue
         if replied:
             outbox.put(("ok", payload))
@@ -517,9 +569,18 @@ class _QueueWorker:
 
     def _blame(self, message: str, cls=ExecutorError, *,
                kind: str | None = None,
-               seq: int | None = None) -> ExecutorError:
+               seq: int | None = None,
+               worker_flight=None) -> ExecutorError:
+        # Every blame carries the flight-recorder excerpt from both
+        # sides: the coordinator's ring always, the worker's when its
+        # error report shipped one (a SIGKILLed worker's ring dies with
+        # it).  Events carry their pid, so the merged list stays
+        # attributable.
+        flight = flightrec.snapshot(last=32)
+        if worker_flight:
+            flight.extend(worker_flight)
         return cls(message, worker=self.index, shards=self.shards,
-                   pid=self.pid, kind=kind, seq=seq)
+                   pid=self.pid, kind=kind, seq=seq, flight=flight)
 
     def _as_error(self, info) -> ExecutorError:
         if isinstance(info, dict):
@@ -530,7 +591,8 @@ class _QueueWorker:
                 f"{self.name} (pid {info.get('pid')}, shards "
                 f"{tuple(info.get('shards') or ())}) failed {what}:\n"
                 f"{info.get('traceback')}",
-                kind=info.get("kind"), seq=info.get("seq"))
+                kind=info.get("kind"), seq=info.get("seq"),
+                worker_flight=info.get("flight"))
         # Pre-structured (string) payloads, kept for forward compat.
         return self._blame(f"{self.name} failed:\n{info}")
 
@@ -887,17 +949,22 @@ def _rows_to_events(rows) -> list:
 class _JournalEntry:
     """One state-mutating message in a worker's transcript."""
 
-    __slots__ = ("kind", "payload", "expects_reply", "quarantined")
+    __slots__ = ("kind", "payload", "expects_reply", "quarantined", "ctx")
 
     def __init__(self, kind: str, payload,
-                 expects_reply: bool = False) -> None:
+                 expects_reply: bool = False, ctx=None) -> None:
         self.kind = kind
         self.payload = payload
         self.expects_reply = expects_reply
         self.quarantined = False
+        # Trace context of the original dispatch; replay redelivers it
+        # verbatim so the replayed batch regenerates identical span ids.
+        self.ctx = ctx
 
     def message(self, seq: int) -> tuple:
         if self.kind in _BATCH_KINDS:
+            if self.ctx is not None:
+                return (self.kind, seq, self.payload, self.ctx)
             return (self.kind, seq, self.payload)
         if self.payload is None:
             return (self.kind,)
@@ -958,9 +1025,9 @@ class ShardSupervisor:
     # -- journal ----------------------------------------------------------
 
     def record(self, worker: int, kind: str, payload=None,
-               expects_reply: bool = False) -> int:
+               expects_reply: bool = False, ctx=None) -> int:
         journal = self.journals[worker]
-        journal.append(_JournalEntry(kind, payload, expects_reply))
+        journal.append(_JournalEntry(kind, payload, expects_reply, ctx))
         return len(journal) - 1
 
     # -- recovery ---------------------------------------------------------
@@ -973,6 +1040,8 @@ class ShardSupervisor:
         None otherwise."""
         start = time.perf_counter_ns()
         seq = getattr(exc, "seq", None)
+        flightrec.record("worker.restart", worker=worker, seq=seq,
+                         cause=type(exc).__name__)
         if seq is not None:
             self._blame_seq(worker, seq)
         captured = self._restart_and_replay(worker, capture_seq)
@@ -988,11 +1057,18 @@ class ShardSupervisor:
         budget = cluster.execution.max_restarts
         attempts = 0
         careful = False
+        my_pid = os.getpid()
+        worker_flight: list[dict] = []
         while True:
             if attempts >= budget:
+                # The give-up error carries the same two-sided flight
+                # excerpt as first-failure blames: the coordinator ring
+                # now, plus the worker-side events the last failed
+                # incarnation managed to report before dying.
                 raise ExecutorError(
                     f"shard-worker-{worker} failed {attempts} consecutive "
-                    f"restart+replay attempts; giving up", worker=worker)
+                    f"restart+replay attempts; giving up", worker=worker,
+                    flight=flightrec.snapshot(last=32) + worker_flight)
             attempts += 1
             cluster._respawn(worker)
             self.restarts += 1
@@ -1001,6 +1077,8 @@ class ShardSupervisor:
             try:
                 return self._replay(worker, careful, capture_seq)
             except ExecutorError as exc:
+                worker_flight = [e for e in exc.flight
+                                 if e.get("pid") != my_pid]
                 seq = getattr(exc, "seq", None)
                 if seq is not None:
                     if self._blame_seq(worker, seq):
@@ -1098,6 +1176,8 @@ class ShardSupervisor:
             except Exception:
                 failed += 1
         self._poison_cg.update(cg_keys)
+        flightrec.record("batch.quarantined", worker=worker, seq=seq,
+                         events=len(events), salvaged=salvaged)
         self.poison.append({
             "worker": worker,
             "seq": seq,
@@ -1106,6 +1186,9 @@ class ShardSupervisor:
             "failed_events": failed,
             "failures": self._blames.get((worker, seq), 0),
             "cg_keys": sorted(repr(k) for k in cg_keys),
+            # Coordinator-side flight excerpt at quarantine time — the
+            # "what led up to this" context of the blame decision.
+            "flight": flightrec.snapshot(last=16),
         })
         if self._t_poison is not None:
             self._t_poison.inc()
@@ -1289,6 +1372,17 @@ class ShardedCluster:
         self._snapshots_cache: list[dict] = []
         self._telemetry_on = False
         self._telemetry_config = None
+        # Causal trace propagation (TelemetryConfig.trace): every
+        # dispatched batch carries (trace_id, dispatch_span_id, seq)
+        # across the transport; workers ship their ctx-tagged events
+        # back with the telemetry snapshot.
+        self._trace = False
+        self._trace_id = 0
+        self._root_span = 0
+        self._trace_tracer = None
+        self._ctx_seq = 0
+        self._worker_tevents: list[dict] = []
+        self._worker_flight: list[dict] = []
 
     def attach_telemetry(self, telemetry) -> None:
         """Instrument the coordinator's dispatch path and turn on
@@ -1321,6 +1415,11 @@ class ShardedCluster:
                         if self._rings[i] is not None else 0))
         self._telemetry_on = True
         self._telemetry_config = telemetry.config
+        if telemetry.tracing:
+            self._trace = True
+            self._trace_id = new_trace_id()
+            self._root_span = root_span_id(self._trace_id)
+            self._trace_tracer = telemetry.tracer
         if self.supervisor is not None:
             self.supervisor.attach_telemetry(telemetry)
         for worker in self._workers:
@@ -1328,14 +1427,46 @@ class ShardedCluster:
 
     def worker_snapshots(self) -> list[dict]:
         """Each worker's registry snapshot (empty when telemetry is
-        off); the last gathered set keeps serving after close()."""
+        off); the last gathered set keeps serving after close().  The
+        same round trip also gathers each worker's ctx-tagged trace
+        events and flight-recorder excerpt (see :meth:`trace_events`
+        and :meth:`flight_events`)."""
         if not self._telemetry_on:
             return []
         if not self._closed:
-            self._snapshots_cache = [
-                snap for snap in self._broadcast(("telemetry",))
-                if snap is not None]
+            snapshots: list[dict] = []
+            tevents: list[dict] = []
+            flight: list[dict] = []
+            for reply in self._broadcast(("telemetry",)):
+                if reply is None:
+                    continue
+                if isinstance(reply, dict) and "snapshot" in reply:
+                    snapshots.append(reply["snapshot"])
+                    tevents.extend(reply.get("tevents") or ())
+                    flight.extend(reply.get("flight") or ())
+                else:
+                    snapshots.append(reply)
+            self._snapshots_cache = snapshots
+            self._worker_tevents = tevents
+            self._worker_flight = flight
         return self._snapshots_cache
+
+    def trace_events(self) -> list[dict]:
+        """Coordinator + worker ctx-tagged trace events for this run.
+
+        Triggers a fresh worker gather while the cluster is open; after
+        close() it serves the events collected on the way down.
+        """
+        if self._telemetry_on and not self._closed:
+            self.worker_snapshots()
+        coordinator = (list(self._trace_tracer.events)
+                       if self._trace_tracer is not None else [])
+        return coordinator + list(self._worker_tevents)
+
+    def flight_events(self) -> list[dict]:
+        """Coordinator flight ring + the workers' last-gathered
+        excerpts (each event carries its pid)."""
+        return flightrec.snapshot() + list(self._worker_flight)
 
     # -- routing & dispatch ---------------------------------------------------
 
@@ -1422,6 +1553,8 @@ class ShardedCluster:
             self.fallback_chunks += 1
             if self._t_fallback is not None:
                 self._t_fallback.inc()
+            flightrec.record("transport.fallback", worker=worker,
+                             events=len(chunk))
             return "pbatch", None
         if self._transport == "shm":
             ring = self._rings[worker]
@@ -1451,9 +1584,33 @@ class ShardedCluster:
 
     def _post_batch(self, worker: int, kind: str, chunk: list,
                     payload: bytes | None = None) -> None:
+        ctx = None
+        if self._trace:
+            # One causal context per dispatched batch: the dispatch
+            # span id is derived from (trace_id, seq, worker), so the
+            # worker-side span — and any journal replay of it — can
+            # regenerate the exact same tree without coordination.
+            self._ctx_seq += 1
+            cseq = self._ctx_seq
+            span = derive_span_id(self._trace_id, "shard.dispatch",
+                                  cseq, worker)
+            ctx = (self._trace_id, span, cseq)
+            start_ns = time.perf_counter_ns()
+        try:
+            self._post_batch_inner(worker, kind, chunk, payload, ctx)
+        finally:
+            if ctx is not None:
+                self._trace_tracer.record_event(make_event(
+                    "shard.dispatch", start_ns,
+                    time.perf_counter_ns() - start_ns,
+                    span_id=ctx[1], parent_id=self._root_span,
+                    trace_id=self._trace_id, seq=ctx[2]))
+
+    def _post_batch_inner(self, worker: int, kind: str, chunk: list,
+                          payload: bytes | None, ctx) -> None:
         sup = self.supervisor
         if sup is None:
-            self._deliver(worker, kind, None, chunk, payload)
+            self._deliver(worker, kind, None, chunk, payload, ctx=ctx)
             return
         # Journal before posting: once recorded, the batch is delivered
         # exactly once — either by this post or by the replay a failed
@@ -1462,7 +1619,7 @@ class ShardedCluster:
         # Frames journal their *rows* (the payload is re-encoded into
         # the fresh incarnation's ring at replay time — ring positions
         # do not survive a restart).
-        seq = sup.record(worker, kind, chunk)
+        seq = sup.record(worker, kind, chunk, ctx=ctx)
         w = self._workers[worker]
         if not w.is_alive():
             sup.recover(worker, WorkerDied(
@@ -1471,27 +1628,30 @@ class ShardedCluster:
             return
         try:
             self._deliver(worker, kind, seq, chunk, payload,
-                          deadline=self._op_deadline())
+                          deadline=self._op_deadline(), ctx=ctx)
         except ExecutorError as exc:
             sup.recover(worker, exc)
 
     def _deliver(self, worker: int, kind: str, seq, chunk: list,
                  payload: bytes | None, deadline: float | None = None,
-                 lazy: bool = True) -> None:
+                 lazy: bool = True, ctx=None) -> None:
         """Put one batch on the wire.  Ring frames are lazy by default:
         when the ring is full the frame parks in the per-worker pending
         queue instead of blocking the coordinator (occupancy-based
         backpressure deferral); parked frames drain opportunistically on
-        later dispatches and mandatorily before any control message."""
+        later dispatches and mandatorily before any control message.
+        ``ctx`` is the batch's trace context: frames carry it in the
+        ring header, queue kinds as a trailing message element."""
         if kind == "frame":
             pending = self._pending[worker]
             if pending:
-                pending.append((seq, payload))
+                pending.append((seq, payload, ctx))
                 self.parked_frames += 1
                 if self._t_parked is not None:
                     self._t_parked.inc()
-            elif not self._push_frame(worker, seq, payload, deadline):
-                pending.append((seq, payload))
+            elif not self._push_frame(worker, seq, payload, deadline,
+                                      ctx):
+                pending.append((seq, payload, ctx))
                 self.parked_frames += 1
                 if self._t_parked is not None:
                     self._t_parked.inc()
@@ -1509,23 +1669,27 @@ class ShardedCluster:
             if self._t_tframes is not None:
                 self._t_tframes.inc()
                 self._t_tbytes.inc(len(payload))
-            self._workers[worker].post(("oframe", seq, payload),
-                                       deadline=deadline)
+            msg = (("oframe", seq, payload) if ctx is None
+                   else ("oframe", seq, payload, ctx))
+            self._workers[worker].post(msg, deadline=deadline)
             return
-        self._workers[worker].post((kind, seq, chunk), deadline=deadline)
+        msg = ((kind, seq, chunk) if ctx is None
+               else (kind, seq, chunk, ctx))
+        self._workers[worker].post(msg, deadline=deadline)
 
     def _push_frame(self, worker: int, seq, payload: bytes,
-                    deadline: float | None) -> bool:
-        """Copy one frame into the worker's ring and post its 16-byte
-        pointer message; False when the ring has no room right now."""
+                    deadline: float | None, ctx=None) -> bool:
+        """Copy one frame into the worker's ring and post its pointer
+        message; False when the ring has no room right now.  ``ctx``
+        rides the frame header."""
         ring = self._rings[worker]
         if self._t_tracer is not None:
             start = time.perf_counter_ns()
-            ok = ring.try_push(payload, ring.next_seq)
+            ok = ring.try_push(payload, ring.next_seq, ctx)
             self._t_tracer.record("transport.copy", start,
                                   time.perf_counter_ns())
         else:
-            ok = ring.try_push(payload, ring.next_seq)
+            ok = ring.try_push(payload, ring.next_seq, ctx)
         if not ok:
             return False
         ring.next_seq += 1
@@ -1549,8 +1713,8 @@ class ShardedCluster:
         limit = (deadline if deadline is not None
                  else time.monotonic() + _REPLY_TIMEOUT_S)
         while pending:
-            seq, payload = pending[0]
-            if self._push_frame(worker, seq, payload, deadline):
+            seq, payload, ctx = pending[0]
+            if self._push_frame(worker, seq, payload, deadline, ctx):
                 pending.popleft()
                 continue
             if not block:
@@ -1591,7 +1755,8 @@ class ShardedCluster:
                     or not self._rings[worker].fits(len(payload))):
                 kind = "oframe"
         self._deliver(worker, kind, seq, entry.payload, payload,
-                      deadline=self._op_deadline(), lazy=False)
+                      deadline=self._op_deadline(), lazy=False,
+                      ctx=entry.ctx)
 
     def _flush_dispatch(self) -> None:
         for worker, batcher in enumerate(self._batchers):
@@ -1782,8 +1947,8 @@ class ShardedCluster:
     def finalize(self) -> list[FeatureVector]:
         if self._closed:
             return list(self._final_vectors or [])
-        start = (time.perf_counter_ns() if self._t_tracer is not None
-                 else 0)
+        start = (time.perf_counter_ns()
+                 if self._t_tracer is not None or self._trace else 0)
         by_shard = self._gather(("finalize",))
         vectors: list[FeatureVector] = []
         for shard in range(self.n_nics):
@@ -1810,6 +1975,16 @@ class ShardedCluster:
         if self._t_tracer is not None:
             self._t_tracer.record("shard.merge", start,
                                   time.perf_counter_ns())
+        if self._trace:
+            # The merge span closes the tree: dispatch → worker stage
+            # spans → merge, all under one trace id.
+            self._ctx_seq += 1
+            self._trace_tracer.record_event(make_event(
+                "shard.merge", start, time.perf_counter_ns() - start,
+                span_id=derive_span_id(self._trace_id, "shard.merge",
+                                       self._ctx_seq),
+                parent_id=self._root_span, trace_id=self._trace_id,
+                seq=self._ctx_seq))
         return vectors
 
     def take_packet_vectors(self) -> list[FeatureVector]:
@@ -1851,13 +2026,16 @@ class ShardedCluster:
         if self._closed:
             return
         try:
+            # Broad on purpose: after a supervisor give-up the reply
+            # stream may be desynced (stale or None replies), and the
+            # farewell stats fetch must never block shutdown.
             try:
                 self._fetch_stats()
-            except ExecutorError:
+            except Exception:
                 pass
             try:
                 self.worker_snapshots()
-            except ExecutorError:
+            except Exception:
                 pass
         finally:
             self._closed = True
@@ -2042,6 +2220,12 @@ class ParallelSink:
 
     def telemetry_snapshots(self) -> list[dict]:
         return self.cluster.worker_snapshots()
+
+    def trace_events(self) -> list[dict]:
+        return self.cluster.trace_events()
+
+    def flight_events(self) -> list[dict]:
+        return self.cluster.flight_events()
 
     def consume(self, event) -> tuple:
         self.cluster.consume(event)

@@ -45,6 +45,7 @@ __all__ = [
     "MetricsRegistry", "merge_snapshots", "histogram_percentiles",
     "Tracer", "TelemetryConfig", "Telemetry",
     "write_jsonl", "prometheus_text", "render_dashboard",
+    "SLORule", "parse_slo_rules", "evaluate_slo",
     "DEFAULT_LATENCY_BOUNDS_NS",
 ]
 
@@ -493,6 +494,11 @@ class Tracer:
         self.max_spans = max_spans
         self.spans: list[tuple] = []
         self.spans_dropped = 0
+        #: Causal (ctx-tagged) trace events — dicts built by
+        #: :func:`repro.core.tracecontext.make_event`, bounded by the
+        #: same ``max_spans`` cap as anonymous spans.
+        self.events: list[dict] = []
+        self.events_dropped = 0
         self._tick = 0
         self._span_hists: dict[str, Histogram] = {}
 
@@ -524,6 +530,21 @@ class Tracer:
         else:
             self.spans_dropped += 1
 
+    def record_event(self, event: dict) -> None:
+        """Record one ctx-tagged trace event (a
+        :func:`repro.core.tracecontext.make_event` dict).  The span
+        duration also feeds the ``span.<name>`` histogram so causal
+        events show up in the same percentile tables."""
+        hist = self._span_hists.get(event["name"])
+        if hist is None:
+            hist = self.registry.histogram(f"span.{event['name']}")
+            self._span_hists[event["name"]] = hist
+        hist.observe(event["dur_ns"])
+        if len(self.events) < self.max_spans:
+            self.events.append(event)
+        else:
+            self.events_dropped += 1
+
     @contextmanager
     def span(self, name: str):
         """Context manager for cold-path spans (flush, merge, swap);
@@ -549,12 +570,20 @@ class TelemetryConfig:
     ``sample_rate=0`` keeps metrics (counters/gauges/histograms on
     amortized paths) but collects no spans and adds no timing calls to
     the per-packet path; any positive rate turns on stride-sampled
-    spans.  The config is a plain frozen dataclass so the shard
-    coordinator can ship it to forked workers over the message queue.
+    spans.  ``trace=True`` additionally turns on *causal* trace
+    propagation: every dispatched shard batch carries a ``(trace_id,
+    parent_span_id, seq)`` context across the transport and both sides
+    record ctx-tagged events that stitch into one cross-process span
+    tree (see :mod:`repro.core.tracecontext`).  Tracing is per-batch
+    (amortized), never per-packet, so it rides the same overhead budget
+    as the sampled spans.  The config is a plain frozen dataclass so
+    the shard coordinator can ship it to forked workers over the
+    message queue.
     """
 
     sample_rate: float = 0.0
     max_spans: int = 10_000
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.sample_rate <= 1.0:
@@ -582,6 +611,11 @@ class Telemetry:
     def sampling(self) -> bool:
         return self.tracer.active
 
+    @property
+    def tracing(self) -> bool:
+        """True when causal trace propagation is on."""
+        return self.config.trace
+
     def snapshot(self) -> dict:
         return self.registry.snapshot()
 
@@ -591,13 +625,15 @@ class Telemetry:
 # ---------------------------------------------------------------------------
 
 def write_jsonl(path, snapshot: Mapping, spans: Iterable[tuple] = (),
-                meta: Mapping | None = None) -> int:
+                meta: Mapping | None = None,
+                tevents: Iterable[Mapping] = ()) -> int:
     """Dump one metric snapshot plus spans as JSON Lines.
 
     Line 1 is ``{"kind": "meta", ...}``, line 2 ``{"kind": "metrics",
-    "snapshot": ...}``, then one ``{"kind": "span", ...}`` per span.
-    Returns the number of lines written.  ``path`` may be a str/Path or
-    an open text file."""
+    "snapshot": ...}``, then one ``{"kind": "span", ...}`` per span and
+    one ``{"kind": "tevent", ...}`` per causal trace event.  Returns
+    the number of lines written.  ``path`` may be a str/Path or an open
+    text file."""
     close = False
     if hasattr(path, "write"):
         fh = path
@@ -618,6 +654,9 @@ def write_jsonl(path, snapshot: Mapping, spans: Iterable[tuple] = (),
                                  "start_ns": start_ns, "dur_ns": dur_ns})
                      + "\n")
             lines += 1
+        for event in tevents:
+            fh.write(json.dumps({"kind": "tevent", **event}) + "\n")
+            lines += 1
     finally:
         if close:
             fh.close()
@@ -626,8 +665,8 @@ def write_jsonl(path, snapshot: Mapping, spans: Iterable[tuple] = (),
 
 def read_jsonl(path) -> dict:
     """Inverse of :func:`write_jsonl`: returns ``{"meta": ...,
-    "snapshot": ..., "spans": [...]}``."""
-    out = {"meta": None, "snapshot": None, "spans": []}
+    "snapshot": ..., "spans": [...], "tevents": [...]}``."""
+    out = {"meta": None, "snapshot": None, "spans": [], "tevents": []}
     with open(path, encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
@@ -641,15 +680,36 @@ def read_jsonl(path) -> dict:
                 out["snapshot"] = row["snapshot"]
             elif kind == "span":
                 out["spans"].append(row)
+            elif kind == "tevent":
+                event = dict(row)
+                event.pop("kind", None)
+                out["tevents"].append(event)
     return out
 
 
 def _prom_name(name: str) -> str:
+    """Escape a dotted metric name to a legal Prometheus identifier
+    (``[a-zA-Z_:][a-zA-Z0-9_:]*``).
+
+    Array-column suffixes like ``name[3]`` and chaos-kind segments like
+    ``faults.applied.worker-crash`` turn every illegal character into
+    ``_``; runs collapse to one underscore and trailing underscores are
+    stripped so ``name[3]`` → ``superfe_name_3``, not
+    ``superfe_name_3__``.
+    """
     cleaned = "".join(c if c.isalnum() or c == "_" else "_"
                       for c in name)
-    if cleaned and cleaned[0].isdigit():
-        cleaned = "_" + cleaned
-    return f"superfe_{cleaned}"
+    while "__" in cleaned:
+        cleaned = cleaned.replace("__", "_")
+    cleaned = cleaned.strip("_")
+    return f"superfe_{cleaned}" if cleaned else "superfe_unnamed"
+
+
+def _prom_label_value(value) -> str:
+    """Escape a label value per the exposition format: backslash,
+    double-quote, and newline must be backslash-escaped."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
 
 
 def prometheus_text(snapshot: Mapping) -> str:
@@ -673,7 +733,8 @@ def prometheus_text(snapshot: Mapping) -> str:
         cum = 0
         for bound, c in zip(h["bounds"], h["counts"]):
             cum += c
-            lines.append(f'{prom}_bucket{{le="{bound}"}} {cum}')
+            lines.append(
+                f'{prom}_bucket{{le="{_prom_label_value(bound)}"}} {cum}')
         lines.append(f'{prom}_bucket{{le="+Inf"}} {h["count"]}')
         lines.append(f"{prom}_sum {h['total']}")
         lines.append(f"{prom}_count {h['count']}")
@@ -683,6 +744,101 @@ def prometheus_text(snapshot: Mapping) -> str:
         lines.append(f"# TYPE {prom}_total counter")
         lines.append(f"{prom}_total {r['count']}")
     return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Declarative SLO watchdogs
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SLORule:
+    """One ``metric <= limit`` threshold evaluated against a snapshot.
+
+    ``metric`` addresses the snapshot namespace directly: a counter,
+    gauge, or rate name (``supervisor.restarts``,
+    ``transport.fallback_chunks``), a percentile of a histogram via a
+    ``p50:``/``p90:``/``p99:`` prefix (``p99:span.shard.dispatch``), or
+    a caller-supplied derived scalar passed through ``extras``
+    (``shed_rate``).  A metric absent from the snapshot is *not* a
+    breach — a rule about restarts shouldn't fire on a deployment that
+    never attached a supervisor.
+    """
+
+    metric: str
+    limit: float
+
+    def __post_init__(self) -> None:
+        if not self.metric:
+            raise TelemetryError("SLO rule needs a metric name")
+
+    @property
+    def spec(self) -> str:
+        return f"{self.metric}<={self.limit:g}"
+
+
+def parse_slo_rules(spec: str) -> tuple[SLORule, ...]:
+    """Parse a comma-separated ``metric<=limit`` rule list, e.g.
+    ``"supervisor.restarts<=3,p99:span.shard.dispatch<=5e6,shed_rate<=0.5"``.
+    """
+    rules = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        metric, sep, limit = part.partition("<=")
+        if not sep:
+            raise TelemetryError(
+                f"SLO rule {part!r} is not of the form metric<=limit")
+        try:
+            rules.append(SLORule(metric.strip(), float(limit)))
+        except ValueError as exc:
+            raise TelemetryError(
+                f"SLO rule {part!r} has a non-numeric limit") from exc
+    if not rules:
+        raise TelemetryError("empty SLO rule list")
+    return tuple(rules)
+
+
+def _slo_value(metric: str, snapshot: Mapping,
+               extras: Mapping | None):
+    if extras and metric in extras:
+        return float(extras[metric])
+    for prefix in ("p50", "p90", "p99"):
+        if metric.startswith(prefix + ":"):
+            hist = snapshot.get("histograms", {}).get(
+                metric[len(prefix) + 1:])
+            if hist is None or not hist.get("count"):
+                return None
+            return float(histogram_percentiles(hist)[prefix])
+    for family in ("counters", "gauges"):
+        values = snapshot.get(family, {})
+        if metric in values:
+            return float(values[metric])
+    rates = snapshot.get("rates", {})
+    if metric in rates:
+        return float(rates[metric]["count"])
+    return None
+
+
+def evaluate_slo(snapshot: Mapping, rules: Iterable[SLORule],
+                 extras: Mapping | None = None) -> list[dict]:
+    """Evaluate SLO rules against one snapshot; returns the breaches.
+
+    Every breach is also recorded as an ``slo.breach`` event in the
+    per-process flight recorder, so the crash/blame paths carry recent
+    SLO state automatically.
+    """
+    from repro.core import flightrec
+    breaches = []
+    for rule in rules:
+        value = _slo_value(rule.metric, snapshot, extras)
+        if value is None or value <= rule.limit:
+            continue
+        breaches.append({"metric": rule.metric, "value": value,
+                         "limit": rule.limit, "spec": rule.spec})
+        flightrec.record("slo.breach", metric=rule.metric,
+                         value=value, limit=rule.limit)
+    return breaches
 
 
 def render_dashboard(snapshot: Mapping, spans: Iterable[tuple] = (),

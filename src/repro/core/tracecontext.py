@@ -1,0 +1,229 @@
+"""Causal trace contexts: cross-process span stitching + Chrome export.
+
+The PR 5 tracer records anonymous ``(name, start_ns, dur_ns)`` spans
+that stop at process boundaries.  This module adds the causal layer:
+
+- :class:`TraceContext` — the compact ``(trace_id, parent_span_id,
+  seq)`` triple a dispatched batch carries across the shm/oob
+  transport (three ``u64`` header fields, see
+  :mod:`repro.core.transport`).
+- :func:`derive_span_id` — span ids are *derived*, not allocated: a
+  deterministic 64-bit mix of ``(trace_id, name, seq, salt)``.  A
+  replayed journal batch therefore regenerates byte-identical span ids
+  with no extra journal state, which is what makes the span tree
+  survive ``worker_crash`` recovery.
+- :func:`chrome_trace` / :func:`write_chrome_trace` — export ctx-tagged
+  events as Chrome ``trace_event`` JSON (load in ``chrome://tracing``
+  or Perfetto).
+- :func:`build_tree` / :func:`stitched_seqs` — reconstruct the span
+  forest and report which batch seqs stitched across a process
+  boundary (used by ``repro telemetry trace`` and the acceptance
+  tests).
+
+An event here is a flat dict::
+
+    {"name", "start_ns", "dur_ns", "span_id", "parent_id",
+     "trace_id", "seq", "pid"}
+
+produced by ``Tracer.record_event`` on whichever side of the process
+boundary the span ran.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, NamedTuple
+
+__all__ = [
+    "TraceContext",
+    "NULL_CONTEXT",
+    "new_trace_id",
+    "derive_span_id",
+    "root_span_id",
+    "make_event",
+    "chrome_trace",
+    "write_chrome_trace",
+    "build_tree",
+    "stitched_seqs",
+    "render_tree",
+]
+
+_MASK64 = (1 << 64) - 1
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+class TraceContext(NamedTuple):
+    """Compact causal context carried by one dispatched batch."""
+
+    trace_id: int
+    parent_span_id: int
+    seq: int
+
+
+#: The "no context" sentinel — all-zero fields on the wire.
+NULL_CONTEXT = TraceContext(0, 0, 0)
+
+
+def _fnv64(data: bytes, h: int = _FNV_OFFSET) -> int:
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV_PRIME) & _MASK64
+    return h
+
+
+def new_trace_id(seed: int | None = None) -> int:
+    """A fresh nonzero 64-bit trace id.
+
+    Random by default; pass ``seed`` for reproducible tests.  Span ids
+    below are derived *from* the trace id, so only this one value is
+    non-deterministic per run.
+    """
+    if seed is not None:
+        value = _fnv64(seed.to_bytes(8, "little", signed=False))
+    else:
+        value = int.from_bytes(os.urandom(8), "little")
+    return value | 1  # nonzero: zero means "no context" on the wire
+
+
+def derive_span_id(trace_id: int, name: str, seq: int, salt: int = 0) -> int:
+    """Deterministic span id for ``name``/``seq`` under ``trace_id``.
+
+    Same inputs → same id, which is the whole point: journal replay of
+    a crashed worker's batches reproduces the dead incarnation's span
+    ids exactly, so the stitched tree is identical before and after a
+    ``worker_crash``.
+    """
+    h = _fnv64(name.encode("utf-8"))
+    h = _fnv64((trace_id & _MASK64).to_bytes(8, "little"), h)
+    h = _fnv64((seq & _MASK64).to_bytes(8, "little"), h)
+    h = _fnv64((salt & _MASK64).to_bytes(8, "little"), h)
+    return h | 1
+
+
+def root_span_id(trace_id: int) -> int:
+    """The id every top-level span parents to."""
+    return derive_span_id(trace_id, "root", 0)
+
+
+def make_event(name: str, start_ns: int, dur_ns: int, *,
+               span_id: int, parent_id: int, trace_id: int,
+               seq: int, pid: int | None = None) -> dict:
+    """Build one ctx-tagged trace event dict."""
+    return {
+        "name": name,
+        "start_ns": int(start_ns),
+        "dur_ns": int(dur_ns),
+        "span_id": int(span_id) & _MASK64,
+        "parent_id": int(parent_id) & _MASK64,
+        "trace_id": int(trace_id) & _MASK64,
+        "seq": int(seq),
+        "pid": os.getpid() if pid is None else int(pid),
+    }
+
+
+def chrome_trace(events: Iterable[dict]) -> dict:
+    """Render ctx-tagged events as a Chrome ``trace_event`` document.
+
+    Complete (``ph: "X"``) events with microsecond timestamps,
+    normalized to the earliest event so per-process ``perf_counter_ns``
+    origins don't scatter the tracks across decades.  Span/parent ids
+    ride in ``args`` (hex, the convention trace viewers expect).
+    """
+    events = [e for e in events if e]
+    origin = min((e["start_ns"] for e in events), default=0)
+    records = []
+    for e in sorted(events, key=lambda e: (e["start_ns"], e["seq"])):
+        records.append({
+            "name": e["name"],
+            "ph": "X",
+            "ts": (e["start_ns"] - origin) / 1000.0,
+            "dur": max(e["dur_ns"], 1) / 1000.0,
+            "pid": e["pid"],
+            "tid": e["pid"],
+            "cat": "repro",
+            "args": {
+                "trace_id": f"{e['trace_id']:#018x}",
+                "span_id": f"{e['span_id']:#018x}",
+                "parent_span_id": f"{e['parent_id']:#018x}",
+                "seq": e["seq"],
+            },
+        })
+    return {
+        "traceEvents": records,
+        "displayTimeUnit": "ms",
+        "otherData": {"format": "superfe-trace-v1"},
+    }
+
+
+def write_chrome_trace(path: str, events: Iterable[dict]) -> dict:
+    """Serialize :func:`chrome_trace` to ``path``; returns the document."""
+    doc = chrome_trace(events)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    return doc
+
+
+def build_tree(events: Iterable[dict]) -> dict:
+    """Reconstruct the span forest from ctx-tagged events.
+
+    Returns ``{"roots": [node, ...], "n_events": int, "n_orphans":
+    int}`` where each node is ``{"event": e, "children": [node, ...]}``
+    (children in start order).  An event whose ``parent_id`` matches no
+    recorded span and isn't the synthetic root id counts as an orphan
+    but is still surfaced as a root so nothing silently disappears.
+    """
+    events = [e for e in events if e]
+    nodes = {e["span_id"]: {"event": e, "children": []} for e in events}
+    roots, orphans = [], 0
+    root_ids = {root_span_id(e["trace_id"]) for e in events}
+    for e in sorted(events, key=lambda e: (e["start_ns"], e["seq"])):
+        parent = nodes.get(e["parent_id"])
+        node = nodes[e["span_id"]]
+        if parent is not None and parent is not node:
+            parent["children"].append(node)
+        else:
+            if e["parent_id"] not in root_ids and e["parent_id"] != 0:
+                orphans += 1
+            roots.append(node)
+    return {"roots": roots, "n_events": len(events), "n_orphans": orphans}
+
+
+def stitched_seqs(events: Iterable[dict]) -> list[int]:
+    """Batch seqs whose span chain crosses a process boundary.
+
+    A seq is *stitched* when some event's ``parent_id`` equals another
+    event's ``span_id`` and the two were recorded by different pids —
+    i.e. a worker-side span attached to its coordinator dispatch span.
+    """
+    events = [e for e in events if e]
+    by_span = {e["span_id"]: e for e in events}
+    seqs = set()
+    for e in events:
+        parent = by_span.get(e["parent_id"])
+        if parent is not None and parent["pid"] != e["pid"]:
+            seqs.add(e["seq"])
+    return sorted(seqs)
+
+
+def render_tree(events: Iterable[dict]) -> str:
+    """ASCII rendering of :func:`build_tree` for the CLI."""
+    tree = build_tree(events)
+    lines = [f"{tree['n_events']} spans, "
+             f"{len(tree['roots'])} roots, "
+             f"{tree['n_orphans']} orphans, "
+             f"stitched seqs: {stitched_seqs(events) or 'none'}"]
+
+    def walk(node: dict, depth: int) -> None:
+        e = node["event"]
+        lines.append("  " * depth
+                     + f"{e['name']} seq={e['seq']} pid={e['pid']} "
+                     f"dur={e['dur_ns'] / 1000:.1f}us")
+        for child in node["children"]:
+            walk(child, depth + 1)
+
+    for root in tree["roots"]:
+        walk(root, 0)
+    return "\n".join(lines)

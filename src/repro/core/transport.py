@@ -97,9 +97,13 @@ _REASON_ID = {reason: i for i, reason in enumerate(REASONS)}
 
 _MAGIC = 0x53464531            # "SFE1"
 _RING_HEADER = 16              # head u64 + tail u64
-#: Per-frame ring overhead: magic u32, payload length u32, ring seq u64.
-FRAME_OVERHEAD = 16
-_FRAME_STRUCT = struct.Struct("<IIQ")
+#: Per-frame ring overhead: magic u32, payload length u32, ring seq u64,
+#: then the causal trace context — trace_id u64, parent_span_id u64,
+#: ctx seq u64 (all zero when tracing is off).
+FRAME_OVERHEAD = 40
+_FRAME_STRUCT = struct.Struct("<IIQQQQ")
+#: The all-zero wire context ("no trace attached").
+_NO_CTX = (0, 0, 0)
 
 
 class TransportError(RuntimeError):
@@ -381,6 +385,9 @@ class ShmRing:
         #: Producer-side sequence number of the next frame to push.
         self.next_seq = 0
         self._expect_seq = 0                     # consumer-side mirror
+        #: Trace context of the most recently popped frame (consumer
+        #: side), or None when that frame carried no context.
+        self.last_ctx = None
         self._closed = False
         self._finalizer = weakref.finalize(
             self, _destroy_segment, self._seg, self._creator_pid)
@@ -425,10 +432,12 @@ class ShmRing:
 
     # -- producer ----------------------------------------------------------
 
-    def try_push(self, payload, seq: int) -> bool:
+    def try_push(self, payload, seq: int, ctx=None) -> bool:
         """Write one frame; False when the ring lacks space right now.
         ``seq`` is stamped into the frame header for the consumer's
-        sequence check."""
+        sequence check.  ``ctx`` is an optional ``(trace_id,
+        parent_span_id, seq)`` trace context carried in the header
+        (zeros when absent)."""
         if self._closed:
             raise TransportError("ring is closed")
         need = FRAME_OVERHEAD + len(payload)
@@ -438,8 +447,10 @@ class ShmRing:
         head = int(self._ctl[0])
         if need > self.capacity - (head - int(self._ctl[1])):
             return False
+        trace_id, parent_span, ctx_seq = ctx if ctx is not None else _NO_CTX
         offset = head % self.capacity
-        self._write(offset, _FRAME_STRUCT.pack(_MAGIC, len(payload), seq))
+        self._write(offset, _FRAME_STRUCT.pack(
+            _MAGIC, len(payload), seq, trace_id, parent_span, ctx_seq))
         self._write((offset + FRAME_OVERHEAD) % self.capacity, payload)
         # Publish after the data is fully written (see the module
         # docstring for why no further barrier is needed).
@@ -471,14 +482,16 @@ class ShmRing:
                 "frame pointer arrived for an empty ring (transport "
                 "out of sync)")
         offset = tail % self.capacity
-        magic, length, seq = _FRAME_STRUCT.unpack(
-            self._read(offset, FRAME_OVERHEAD))
+        magic, length, seq, trace_id, parent_span, ctx_seq = (
+            _FRAME_STRUCT.unpack(self._read(offset, FRAME_OVERHEAD)))
         if magic != _MAGIC:
             raise TransportError(f"corrupt frame header at offset "
                                  f"{offset} (magic {magic:#x})")
         if seq != self._expect_seq:
             raise TransportError(f"frame sequence skew: expected "
                                  f"{self._expect_seq}, ring holds {seq}")
+        self.last_ctx = (None if trace_id == 0
+                         else (trace_id, parent_span, ctx_seq))
         payload = self._read((offset + FRAME_OVERHEAD) % self.capacity,
                              length)
         self._expect_seq = seq + 1

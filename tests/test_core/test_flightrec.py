@@ -1,0 +1,98 @@
+"""Flight-recorder unit tests: bounded ring, allocation caps, reserved
+keys, and the per-process singleton."""
+
+import os
+
+import pytest
+
+from repro.core import flightrec
+from repro.core.flightrec import _MAX_FIELDS, _MAX_STR, FlightRecorder
+
+
+@pytest.fixture(autouse=True)
+def fresh_ring():
+    """Each test gets its own singleton; restore a clean default ring
+    afterwards so other suites see an empty recorder."""
+    flightrec.reset()
+    yield
+    flightrec.reset()
+
+
+class TestRing:
+    def test_record_and_snapshot_oldest_first(self):
+        rec = FlightRecorder(capacity=8)
+        rec.record("a", x=1)
+        rec.record("b", x=2)
+        events = rec.snapshot()
+        assert [e["kind"] for e in events] == ["a", "b"]
+        assert events[0]["pid"] == os.getpid()
+        assert events[0]["seq"] == 0 and events[1]["seq"] == 1
+
+    def test_capacity_bounds_and_counts_drops(self):
+        rec = FlightRecorder(capacity=3)
+        for i in range(7):
+            rec.record("e", i=i)
+        assert len(rec) == 3
+        assert rec.dropped == 4
+        # The survivors are the newest three, still oldest-first.
+        assert [e["i"] for e in rec.snapshot()] == [4, 5, 6]
+
+    def test_snapshot_last_n(self):
+        rec = FlightRecorder(capacity=8)
+        for i in range(5):
+            rec.record("e", i=i)
+        assert [e["i"] for e in rec.snapshot(last=2)] == [3, 4]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FlightRecorder(capacity=0)
+
+    def test_snapshot_returns_copies(self):
+        rec = FlightRecorder()
+        rec.record("e", x=1)
+        rec.snapshot()[0]["x"] = 99
+        assert rec.snapshot()[0]["x"] == 1
+
+
+class TestAllocationCaps:
+    def test_long_strings_truncated(self):
+        rec = FlightRecorder()
+        event = rec.record("e", msg="x" * 1000)
+        assert len(event["msg"]) == _MAX_STR
+        assert event["msg"].endswith("…")
+
+    def test_non_scalar_values_coerced_to_repr(self):
+        rec = FlightRecorder()
+        event = rec.record("e", payload={"a": [1, 2]})
+        assert isinstance(event["payload"], str)
+
+    def test_field_count_bounded(self):
+        rec = FlightRecorder()
+        fields = {f"k{i:02d}": i for i in range(_MAX_FIELDS + 5)}
+        event = rec.record("e", **fields)
+        stored = [k for k in event
+                  if k not in ("kind", "t", "pid", "seq")]
+        assert len(stored) == _MAX_FIELDS
+
+    def test_reserved_keys_protected_with_underscore(self):
+        rec = FlightRecorder()
+        event = rec.record("fault.applied", kind="worker_crash", pid=7)
+        assert event["kind"] == "fault.applied"   # not clobbered
+        assert event["kind_"] == "worker_crash"
+        assert event["pid"] == os.getpid()
+        assert event["pid_"] == 7
+
+
+class TestSingleton:
+    def test_module_level_record_feeds_the_singleton(self):
+        flightrec.record("module.event", n=1)
+        assert [e["kind"] for e in flightrec.snapshot()] \
+            == ["module.event"]
+
+    def test_reset_replaces_ring_and_tracks_pid(self):
+        flightrec.record("before", n=1)
+        ring = flightrec.reset(capacity=4)
+        assert flightrec.get_recorder() is ring
+        assert ring.pid == os.getpid()
+        assert flightrec.snapshot() == []
+        assert ring.capacity == 4

@@ -118,7 +118,7 @@ class TestShmRing:
     def test_wraparound_preserves_bytes(self):
         """Frames cross the capacity boundary byte-wise; a few hundred
         push/pop cycles of co-prime sizes walk the seam repeatedly."""
-        ring = ShmRing(128)
+        ring = ShmRing(4 * FRAME_OVERHEAD)
         try:
             for seq in range(300):
                 payload = bytes((seq + i) % 251 for i in range(37))
@@ -139,16 +139,17 @@ class TestShmRing:
             ring.close()
 
     def test_oversize_frame_rejected_loudly(self):
-        ring = ShmRing(64)
+        size = 4 * FRAME_OVERHEAD
+        ring = ShmRing(size)
         try:
-            assert not ring.fits(64)
+            assert not ring.fits(size)
             with pytest.raises(ValueError, match="exceeds ring capacity"):
-                ring.try_push(b"\0" * 64, 0)
+                ring.try_push(b"\0" * size, 0)
         finally:
             ring.close()
 
     def test_pop_on_empty_is_desync(self):
-        ring = ShmRing(64)
+        ring = ShmRing(4 * FRAME_OVERHEAD)
         try:
             with pytest.raises(TransportError, match="out of sync"):
                 ring.pop()
